@@ -1,0 +1,102 @@
+"""repro -- a reproduction of *Learning Path Queries on Graph Databases*.
+
+(Bonifati, Ciucanu, Lemay -- EDBT 2015, DOI 10.5441/002/edbt.2015.11)
+
+The package learns regular path queries on edge-labeled directed graphs from
+positive/negative node examples, both from a fixed sample (Algorithm 1 --
+``learner``) and interactively (Section 4's scenario), and ships the full
+experimental harness of the paper's Section 5.
+
+Quickstart::
+
+    from repro import GraphDB, PathQuery, Sample, learn_path_query
+
+    graph = GraphDB()
+    graph.add_edge("N2", "bus", "N1")
+    graph.add_edge("N1", "tram", "N4")
+    graph.add_edge("N4", "cinema", "C1")
+
+    sample = Sample(positives={"N2"}, negatives={"C1"})
+    result = learn_path_query(graph, sample, k=3)
+    print(result.query.expression)          # a query consistent with the labels
+
+Subpackages
+-----------
+``repro.automata``     finite automata substrate (NFA/DFA, canonical DFA, PTA).
+``repro.regex``        regular expressions: parser, Thompson construction, display.
+``repro.graphdb``      the graph database, path semantics and query evaluation.
+``repro.datasets``     paper figure graphs, synthetic/AliBaba-like generators.
+``repro.queries``      monadic, binary and n-ary path query semantics.
+``repro.learning``     Algorithm 1/2/3, RPNI, characteristic samples (Theorem 3.5).
+``repro.interactive``  the interactive scenario: strategies, oracles, the loop.
+``repro.evaluation``   metrics, workloads and the Table/Figure experiment drivers.
+"""
+
+from repro.errors import (
+    AlphabetError,
+    AutomatonError,
+    GraphError,
+    InteractionError,
+    LearningError,
+    QueryError,
+    RegexSyntaxError,
+    ReproError,
+    SampleError,
+)
+from repro.automata import Alphabet
+from repro.graphdb import GraphDB
+from repro.queries import BinaryPathQuery, NaryPathQuery, PathQuery
+from repro.learning import (
+    BinarySample,
+    NarySample,
+    Sample,
+    learn_binary_query,
+    learn_nary_query,
+    learn_path_query,
+    learn_with_dynamic_k,
+)
+from repro.interactive import (
+    InteractiveSession,
+    QueryOracle,
+    make_strategy,
+    run_interactive_learning,
+)
+from repro.evaluation import f1_score, score_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "AlphabetError",
+    "AutomatonError",
+    "RegexSyntaxError",
+    "GraphError",
+    "QueryError",
+    "SampleError",
+    "LearningError",
+    "InteractionError",
+    # core types
+    "Alphabet",
+    "GraphDB",
+    "PathQuery",
+    "BinaryPathQuery",
+    "NaryPathQuery",
+    "Sample",
+    "BinarySample",
+    "NarySample",
+    # learning entry points
+    "learn_path_query",
+    "learn_with_dynamic_k",
+    "learn_binary_query",
+    "learn_nary_query",
+    # interactive entry points
+    "QueryOracle",
+    "make_strategy",
+    "InteractiveSession",
+    "run_interactive_learning",
+    # evaluation
+    "f1_score",
+    "score_query",
+]

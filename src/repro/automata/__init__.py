@@ -1,0 +1,63 @@
+"""Finite automata substrate.
+
+This subpackage provides the word-automata machinery that both the graph
+database layer and the learning algorithms are built on:
+
+* :class:`~repro.automata.alphabet.Alphabet` -- ordered finite alphabets and
+  the canonical (length-then-lexicographic) order on words used throughout
+  the paper.
+* :class:`~repro.automata.nfa.NFA` and :class:`~repro.automata.dfa.DFA` --
+  nondeterministic and deterministic finite word automata.
+* Determinization, Hopcroft minimization and the *canonical DFA*
+  representation of a regular language (the paper represents every query by
+  its canonical DFA; the size of a query is its number of states).
+* Boolean operations: product/intersection, union, complement, emptiness,
+  language inclusion and equivalence.
+* The prefix tree acceptor (PTA) and state-merging quotients used by the
+  learner's generalization phase.
+* The prefix-free transformation of Section 2 of the paper.
+"""
+
+from repro.automata.alphabet import Alphabet, Word, canonical_key, canonical_less
+from repro.automata.nfa import NFA
+from repro.automata.dfa import DFA
+from repro.automata.determinize import determinize
+from repro.automata.minimize import canonical_dfa, minimize
+from repro.automata.operations import (
+    complement,
+    enumerate_words,
+    intersect,
+    intersection_empty,
+    is_empty,
+    language_equivalent,
+    language_included,
+    union,
+)
+from repro.automata.pta import prefix_tree_acceptor
+from repro.automata.merging import merge_states, deterministic_merge
+from repro.automata.prefix_free import is_prefix_free, prefix_free
+
+__all__ = [
+    "Alphabet",
+    "Word",
+    "canonical_key",
+    "canonical_less",
+    "NFA",
+    "DFA",
+    "determinize",
+    "minimize",
+    "canonical_dfa",
+    "intersect",
+    "union",
+    "complement",
+    "is_empty",
+    "intersection_empty",
+    "language_included",
+    "language_equivalent",
+    "enumerate_words",
+    "prefix_tree_acceptor",
+    "merge_states",
+    "deterministic_merge",
+    "is_prefix_free",
+    "prefix_free",
+]

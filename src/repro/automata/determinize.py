@@ -1,0 +1,39 @@
+"""Subset construction: NFA -> DFA.
+
+Only the reachable part of the subset automaton is built, so the output is
+already trimmed on the reachability side.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Return a DFA accepting the same language as ``nfa``.
+
+    The DFA states are frozensets of NFA states; callers that want opaque
+    integer states can follow with :meth:`DFA.relabeled`.
+    """
+    start = nfa.epsilon_closure(nfa.initial_states)
+    dfa = DFA(nfa.alphabet, initial=start)
+    if start & nfa.final_states:
+        dfa.add_final(start)
+    queue: deque[frozenset] = deque([start])
+    seen: set[frozenset] = {start}
+    while queue:
+        current = queue.popleft()
+        for symbol in nfa.alphabet:
+            target = nfa.step(current, symbol)
+            if not target:
+                continue
+            dfa.add_transition(current, symbol, target)
+            if target & nfa.final_states:
+                dfa.add_final(target)
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return dfa

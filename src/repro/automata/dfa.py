@@ -1,0 +1,321 @@
+"""Deterministic finite word automata (DFA).
+
+A DFA here is *partial*: a missing transition means the word is rejected.
+This matches the paper's canonical DFAs (Figure 4 shows the canonical DFA of
+``(a.b)*.c`` with three states and no dead/sink state).  The size of a query
+is the number of states of its canonical DFA, so keeping the representation
+trimmed is important for reporting sizes faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+from repro.automata.alphabet import Alphabet, Word
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+State = Hashable
+
+#: Name used for the rejecting sink state added by :meth:`DFA.completed`.
+SINK = "__sink__"
+
+
+class DFA:
+    """A (partial) deterministic finite word automaton."""
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        *,
+        initial: State,
+        states: Iterable[State] = (),
+        finals: Iterable[State] = (),
+    ) -> None:
+        self.alphabet = alphabet
+        self.initial: State = initial
+        self._states: set[State] = set(states)
+        self._states.add(initial)
+        self._finals: set[State] = set(finals)
+        self._states.update(self._finals)
+        self._transitions: dict[State, dict[str, State]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_state(self, state: State) -> State:
+        """Add a state (idempotent) and return it."""
+        self._states.add(state)
+        return state
+
+    def add_final(self, state: State) -> None:
+        """Mark ``state`` as accepting, adding it if necessary."""
+        self._states.add(state)
+        self._finals.add(state)
+
+    def set_final(self, state: State, final: bool) -> None:
+        """Set whether ``state`` is accepting."""
+        self._states.add(state)
+        if final:
+            self._finals.add(state)
+        else:
+            self._finals.discard(state)
+
+    def add_transition(self, source: State, symbol: str, target: State) -> None:
+        """Add the deterministic transition ``source --symbol--> target``.
+
+        Raises :class:`AutomatonError` if a different transition on the same
+        symbol already leaves ``source``.
+        """
+        if symbol not in self.alphabet:
+            raise AutomatonError(f"symbol {symbol!r} is not in the alphabet")
+        existing = self._transitions.get(source, {}).get(symbol)
+        if existing is not None and existing != target:
+            raise AutomatonError(
+                f"state {source!r} already has a transition on {symbol!r} to {existing!r}"
+            )
+        self._states.add(source)
+        self._states.add(target)
+        self._transitions.setdefault(source, {})[symbol] = target
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def states(self) -> frozenset[State]:
+        """The set of states."""
+        return frozenset(self._states)
+
+    @property
+    def final_states(self) -> frozenset[State]:
+        """The set of accepting states."""
+        return frozenset(self._finals)
+
+    def is_final(self, state: State) -> bool:
+        """Whether ``state`` is accepting."""
+        return state in self._finals
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={len(self._states)}, finals={len(self._finals)}, "
+            f"transitions={self.transition_count()})"
+        )
+
+    def transition_count(self) -> int:
+        """The number of transitions."""
+        return sum(len(by_symbol) for by_symbol in self._transitions.values())
+
+    def delta(self, state: State, symbol: str) -> State | None:
+        """The successor of ``state`` on ``symbol``, or None if undefined."""
+        return self._transitions.get(state, {}).get(symbol)
+
+    def outgoing(self, state: State) -> Iterator[tuple[str, State]]:
+        """Yield the ``(symbol, target)`` transitions leaving ``state``."""
+        yield from self._transitions.get(state, {}).items()
+
+    def transitions(self) -> Iterator[tuple[State, str, State]]:
+        """Yield all (source, symbol, target) transitions."""
+        for source, by_symbol in self._transitions.items():
+            for symbol, target in by_symbol.items():
+                yield source, symbol, target
+
+    # -- semantics -----------------------------------------------------------
+
+    def run(self, word: Sequence[str]) -> State | None:
+        """The state reached on ``word``, or None if the run dies."""
+        state: State | None = self.initial
+        for symbol in word:
+            if state is None:
+                return None
+            state = self.delta(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the automaton accepts the given word."""
+        state = self.run(word)
+        return state is not None and state in self._finals
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.reachable_states() & self._finals)
+
+    def shortest_accepted_word(self) -> Word | None:
+        """The canonically smallest accepted word, or None if L is empty."""
+        if self.initial in self._finals:
+            return ()
+        queue: deque[tuple[State, Word]] = deque([(self.initial, ())])
+        seen: set[State] = {self.initial}
+        while queue:
+            state, word = queue.popleft()
+            for symbol in self.alphabet:
+                target = self.delta(state, symbol)
+                if target is None:
+                    continue
+                if target in self._finals:
+                    return word + (symbol,)
+                if target not in seen:
+                    seen.add(target)
+                    queue.append((target, word + (symbol,)))
+        return None
+
+    # -- structural utilities ------------------------------------------------
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        reached: set[State] = {self.initial}
+        stack: list[State] = [self.initial]
+        while stack:
+            state = stack.pop()
+            for _, target in self.outgoing(state):
+                if target not in reached:
+                    reached.add(target)
+                    stack.append(target)
+        return frozenset(reached)
+
+    def trim(self) -> "DFA":
+        """Return a copy keeping only reachable and co-reachable states.
+
+        The initial state is always kept (even if the language is empty) so
+        the result remains a well-formed DFA.
+        """
+        reachable = self.reachable_states()
+        predecessors: dict[State, set[State]] = {}
+        for source, _, target in self.transitions():
+            predecessors.setdefault(target, set()).add(source)
+        coreachable: set[State] = set(self._finals)
+        stack = list(coreachable)
+        while stack:
+            state = stack.pop()
+            for pred in predecessors.get(state, ()):
+                if pred not in coreachable:
+                    coreachable.add(pred)
+                    stack.append(pred)
+        useful = (reachable & frozenset(coreachable)) | {self.initial}
+        trimmed = DFA(
+            self.alphabet,
+            initial=self.initial,
+            states=useful,
+            finals=self._finals & useful,
+        )
+        for source, symbol, target in self.transitions():
+            if source in useful and target in useful:
+                trimmed.add_transition(source, symbol, target)
+        return trimmed
+
+    def completed(self) -> "DFA":
+        """Return a complete copy (every state has a transition on every symbol).
+
+        Missing transitions are redirected to a fresh rejecting sink state.
+        """
+        complete = DFA(
+            self.alphabet,
+            initial=self.initial,
+            states=self._states,
+            finals=self._finals,
+        )
+        needs_sink = False
+        for state in self._states:
+            for symbol in self.alphabet:
+                target = self.delta(state, symbol)
+                if target is None:
+                    needs_sink = True
+                    complete.add_transition(state, symbol, SINK)
+                else:
+                    complete.add_transition(state, symbol, target)
+        if needs_sink:
+            for symbol in self.alphabet:
+                complete.add_transition(SINK, symbol, SINK)
+        return complete
+
+    def complement(self) -> "DFA":
+        """Return a DFA for the complement language (over the same alphabet)."""
+        complete = self.completed()
+        result = DFA(
+            self.alphabet,
+            initial=complete.initial,
+            states=complete.states,
+            finals=complete.states - complete.final_states,
+        )
+        for source, symbol, target in complete.transitions():
+            result.add_transition(source, symbol, target)
+        return result
+
+    def copy(self) -> "DFA":
+        """A deep copy of this automaton."""
+        other = DFA(
+            self.alphabet,
+            initial=self.initial,
+            states=self._states,
+            finals=self._finals,
+        )
+        for source, symbol, target in self.transitions():
+            other.add_transition(source, symbol, target)
+        return other
+
+    def relabeled(self) -> "DFA":
+        """An isomorphic copy whose states are 0..n-1 in BFS order.
+
+        Because the BFS explores symbols in alphabet order, two isomorphic
+        DFAs relabel to structurally identical automata, which gives a cheap
+        isomorphism test used by the test suite.
+        """
+        order: list[State] = [self.initial]
+        seen: set[State] = {self.initial}
+        queue: deque[State] = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                target = self.delta(state, symbol)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    order.append(target)
+                    queue.append(target)
+        for state in sorted(self._states - seen, key=repr):
+            order.append(state)
+        mapping = {state: index for index, state in enumerate(order)}
+        other = DFA(
+            self.alphabet,
+            initial=mapping[self.initial],
+            states=mapping.values(),
+            finals=(mapping[s] for s in self._finals),
+        )
+        for source, symbol, target in self.transitions():
+            other.add_transition(mapping[source], symbol, mapping[target])
+        return other
+
+    def structurally_equal(self, other: "DFA") -> bool:
+        """Whether the two DFAs are isomorphic (after BFS relabeling)."""
+        left = self.trim().relabeled()
+        right = other.trim().relabeled()
+        if left.alphabet != right.alphabet:
+            return False
+        if left.states != right.states or left.final_states != right.final_states:
+            return False
+        return dict(left._transitions) == dict(right._transitions)
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA (copies the structure)."""
+        nfa = NFA(
+            self.alphabet,
+            states=self._states,
+            initial=[self.initial],
+            finals=self._finals,
+        )
+        for source, symbol, target in self.transitions():
+            nfa.add_transition(source, symbol, target)
+        return nfa
+
+    @classmethod
+    def single_word(cls, alphabet: Alphabet, word: Sequence[str]) -> "DFA":
+        """A DFA accepting exactly the one given word."""
+        dfa = cls(alphabet, initial=0)
+        current = 0
+        for index, symbol in enumerate(word, start=1):
+            dfa.add_transition(current, symbol, index)
+            current = index
+        dfa.add_final(current)
+        return dfa

@@ -1,0 +1,120 @@
+"""State merging (quotient) operations used by the generalization phase.
+
+Algorithm 1 (lines 4-5) generalizes the PTA by repeatedly replacing a state
+``s'`` by a state ``s`` (written ``A_{s'->s}``) as long as the resulting
+automaton selects no negative example.  Two flavours are provided:
+
+* :func:`merge_states` -- the plain quotient; the result may be
+  nondeterministic, so it is returned as an :class:`NFA`.
+* :func:`deterministic_merge` -- the RPNI-style merge-and-fold that keeps the
+  automaton deterministic by recursively merging the targets of any
+  transitions that would otherwise conflict.  This is the operation the
+  learner uses, since the paper represents intermediate hypotheses as DFAs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+State = Hashable
+
+
+def merge_states(automaton: DFA | NFA, keep: State, remove: State) -> NFA:
+    """Return the quotient automaton ``A_{remove -> keep}`` as an NFA.
+
+    Every occurrence of ``remove`` (as a source, target, initial or final
+    state) is replaced by ``keep``.
+    """
+    source_nfa = automaton.to_nfa() if isinstance(automaton, DFA) else automaton
+    if keep not in source_nfa.states or remove not in source_nfa.states:
+        raise AutomatonError("both states must belong to the automaton")
+
+    def rename(state: State) -> State:
+        return keep if state == remove else state
+
+    merged = NFA(
+        source_nfa.alphabet,
+        states=(rename(s) for s in source_nfa.states),
+        initial=(rename(s) for s in source_nfa.initial_states),
+        finals=(rename(s) for s in source_nfa.final_states),
+    )
+    for source, symbol, target in source_nfa.transitions():
+        merged.add_transition(rename(source), symbol, rename(target))
+    for source in source_nfa.states:
+        for target in source_nfa.epsilon_successors(source):
+            merged.add_epsilon_transition(rename(source), rename(target))
+    return merged
+
+
+def deterministic_merge(dfa: DFA, keep: State, remove: State) -> DFA:
+    """Merge ``remove`` into ``keep`` and restore determinism by folding.
+
+    When the merge makes two transitions on the same symbol leave the same
+    state towards different targets, those targets are merged in turn
+    (recursively), exactly as in RPNI's ``merge-and-fold``.  The result is a
+    DFA over the same alphabet whose language includes the language of the
+    input DFA.
+    """
+    if keep not in dfa.states or remove not in dfa.states:
+        raise AutomatonError("both states must belong to the automaton")
+    if keep == remove:
+        return dfa.copy()
+
+    # Union-find over the DFA's states; each class will become one new state.
+    parent: dict[State, State] = {state: state for state in dfa.states}
+
+    def find(state: State) -> State:
+        root = state
+        while parent[root] != root:
+            root = parent[root]
+        while parent[state] != root:
+            parent[state], state = root, parent[state]
+        return root
+
+    def union(left: State, right: State) -> None:
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[right_root] = left_root
+
+    pending: list[tuple[State, State]] = [(keep, remove)]
+    while pending:
+        left, right = pending.pop()
+        left_root, right_root = find(left), find(right)
+        if left_root == right_root:
+            continue
+        union(left_root, right_root)
+        merged_root = find(left_root)
+        # Collect the outgoing transitions of the merged class and detect
+        # conflicts that require further merges.
+        targets_by_symbol: dict[str, State] = {}
+        for member in dfa.states:
+            if find(member) != merged_root:
+                continue
+            for symbol, target in dfa.outgoing(member):
+                target_root = find(target)
+                existing = targets_by_symbol.get(symbol)
+                if existing is None:
+                    targets_by_symbol[symbol] = target_root
+                elif find(existing) != target_root:
+                    pending.append((existing, target_root))
+
+    representative: dict[State, State] = {state: find(state) for state in dfa.states}
+    merged = DFA(
+        dfa.alphabet,
+        initial=representative[dfa.initial],
+        states=set(representative.values()),
+        finals={representative[s] for s in dfa.final_states},
+    )
+    for source, symbol, target in dfa.transitions():
+        src, tgt = representative[source], representative[target]
+        existing = merged.delta(src, symbol)
+        if existing is None:
+            merged.add_transition(src, symbol, tgt)
+        elif existing != tgt:
+            # The union-find closure above guarantees this cannot happen.
+            raise AutomatonError("merge-and-fold left a nondeterministic transition")
+    return merged

@@ -1,0 +1,97 @@
+"""DFA minimization and the canonical DFA of a regular language.
+
+The paper represents every path query by its *canonical DFA*, the unique
+smallest DFA of its language, and measures query size as its number of
+states (Figure 4: ``(a.b)*.c`` has size 3).  The canonical DFA used in the
+paper is partial (no rejecting sink state), so :func:`canonical_dfa`
+minimizes over the completed automaton and then trims the sink away.
+
+Minimization uses Moore's partition-refinement algorithm; on the automaton
+sizes handled here (tens of states) its simplicity beats Hopcroft's constant
+factors and it is straightforwardly correct.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.determinize import determinize
+from repro.automata.nfa import NFA
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return the minimal complete DFA equivalent to ``dfa``.
+
+    The result may include a rejecting sink state if the input language is
+    not ``Sigma*``-total; use :func:`canonical_dfa` to obtain the paper's
+    trimmed canonical form.
+    """
+    complete = dfa.trim().completed()
+    states = list(complete.states)
+    finals = complete.final_states
+
+    # Initial partition: accepting vs non-accepting states.
+    partition: list[set] = []
+    accepting = {s for s in states if s in finals}
+    rejecting = {s for s in states if s not in finals}
+    if accepting:
+        partition.append(accepting)
+    if rejecting:
+        partition.append(rejecting)
+
+    def block_of(state, blocks):
+        for index, block in enumerate(blocks):
+            if state in block:
+                return index
+        raise AssertionError("state missing from partition")
+
+    changed = True
+    while changed:
+        changed = False
+        new_partition: list[set] = []
+        for block in partition:
+            # Split the block by the signature of successor blocks.
+            signature_groups: dict[tuple, set] = {}
+            for state in block:
+                signature = tuple(
+                    block_of(complete.delta(state, symbol), partition)
+                    for symbol in complete.alphabet
+                )
+                signature_groups.setdefault(signature, set()).add(state)
+            if len(signature_groups) > 1:
+                changed = True
+            new_partition.extend(signature_groups.values())
+        partition = new_partition
+
+    representative = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            representative[state] = index
+
+    minimal = DFA(
+        complete.alphabet,
+        initial=representative[complete.initial],
+        states=set(representative.values()),
+        finals={representative[s] for s in finals},
+    )
+    for source, symbol, target in complete.transitions():
+        existing = minimal.delta(representative[source], symbol)
+        if existing is None:
+            minimal.add_transition(representative[source], symbol, representative[target])
+    return minimal
+
+
+def canonical_dfa(automaton: DFA | NFA) -> DFA:
+    """The canonical (minimal, trimmed, relabeled) DFA of the given automaton.
+
+    Accepts either a DFA or an NFA.  The result is the paper's query
+    representation: partial, with no unreachable or dead states, and with
+    states renamed 0..n-1 in breadth-first order so that equal languages
+    yield structurally identical automata.
+    """
+    dfa = automaton if isinstance(automaton, DFA) else determinize(automaton)
+    return minimize(dfa).trim().relabeled()
+
+
+def query_size(automaton: DFA | NFA) -> int:
+    """The size of a query: the number of states of its canonical DFA."""
+    return len(canonical_dfa(automaton))

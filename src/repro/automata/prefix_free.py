@@ -1,0 +1,58 @@
+"""Prefix-free queries (Section 2 of the paper).
+
+Under the paper's monadic semantics, a node is selected as soon as *one* of
+its paths is in the query language, so a query is equivalent to the query
+obtained by deleting every word that has a proper prefix in the language
+(e.g. ``a`` and ``a.b*`` are equivalent).  The unique *prefix-free*
+representative of an equivalence class is obtained by removing all outgoing
+transitions of every final state of the canonical DFA.  The learner and the
+experiment drivers normalize queries to this form before comparing them.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.nfa import NFA
+
+
+def is_prefix_free(automaton: DFA | NFA) -> bool:
+    """Whether no accepted word is a proper prefix of another accepted word.
+
+    Checked on the canonical DFA: the language is prefix-free iff no final
+    state can reach a final state through a non-empty path.
+    """
+    dfa = canonical_dfa(automaton)
+    for final in dfa.final_states:
+        # Breadth-first search from the successors of the final state.
+        frontier = [target for _, target in dfa.outgoing(final)]
+        seen = set(frontier)
+        while frontier:
+            state = frontier.pop()
+            if dfa.is_final(state):
+                return False
+            for _, target in dfa.outgoing(state):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+    return True
+
+
+def prefix_free(automaton: DFA | NFA) -> DFA:
+    """The canonical DFA of the prefix-free query equivalent to the input.
+
+    Construction from the paper: take the canonical DFA and drop every
+    outgoing transition of every final state, then re-canonicalize (the drop
+    can make states unreachable or non-distinguishable).
+    """
+    dfa = canonical_dfa(automaton)
+    stripped = DFA(
+        dfa.alphabet,
+        initial=dfa.initial,
+        states=dfa.states,
+        finals=dfa.final_states,
+    )
+    for source, symbol, target in dfa.transitions():
+        if not dfa.is_final(source):
+            stripped.add_transition(source, symbol, target)
+    return canonical_dfa(stripped)

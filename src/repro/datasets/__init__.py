@@ -1,0 +1,36 @@
+"""Dataset construction: paper figure graphs and synthetic workloads.
+
+The paper evaluates on (i) the AliBaba protein-interaction graph and (ii)
+synthetic scale-free graphs with Zipfian edge-label distributions.  AliBaba
+is not redistributable here, so :func:`generate_alibaba_like` builds a
+synthetic graph of the same scale and shape (see DESIGN.md, substitutions).
+The small worked examples of the paper's figures are provided verbatim so
+that tests and examples can exercise exactly the situations the paper walks
+through.
+"""
+
+from repro.datasets.figures import (
+    certain_node_graph,
+    example_graph_g0,
+    geo_graph,
+    inconsistent_sample_graph,
+    prefix_equivalent_graph,
+    theorem_graph_for_abstar_c,
+)
+from repro.datasets.synthetic import scale_free_graph, zipfian_label_weights
+from repro.datasets.alibaba import ALIBABA_LABEL_CLASSES, generate_alibaba_like
+from repro.datasets.workflows import workflow_graph
+
+__all__ = [
+    "geo_graph",
+    "example_graph_g0",
+    "inconsistent_sample_graph",
+    "prefix_equivalent_graph",
+    "certain_node_graph",
+    "theorem_graph_for_abstar_c",
+    "scale_free_graph",
+    "zipfian_label_weights",
+    "generate_alibaba_like",
+    "ALIBABA_LABEL_CLASSES",
+    "workflow_graph",
+]

@@ -1,0 +1,184 @@
+"""The small example graphs of the paper's figures.
+
+These graphs are reproduced edge-for-edge from the paper so that the worked
+examples (the geographical database of Figure 1, the graph G0 of Figure 3,
+the inconsistent sample of Figure 5, the prefix-equivalence example of
+Figure 8, the certain-node example of Figure 10 and the characteristic graph
+of Figure 7 / Theorem 3.5) can be used directly in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.graph import GraphDB
+
+
+def geo_graph() -> GraphDB:
+    """The geographical graph database of Figure 1.
+
+    Neighborhoods N1-N6, cinemas C1-C2 and restaurants R1-R2, connected by
+    ``tram``/``bus`` transportation edges and ``cinema``/``restaurant``
+    facility edges.  The running-example query ``(tram+bus)*.cinema``
+    selects N1, N2, N4 and N6 on this graph.
+    """
+    graph = GraphDB(["bus", "cinema", "restaurant", "tram"])
+    graph.add_edges(
+        [
+            ("N1", "tram", "N4"),
+            ("N2", "bus", "N1"),
+            ("N2", "bus", "N3"),
+            ("N2", "tram", "N5"),
+            ("N3", "bus", "N5"),
+            ("N4", "cinema", "C1"),
+            ("N4", "bus", "N5"),
+            ("N5", "restaurant", "R1"),
+            ("N5", "tram", "N3"),
+            ("N5", "bus", "N3"),
+            ("N6", "tram", "N5"),
+            ("N6", "restaurant", "R2"),
+            ("N6", "cinema", "C2"),
+        ]
+    )
+    return graph
+
+
+def example_graph_g0() -> GraphDB:
+    """A faithful reconstruction of the graph G0 of Figure 3 (7 nodes, 15 edges).
+
+    The published figure is not machine-readable, so this graph is rebuilt to
+    satisfy every property the paper states about G0:
+
+    * the word ``aba`` matches the node sequences v1 v2 v3 v4 and v3 v2 v3 v4
+      but not v1 v2 v7 v2;
+    * a cycle is reachable from v1, so ``paths(v1)`` is infinite;
+    * the query ``a`` selects every node except v4;
+    * the query ``(a.b)*.c`` selects exactly v1 and v3, and ``b.b.c.c``
+      selects no node;
+    * with the sample S+ = {v1, v3}, S- = {v2, v7} of Section 3.2, the
+      smallest consistent paths are ``abc`` (for v1) and ``c`` (for v3), the
+      merge of the PTA states ``eps`` and ``a`` is blocked because the
+      generalized automaton would accept ``b.c`` which is a path of the
+      negative node v2, and the learner ends up with ``(a.b)*.c``.
+
+    The only intentional deviation is ``paths(v5)`` = {eps, a, b} instead of
+    the paper's {eps, a, b, c}; a ``c`` path at v5 would contradict the
+    statement that ``(a.b)*.c`` selects only v1 and v3.
+    """
+    graph = GraphDB(["a", "b", "c"])
+    graph.add_edges(
+        [
+            ("v1", "a", "v2"),
+            ("v2", "b", "v3"),
+            ("v3", "c", "v4"),
+            ("v3", "a", "v2"),
+            ("v3", "a", "v4"),
+            ("v2", "b", "v7"),
+            ("v2", "a", "v5"),
+            ("v2", "a", "v6"),
+            ("v5", "a", "v4"),
+            ("v5", "b", "v4"),
+            ("v7", "a", "v7"),
+            ("v7", "b", "v7"),
+            ("v6", "a", "v1"),
+            ("v6", "b", "v5"),
+            ("v6", "b", "v7"),
+        ]
+    )
+    return graph
+
+
+def g0_characteristic_sample() -> tuple[set[str], set[str]]:
+    """The sample used throughout Section 3.2: S+ = {v1, v3}, S- = {v2, v7}."""
+    return {"v1", "v3"}, {"v2", "v7"}
+
+
+def inconsistent_sample_graph() -> tuple[GraphDB, set[str], set[str]]:
+    """The graph and sample of Figure 5 (one positive, two negatives, inconsistent).
+
+    The positive node has infinitely many paths (an ``a``/``b`` cycle), but
+    every one of them is covered by one of the two negative nodes, so no
+    consistent query exists (Lemma 3.1).
+    """
+    graph = GraphDB(["a", "b"])
+    graph.add_edges(
+        [
+            ("pos", "a", "pos2"),
+            ("pos2", "b", "pos"),
+            ("neg1", "a", "neg1b"),
+            ("neg1b", "b", "neg1"),
+            ("neg2", "a", "neg2b"),
+            ("neg2b", "b", "neg2"),
+        ]
+    )
+    positives = {"pos"}
+    negatives = {"neg1", "neg2"}
+    return graph, positives, negatives
+
+
+def prefix_equivalent_graph() -> tuple[GraphDB, set[str], set[str]]:
+    """A graph in the spirit of Figure 8: the goal has no characteristic sample.
+
+    Labeling this graph consistently with the goal ``(a.b)*.c`` yields a
+    sample on which the goal is indistinguishable from the much simpler
+    query ``a``: both select exactly {m1, m2}.  The learner therefore
+    returns ``a`` -- the behaviour Section 3.3 describes for graphs that do
+    not own a characteristic sample for the goal query.
+    """
+    graph = GraphDB(["a", "b", "c"])
+    graph.add_edges(
+        [
+            ("m1", "a", "m2"),
+            ("m2", "a", "m1"),
+            ("m1", "c", "m4"),
+            ("m2", "c", "m4"),
+        ]
+    )
+    graph.add_node("m3")
+    positives = {"m1", "m2"}
+    negatives = {"m3", "m4"}
+    return graph, positives, negatives
+
+
+def certain_node_graph() -> tuple[GraphDB, set[str], set[str], str]:
+    """The graph of Figure 10: two labeled nodes and one certain node.
+
+    Returns ``(graph, positives, negatives, certain_node)`` where the certain
+    node must be selected by every query consistent with the sample (it is
+    certain-positive), so asking the user to label it brings no information.
+    """
+    graph = GraphDB(["a", "b"])
+    graph.add_edges(
+        [
+            ("neg", "a", "x1"),
+            ("pos", "a", "x2"),
+            ("pos", "b", "x3"),
+            ("cert", "b", "x4"),
+        ]
+    )
+    positives = {"pos"}
+    negatives = {"neg"}
+    return graph, positives, negatives, "cert"
+
+
+def theorem_graph_for_abstar_c() -> tuple[GraphDB, set[str], set[str]]:
+    """The characteristic graph of Figure 7 / Theorem 3.5 for ``(a.b)*.c``.
+
+    The construction requires
+    (i) a positive node whose smallest consistent path is ``c``,
+    (ii) a positive node whose smallest consistent path is ``a.b.c`` (and
+    that does not have the path ``c``), and
+    (iii) a negative node covering every word of P- = {eps, a, ab, ac, bc}
+    and every word canonically smaller than ``a.b.c`` that is not prefixed
+    by a word of the language (so nothing smaller can be picked as an SCP).
+
+    This is the generic programmatic construction of
+    :func:`repro.learning.characteristic.characteristic_graph` instantiated
+    on the paper's running-example query.
+    """
+    # Imported lazily: repro.learning depends on repro.graphdb, and this
+    # module is otherwise dependency-free within the package.
+    from repro.learning.characteristic import characteristic_graph
+    from repro.queries.path_query import PathQuery
+
+    query = PathQuery.parse("(a.b)*.c", GraphDB(["a", "b", "c"]).alphabet)
+    graph, sample = characteristic_graph(query)
+    return graph, set(sample.positives), set(sample.negatives)

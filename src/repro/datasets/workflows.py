@@ -1,0 +1,81 @@
+"""Scientific-workflow graphs (the motivating example of the introduction).
+
+The paper motivates path-query learning with mining of interrelated
+scientific workflows: a biologist wants the pattern
+``ProteinPurification . ProteinSeparation* . MassSpectrometry`` and labels
+sequences of workflow modules as positive or negative examples (Figure 2).
+This generator produces a graph whose nodes are workflow steps and whose
+edge labels are module names, mixing runs that match the pattern with runs
+that do not, so the examples and tests can replay that scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.graphdb.graph import GraphDB
+
+#: Module vocabulary used by the generated workflows.
+WORKFLOW_MODULES: tuple[str, ...] = (
+    "ProteinPurification",
+    "ProteinSeparation",
+    "MassSpectrometry",
+    "CellLysis",
+    "DataNormalization",
+    "PeptideIdentification",
+    "SampleLabeling",
+    "StatisticalAnalysis",
+)
+
+
+def workflow_graph(
+    *,
+    matching_runs: int = 5,
+    other_runs: int = 10,
+    max_separation_steps: int = 3,
+    seed: int | random.Random = 0,
+    modules: Sequence[str] = WORKFLOW_MODULES,
+) -> GraphDB:
+    """Generate a graph of chained workflow runs.
+
+    ``matching_runs`` runs follow the pattern purification, a random number
+    (0..max_separation_steps) of separation steps, then mass spectrometry;
+    ``other_runs`` runs are random module chains that avoid matching the
+    pattern.  Each run is a simple chain of fresh nodes, so the node that
+    starts a matching run is selected by the goal query and the node that
+    starts a non-matching run is not.
+    """
+    if matching_runs < 1:
+        raise GraphError("at least one matching run is required")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    graph = GraphDB(sorted(set(modules)))
+    run_index = 0
+
+    def add_chain(prefix: str, labels: Sequence[str]) -> str:
+        nonlocal run_index
+        run_index += 1
+        first = f"{prefix}{run_index:03d}_s0"
+        current = first
+        for step, label in enumerate(labels, start=1):
+            nxt = f"{prefix}{run_index:03d}_s{step}"
+            graph.add_edge(current, label, nxt)
+            current = nxt
+        return first
+
+    for _ in range(matching_runs):
+        separations = ["ProteinSeparation"] * rng.randint(0, max_separation_steps)
+        add_chain("wf", ["ProteinPurification", *separations, "MassSpectrometry"])
+
+    other_modules = [m for m in modules if m != "ProteinPurification"]
+    for _ in range(other_runs):
+        length = rng.randint(2, 5)
+        labels = [rng.choice(other_modules) for _ in range(length)]
+        add_chain("wf", labels)
+    return graph
+
+
+def workflow_goal_query() -> str:
+    """The goal pattern of the introduction, as a regular expression string."""
+    return "ProteinPurification.ProteinSeparation*.MassSpectrometry"

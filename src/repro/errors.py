@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one type to handle any failure of
+this package without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A symbol or word refers to a symbol outside the declared alphabet."""
+
+
+class AutomatonError(ReproError):
+    """An automaton is malformed or an operation received an invalid one."""
+
+
+class RegexSyntaxError(ReproError):
+    """A regular expression string could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class GraphError(ReproError):
+    """A graph database operation received invalid nodes, edges or labels."""
+
+
+class QueryError(ReproError):
+    """A path query is malformed or evaluated against an incompatible graph."""
+
+
+class SampleError(ReproError):
+    """A sample of examples is malformed (e.g. a node labeled both + and -)."""
+
+
+class LearningError(ReproError):
+    """The learning algorithm was invoked with invalid parameters."""
+
+
+class InteractionError(ReproError):
+    """The interactive scenario was driven into an invalid state."""

@@ -1,0 +1,54 @@
+"""The experimental evaluation harness (Section 5 of the paper).
+
+* :mod:`repro.evaluation.metrics` -- precision, recall, F1 of a learned query
+  treated as a binary classifier against the goal query;
+* :mod:`repro.evaluation.workloads` -- the biological queries bio1-bio6
+  (Table 1) and the synthetic queries syn1-syn3, together with the datasets
+  they run on;
+* :mod:`repro.evaluation.static` -- the static-scenario driver (Figures 11
+  and 12: F1 score and learning time against the fraction of labeled nodes);
+* :mod:`repro.evaluation.interactive` -- the interactive-scenario driver
+  (Table 2: labels needed for F1 = 1 and time between interactions);
+* :mod:`repro.evaluation.reporting` -- plain-text rendering of every table
+  and figure series, used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.evaluation.metrics import ClassificationScores, f1_score, score_query
+from repro.evaluation.workloads import (
+    Workload,
+    biological_queries,
+    biological_workloads,
+    synthetic_queries,
+    synthetic_workloads,
+)
+from repro.evaluation.static import StaticExperimentResult, StaticPoint, run_static_experiment
+from repro.evaluation.interactive import (
+    InteractiveExperimentResult,
+    run_interactive_experiment,
+)
+from repro.evaluation.reporting import (
+    render_figure11,
+    render_figure12,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "ClassificationScores",
+    "f1_score",
+    "score_query",
+    "Workload",
+    "biological_queries",
+    "biological_workloads",
+    "synthetic_queries",
+    "synthetic_workloads",
+    "StaticPoint",
+    "StaticExperimentResult",
+    "run_static_experiment",
+    "InteractiveExperimentResult",
+    "run_interactive_experiment",
+    "render_table1",
+    "render_table2",
+    "render_figure11",
+    "render_figure12",
+]

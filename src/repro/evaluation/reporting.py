@@ -1,0 +1,88 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints these renderings so that the reproduced
+numbers can be compared side by side with the paper (EXPERIMENTS.md records
+that comparison).  Figures 11 and 12 are plots in the paper; here they are
+rendered as the underlying series (one row per sweep point).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.evaluation.interactive import InteractiveExperimentResult
+from repro.evaluation.static import StaticExperimentResult
+
+
+def _format_percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.2f}%"
+
+
+def render_table1(selectivity_report: Mapping[str, Mapping[str, object]]) -> str:
+    """Render the Table 1 reproduction (query structures and selectivities)."""
+    lines = [
+        "Table 1: biological queries and selectivities",
+        f"{'query':8s} {'selected':>9s} {'selectivity':>12s}  structure",
+        "-" * 72,
+    ]
+    for name, row in selectivity_report.items():
+        lines.append(
+            f"{name:8s} {row['selected_nodes']:>9d} "
+            f"{_format_percent(float(row['selectivity'])):>12s}  {row['expression']}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure11(results: Sequence[StaticExperimentResult]) -> str:
+    """Render the Figure 11 series: F1 score vs. fraction of labeled nodes."""
+    lines = ["Figure 11: static experiments - F1 score vs % labeled nodes"]
+    for result in results:
+        lines.append(
+            f"  {result.workload_name} (selectivity {_format_percent(result.goal_selectivity)})"
+        )
+        for fraction, f1 in result.f1_series():
+            lines.append(f"    labeled {_format_percent(fraction):>8s} -> F1 {f1:.3f}")
+    return "\n".join(lines)
+
+
+def render_figure12(results: Sequence[StaticExperimentResult]) -> str:
+    """Render the Figure 12 series: learning time vs. fraction of labeled nodes."""
+    lines = ["Figure 12: static experiments - learning time (s) vs % labeled nodes"]
+    for result in results:
+        lines.append(
+            f"  {result.workload_name} (selectivity {_format_percent(result.goal_selectivity)})"
+        )
+        for fraction, seconds in result.time_series():
+            lines.append(
+                f"    labeled {_format_percent(fraction):>8s} -> {seconds:.3f} s"
+            )
+    return "\n".join(lines)
+
+
+def render_table2(
+    rows: Sequence[InteractiveExperimentResult],
+    static_labels_needed: Mapping[str, float | None] | None = None,
+) -> str:
+    """Render the Table 2 reproduction (interactive experiments).
+
+    ``static_labels_needed`` maps workload names to the fraction of labels
+    the *static* scenario needed to reach F1 = 1 (the table's third column);
+    pass None to omit that column.
+    """
+    lines = [
+        "Table 2: interactive experiments",
+        f"{'workload':>16s} {'strategy':>8s} {'static labels':>14s} "
+        f"{'interactive labels':>19s} {'s/interaction':>14s} {'F1':>6s}",
+        "-" * 84,
+    ]
+    for row in rows:
+        static_value = None
+        if static_labels_needed is not None:
+            static_value = static_labels_needed.get(row.workload_name)
+        static_text = _format_percent(static_value) if static_value is not None else "n/a"
+        lines.append(
+            f"{row.workload_name:>16s} {row.strategy:>8s} {static_text:>14s} "
+            f"{_format_percent(row.labeled_fraction):>19s} "
+            f"{row.mean_seconds_between_interactions:>14.3f} {row.final_f1:>6.3f}"
+        )
+    return "\n".join(lines)

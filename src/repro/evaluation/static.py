@@ -1,0 +1,155 @@
+"""The static-scenario experiment driver (Figures 11 and 12).
+
+Setup, following Section 5.2: given a graph and a goal query, draw random
+positive examples among the nodes the goal selects and random negative
+examples among the rest, hand the sample to the learner, and measure the F1
+score of the learned query (as a classifier for the goal) and the learning
+time.  The sweep over "percentage of labeled nodes" produces the series
+plotted in Figures 11 (F1) and 12 (time, seconds).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import LearningError
+from repro.evaluation.metrics import f1_score
+from repro.evaluation.workloads import Workload
+from repro.graphdb.graph import GraphDB, Node
+from repro.learning.learner import LearnerResult, learn_with_dynamic_k
+from repro.learning.baselines import learn_scp_disjunction
+from repro.learning.sample import Sample
+from repro.queries.path_query import PathQuery
+
+
+@dataclass(frozen=True)
+class StaticPoint:
+    """One measurement of the static sweep."""
+
+    labeled_fraction: float
+    positives: int
+    negatives: int
+    f1: float
+    learning_seconds: float
+    learned_expression: str | None
+    k: int
+
+
+@dataclass
+class StaticExperimentResult:
+    """The full series of one workload's static sweep."""
+
+    workload_name: str
+    goal_expression: str
+    goal_selectivity: float
+    points: list[StaticPoint] = field(default_factory=list)
+
+    def f1_series(self) -> list[tuple[float, float]]:
+        """(labeled fraction, F1) pairs -- the Figure 11 series."""
+        return [(point.labeled_fraction, point.f1) for point in self.points]
+
+    def time_series(self) -> list[tuple[float, float]]:
+        """(labeled fraction, seconds) pairs -- the Figure 12 series."""
+        return [(point.labeled_fraction, point.learning_seconds) for point in self.points]
+
+    def labels_needed_for_f1(self, threshold: float = 1.0) -> float | None:
+        """The smallest labeled fraction reaching the given F1, if any.
+
+        This is the "labels needed for F1 score = 1 without interactions"
+        column of Table 2.
+        """
+        for point in self.points:
+            if point.f1 >= threshold:
+                return point.labeled_fraction
+        return None
+
+
+def draw_sample(
+    graph: GraphDB,
+    goal: PathQuery,
+    *,
+    labeled_fraction: float,
+    rng: random.Random,
+    positive_share: float | None = None,
+) -> Sample:
+    """Draw a random sample of the requested size, labeled by the goal query.
+
+    ``positive_share`` fixes the proportion of positives among the labeled
+    nodes; by default the labels follow the goal query's own selectivity
+    (labeling uniformly random nodes), but at least one positive and one
+    negative are always included when the goal makes both possible.
+    """
+    if not 0.0 < labeled_fraction <= 1.0:
+        raise LearningError("labeled_fraction must be in (0, 1]")
+    selected = goal.evaluate(graph)
+    unselected = graph.nodes - selected
+    total = max(2, int(round(labeled_fraction * graph.node_count())))
+    if positive_share is None:
+        positive_share = len(selected) / graph.node_count() if graph.node_count() else 0.0
+    positive_count = int(round(total * positive_share))
+    if selected:
+        positive_count = min(max(positive_count, 1), len(selected))
+    else:
+        positive_count = 0
+    negative_count = min(total - positive_count, len(unselected))
+    if unselected and negative_count == 0:
+        negative_count = 1
+
+    positives: list[Node] = (
+        rng.sample(sorted(selected, key=repr), positive_count) if positive_count else []
+    )
+    negatives: list[Node] = (
+        rng.sample(sorted(unselected, key=repr), negative_count) if negative_count else []
+    )
+    return Sample(positives, negatives)
+
+
+def run_static_experiment(
+    workload: Workload,
+    *,
+    labeled_fractions: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.07, 0.10, 0.15),
+    seed: int = 0,
+    k_start: int = 2,
+    k_max: int = 4,
+    use_generalization: bool = True,
+) -> StaticExperimentResult:
+    """Run the static sweep of Section 5.2 for one workload.
+
+    ``use_generalization=False`` replaces the learner with the
+    disjunction-of-SCPs baseline (the A1 ablation).
+    """
+    rng = random.Random(seed)
+    graph, goal = workload.graph, workload.query
+    result = StaticExperimentResult(
+        workload_name=workload.name,
+        goal_expression=goal.expression,
+        goal_selectivity=workload.selectivity,
+    )
+    for fraction in labeled_fractions:
+        sample = draw_sample(graph, goal, labeled_fraction=fraction, rng=rng)
+        started = time.perf_counter()
+        learn_result: LearnerResult
+        if use_generalization:
+            learn_result = learn_with_dynamic_k(graph, sample, k_start=k_start, k_max=k_max)
+        else:
+            learn_result = learn_scp_disjunction(graph, sample, k=k_max)
+        elapsed = time.perf_counter() - started
+        # Score the best-effort hypothesis: a strict null answer would show up
+        # as F1 = 0 and hide the gradual convergence the paper's plots show.
+        score = f1_score(learn_result.best_effort_query, goal, graph)
+        result.points.append(
+            StaticPoint(
+                labeled_fraction=fraction,
+                positives=len(sample.positives),
+                negatives=len(sample.negatives),
+                f1=score,
+                learning_seconds=elapsed,
+                learned_expression=(
+                    None if learn_result.is_null else learn_result.query.expression
+                ),
+                k=learn_result.k,
+            )
+        )
+    return result

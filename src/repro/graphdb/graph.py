@@ -1,0 +1,329 @@
+"""The edge-labeled directed graph database.
+
+Nodes are arbitrary hashable identifiers (strings in all the paper's
+examples).  Edges are triples ``(origin, label, end)``; parallel edges with
+different labels are allowed, duplicate triples are stored once (the paper's
+``E`` is a set).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.automata.alphabet import Alphabet
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = tuple[Node, str, Node]
+
+
+class GraphDB:
+    """A finite, directed, edge-labeled graph database.
+
+    Parameters
+    ----------
+    alphabet:
+        The edge-label alphabet.  It may be given up front (an
+        :class:`Alphabet` or an iterable of labels); if omitted, it grows
+        automatically as edges with new labels are added.
+    """
+
+    def __init__(self, alphabet: Alphabet | Iterable[str] | None = None) -> None:
+        if alphabet is None:
+            self._alphabet: Alphabet | None = None
+            self._fixed_alphabet = False
+        elif isinstance(alphabet, Alphabet):
+            self._alphabet = alphabet
+            self._fixed_alphabet = True
+        else:
+            self._alphabet = Alphabet(alphabet)
+            self._fixed_alphabet = True
+        self._nodes: set[Node] = set()
+        self._edges: set[Edge] = set()
+        # adjacency: origin -> label -> set of ends
+        self._forward: dict[Node, dict[str, set[Node]]] = {}
+        # reverse adjacency: end -> label -> set of origins
+        self._backward: dict[Node, dict[str, set[Node]]] = {}
+        self._labels: set[str] = set()
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add a node (idempotent) and return it."""
+        if node is None:
+            raise GraphError("None is not a valid node identifier")
+        self._nodes.add(node)
+        return node
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add several nodes."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, origin: Node, label: str, end: Node) -> Edge:
+        """Add the edge ``origin --label--> end`` (adding missing endpoints)."""
+        if not isinstance(label, str) or not label:
+            raise GraphError(f"invalid edge label: {label!r}")
+        if self._fixed_alphabet and self._alphabet is not None and label not in self._alphabet:
+            raise GraphError(f"label {label!r} is not in the graph's alphabet")
+        self.add_node(origin)
+        self.add_node(end)
+        edge = (origin, label, end)
+        if edge not in self._edges:
+            self._edges.add(edge)
+            self._forward.setdefault(origin, {}).setdefault(label, set()).add(end)
+            self._backward.setdefault(end, {}).setdefault(label, set()).add(origin)
+            if label not in self._labels:
+                self._labels.add(label)
+                if not self._fixed_alphabet:
+                    self._alphabet = None  # invalidate the cached derived alphabet
+        return edge
+
+    def add_edges(self, edges: Iterable[tuple[Node, str, Node]]) -> None:
+        """Add several ``(origin, label, end)`` edges."""
+        for origin, label, end in edges:
+            self.add_edge(origin, label, end)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The edge-label alphabet (derived from the edges if not fixed)."""
+        if self._alphabet is None:
+            if not self._labels:
+                raise GraphError("the graph has no labels and no declared alphabet")
+            self._alphabet = Alphabet(self._labels)
+        return self._alphabet
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        """The set of nodes."""
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> frozenset[Edge]:
+        """The set of ``(origin, label, end)`` edges."""
+        return frozenset(self._edges)
+
+    def node_count(self) -> int:
+        """The number of nodes."""
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        """The number of edges."""
+        return len(self._edges)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"GraphDB(nodes={len(self._nodes)}, edges={len(self._edges)})"
+
+    def has_edge(self, origin: Node, label: str, end: Node) -> bool:
+        """Whether the given edge is present."""
+        return (origin, label, end) in self._edges
+
+    def labels(self) -> frozenset[str]:
+        """The set of labels actually used by edges."""
+        return frozenset(self._labels)
+
+    # -- adjacency -----------------------------------------------------------
+
+    def successors(self, node: Node, label: str | None = None) -> frozenset[Node]:
+        """Nodes reachable from ``node`` by one edge (optionally of one label)."""
+        self._require_node(node)
+        by_label = self._forward.get(node, {})
+        if label is not None:
+            return frozenset(by_label.get(label, ()))
+        result: set[Node] = set()
+        for targets in by_label.values():
+            result.update(targets)
+        return frozenset(result)
+
+    def predecessors(self, node: Node, label: str | None = None) -> frozenset[Node]:
+        """Nodes with an edge (optionally of one label) into ``node``."""
+        self._require_node(node)
+        by_label = self._backward.get(node, {})
+        if label is not None:
+            return frozenset(by_label.get(label, ()))
+        result: set[Node] = set()
+        for sources in by_label.values():
+            result.update(sources)
+        return frozenset(result)
+
+    def out_edges(self, node: Node) -> Iterator[tuple[str, Node]]:
+        """Yield the ``(label, end)`` pairs of edges leaving ``node``."""
+        self._require_node(node)
+        for label, targets in self._forward.get(node, {}).items():
+            for target in targets:
+                yield label, target
+
+    def in_edges(self, node: Node) -> Iterator[tuple[Node, str]]:
+        """Yield the ``(origin, label)`` pairs of edges entering ``node``."""
+        self._require_node(node)
+        for label, sources in self._backward.get(node, {}).items():
+            for source in sources:
+                yield source, label
+
+    def out_degree(self, node: Node) -> int:
+        """The number of edges leaving ``node``."""
+        self._require_node(node)
+        return sum(len(targets) for targets in self._forward.get(node, {}).values())
+
+    def in_degree(self, node: Node) -> int:
+        """The number of edges entering ``node``."""
+        self._require_node(node)
+        return sum(len(sources) for sources in self._backward.get(node, {}).values())
+
+    def outgoing_labels(self, node: Node) -> frozenset[str]:
+        """The labels of edges leaving ``node``."""
+        self._require_node(node)
+        return frozenset(self._forward.get(node, {}).keys())
+
+    def _require_node(self, node: Node) -> None:
+        if node not in self._nodes:
+            raise GraphError(f"node {node!r} is not in the graph")
+
+    # -- neighborhoods and subgraphs ------------------------------------------
+
+    def reachable_from(self, node: Node, *, max_hops: int | None = None) -> frozenset[Node]:
+        """Nodes reachable from ``node`` following edges forward."""
+        self._require_node(node)
+        seen: set[Node] = {node}
+        frontier: set[Node] = {node}
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            next_frontier: set[Node] = set()
+            for current in frontier:
+                for _, target in self.out_edges(current):
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.add(target)
+            frontier = next_frontier
+            hops += 1
+        return frozenset(seen)
+
+    def neighborhood(self, node: Node, radius: int) -> "GraphDB":
+        """The induced subgraph of nodes within ``radius`` hops of ``node``.
+
+        Both edge directions are followed when measuring the radius; this is
+        the "zoom out on the neighborhood" of step 4 of the interactive
+        scenario (Figure 9), used to present a small visualizable fragment of
+        the graph to the user.
+        """
+        self._require_node(node)
+        if radius < 0:
+            raise GraphError("radius must be non-negative")
+        seen: set[Node] = {node}
+        frontier: deque[tuple[Node, int]] = deque([(node, 0)])
+        while frontier:
+            current, distance = frontier.popleft()
+            if distance >= radius:
+                continue
+            neighbours = set(self.successors(current)) | set(self.predecessors(current))
+            for neighbour in neighbours:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append((neighbour, distance + 1))
+        return self.subgraph(seen)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "GraphDB":
+        """The subgraph induced by the given nodes."""
+        keep = set(nodes)
+        missing = keep - self._nodes
+        if missing:
+            raise GraphError(f"nodes not in graph: {sorted(missing, key=repr)[:5]!r}")
+        sub = GraphDB(self._alphabet if self._fixed_alphabet else None)
+        sub.add_nodes(keep)
+        for origin, label, end in self._edges:
+            if origin in keep and end in keep:
+                sub.add_edge(origin, label, end)
+        return sub
+
+    def copy(self) -> "GraphDB":
+        """A deep copy of the graph."""
+        other = GraphDB(self._alphabet if self._fixed_alphabet else None)
+        other.add_nodes(self._nodes)
+        other.add_edges(self._edges)
+        return other
+
+    def has_cycle_reachable_from(self, node: Node) -> bool:
+        """Whether a cycle is reachable from ``node``.
+
+        ``paths_G(nu)`` is infinite exactly when this holds (Section 2).
+        Detected by an iterative DFS with colour marking over the reachable
+        part of the graph.
+        """
+        self._require_node(node)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Node, int] = {}
+        stack: list[tuple[Node, Iterator[Node]]] = []
+
+        def neighbours(current: Node) -> Iterator[Node]:
+            return iter(sorted(self.successors(current), key=repr))
+
+        colour[node] = GREY
+        stack.append((node, neighbours(node)))
+        while stack:
+            current, iterator = stack[-1]
+            advanced = False
+            for target in iterator:
+                state = colour.get(target, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    colour[target] = GREY
+                    stack.append((target, neighbours(target)))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[current] = BLACK
+                stack.pop()
+        return False
+
+    # -- conversions ----------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Node, str, Node]],
+        *,
+        nodes: Iterable[Node] = (),
+        alphabet: Alphabet | Iterable[str] | None = None,
+    ) -> "GraphDB":
+        """Build a graph from an iterable of edges (plus optional isolated nodes)."""
+        graph = cls(alphabet)
+        graph.add_nodes(nodes)
+        graph.add_edges(edges)
+        return graph
+
+    def to_networkx(self):  # pragma: no cover - optional convenience
+        """Convert to a ``networkx.MultiDiGraph`` (requires networkx)."""
+        import networkx as nx
+
+        nx_graph = nx.MultiDiGraph()
+        nx_graph.add_nodes_from(self._nodes)
+        for origin, label, end in self._edges:
+            nx_graph.add_edge(origin, end, label=label)
+        return nx_graph
+
+    def degree_statistics(self) -> Mapping[str, float]:
+        """Simple degree statistics used by the dataset generators' tests."""
+        if not self._nodes:
+            return {"max_out_degree": 0.0, "mean_out_degree": 0.0}
+        degrees = [self.out_degree(node) for node in self._nodes]
+        return {
+            "max_out_degree": float(max(degrees)),
+            "mean_out_degree": float(sum(degrees)) / len(degrees),
+        }
+
+    def label_histogram(self) -> dict[str, int]:
+        """The number of edges per label (used to verify Zipfian skew)."""
+        histogram: dict[str, int] = {}
+        for _, label, _ in self._edges:
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram

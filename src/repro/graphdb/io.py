@@ -1,0 +1,101 @@
+"""Serialization of graph databases.
+
+Two plain-text formats are supported:
+
+* *edge list* -- one ``origin<TAB>label<TAB>end`` triple per line, with
+  ``#``-prefixed comment lines and a ``%node<TAB>name`` directive for
+  isolated nodes;
+* *JSON* -- a dictionary ``{"nodes": [...], "edges": [[origin, label, end], ...]}``.
+
+Both round-trip exactly (node identifiers are kept as strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graphdb.graph import GraphDB
+
+
+def graph_to_edge_list(graph: GraphDB) -> str:
+    """Render the graph as an edge-list document."""
+    lines = ["# repro graph database edge list"]
+    connected = set()
+    for origin, label, end in sorted(graph.edges, key=repr):
+        connected.add(origin)
+        connected.add(end)
+        lines.append(f"{origin}\t{label}\t{end}")
+    for node in sorted(graph.nodes - connected, key=repr):
+        lines.append(f"%node\t{node}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_edge_list(text: str) -> GraphDB:
+    """Parse an edge-list document into a graph."""
+    graph = GraphDB()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if parts[0] == "%node":
+            if len(parts) != 2:
+                raise GraphError(f"malformed node directive on line {line_number}")
+            graph.add_node(parts[1])
+            continue
+        if len(parts) != 3:
+            raise GraphError(f"malformed edge on line {line_number}: {raw_line!r}")
+        origin, label, end = parts
+        graph.add_edge(origin, label, end)
+    return graph
+
+
+def graph_to_json(graph: GraphDB) -> str:
+    """Render the graph as a JSON document."""
+    payload = {
+        "nodes": sorted((str(node) for node in graph.nodes)),
+        "edges": sorted(
+            [str(origin), label, str(end)] for origin, label, end in graph.edges
+        ),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def graph_from_json(text: str) -> GraphDB:
+    """Parse a JSON document into a graph."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GraphError(f"invalid JSON graph document: {error}") from error
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise GraphError("JSON graph document must contain an 'edges' list")
+    graph = GraphDB()
+    for node in payload.get("nodes", []):
+        graph.add_node(node)
+    for edge in payload["edges"]:
+        if not isinstance(edge, (list, tuple)) or len(edge) != 3:
+            raise GraphError(f"malformed edge entry: {edge!r}")
+        origin, label, end = edge
+        graph.add_edge(origin, label, end)
+    return graph
+
+
+def save_graph(graph: GraphDB, path: str | Path) -> None:
+    """Save the graph to a file; format chosen from the extension (.json or .tsv)."""
+    destination = Path(path)
+    if destination.suffix == ".json":
+        text = graph_to_json(graph)
+    else:
+        text = graph_to_edge_list(graph)
+    destination.write_text(text, encoding="utf-8")
+
+
+def load_graph(path: str | Path) -> GraphDB:
+    """Load a graph from a file; format chosen from the extension (.json or .tsv)."""
+    source = Path(path)
+    text = source.read_text(encoding="utf-8")
+    if source.suffix == ".json":
+        return graph_from_json(text)
+    return graph_from_edge_list(text)

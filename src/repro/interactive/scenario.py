@@ -1,0 +1,231 @@
+"""The interactive learning loop (Figure 9 of the paper).
+
+Starting from an empty sample, the loop repeatedly:
+
+1. checks the halt condition (by default: the learned query selects exactly
+   the same nodes as the goal, i.e. F1 = 1 -- the strongest condition of
+   Section 5.3; the user may also stop earlier when satisfied);
+2. asks the strategy for the next node to label (step 3 of the figure);
+3. extracts the node's neighborhood -- the small visualizable fragment shown
+   to the user (step 4);
+4. asks the oracle/user for the label (step 5) and adds it to the sample;
+5. re-runs the learner on all labels collected so far (step 6), growing the
+   path-length bound ``k`` dynamically when no k-informative node remains
+   (Section 5.1's procedure for the interactive case).
+
+The loop records per-interaction timings and the evolution of the learned
+query so the experiment drivers can reproduce Table 2 directly from the
+returned :class:`InteractiveResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import InteractionError
+from repro.graphdb.graph import GraphDB, Node
+from repro.interactive.oracle import Oracle
+from repro.interactive.strategies import Strategy
+from repro.learning.learner import DEFAULT_K, LearnerResult, learn_path_query
+from repro.learning.sample import POSITIVE, Sample
+from repro.queries.path_query import PathQuery
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One user interaction: the proposed node, its label and bookkeeping data."""
+
+    index: int
+    node: Node
+    label: str
+    k: int
+    seconds: float
+    learned_expression: str | None
+
+
+@dataclass
+class InteractiveResult:
+    """The outcome of an interactive learning session."""
+
+    query: PathQuery | None
+    sample: Sample
+    interactions: list[Interaction] = field(default_factory=list)
+    halted_by: str = "exhausted"
+    total_seconds: float = 0.0
+
+    @property
+    def interaction_count(self) -> int:
+        """The number of labels the user provided."""
+        return len(self.interactions)
+
+    def labels_fraction(self, graph: GraphDB) -> float:
+        """The fraction of graph nodes the user had to label (Table 2's key column)."""
+        if graph.node_count() == 0:
+            return 0.0
+        return self.interaction_count / graph.node_count()
+
+    @property
+    def mean_seconds_between_interactions(self) -> float:
+        """Average time spent computing between two interactions (Table 2)."""
+        if not self.interactions:
+            return 0.0
+        return sum(i.seconds for i in self.interactions) / len(self.interactions)
+
+
+class InteractiveSession:
+    """A stateful interactive learning session.
+
+    Drives the Figure 9 loop step by step; :func:`run_interactive_learning`
+    is the convenience wrapper that runs it to completion.
+    """
+
+    def __init__(
+        self,
+        graph: GraphDB,
+        oracle: Oracle,
+        strategy: Strategy,
+        *,
+        k_start: int = DEFAULT_K,
+        k_max: int = 6,
+        max_interactions: int | None = None,
+        neighborhood_radius: int | None = None,
+    ) -> None:
+        if k_start < 0 or k_max < k_start:
+            raise InteractionError("need 0 <= k_start <= k_max")
+        self.graph = graph
+        self.oracle = oracle
+        self.strategy = strategy
+        self.k = k_start
+        self.k_max = k_max
+        self.max_interactions = max_interactions
+        self.neighborhood_radius = neighborhood_radius
+        self.sample = Sample()
+        self.interactions: list[Interaction] = []
+        self.last_result: LearnerResult | None = None
+
+    # -- steps of the Figure 9 loop -------------------------------------------
+
+    def propose_node(self) -> Node | None:
+        """Step 3: pick the next node, growing ``k`` while none is available."""
+        while True:
+            node = self.strategy.propose(self.graph, self.sample, k=self.k)
+            if node is not None:
+                return node
+            if self.k >= self.k_max:
+                return None
+            self.k += 1
+
+    def neighborhood_of(self, node: Node) -> GraphDB:
+        """Step 4: the fragment of the graph shown to the user for this node."""
+        radius = self.neighborhood_radius if self.neighborhood_radius is not None else self.k
+        return self.graph.neighborhood(node, radius)
+
+    def record_label(self, node: Node, label: str) -> None:
+        """Step 5: add the user's label to the sample."""
+        self.sample = self.sample.with_example(node, label)
+
+    def learn(self) -> LearnerResult:
+        """Step 6: run the learner on all labels collected so far.
+
+        If the learner abstains at the session's current ``k`` (some positive
+        node's consistent paths are all longer than ``k``), the bound is
+        raised up to ``k_max`` for this learning call, mirroring the dynamic
+        procedure of Section 5.1.  The strategy keeps using the session's
+        ``k``, which only grows when no k-informative node remains.
+        """
+        result = learn_path_query(self.graph, self.sample, k=self.k)
+        learn_k = self.k
+        while result.is_null and result.positives_without_scp and learn_k < self.k_max:
+            learn_k += 1
+            result = learn_path_query(self.graph, self.sample, k=learn_k)
+        self.last_result = result
+        return result
+
+    def step(self) -> Interaction | None:
+        """Run one full interaction; returns None when no node can be proposed."""
+        if (
+            self.max_interactions is not None
+            and len(self.interactions) >= self.max_interactions
+        ):
+            return None
+        node = self.propose_node()
+        if node is None:
+            return None
+        started = time.perf_counter()
+        label = self.oracle.label(self.graph, node)
+        self.record_label(node, label)
+        result = self.learn()
+        elapsed = time.perf_counter() - started
+        interaction = Interaction(
+            index=len(self.interactions),
+            node=node,
+            label=label,
+            k=self.k,
+            seconds=elapsed,
+            learned_expression=None if result.is_null else result.query.expression,
+        )
+        self.interactions.append(interaction)
+        return interaction
+
+    # -- halt conditions --------------------------------------------------------
+
+    def goal_reached(self) -> bool:
+        """Whether the user is satisfied with the latest learned query.
+
+        The best-effort hypothesis is shown to the user even when Algorithm 1
+        formally abstains, matching the "user satisfied by an intermediate
+        query" halt conditions of Section 5.3.
+        """
+        query = None if self.last_result is None else self.last_result.best_effort_query
+        return self.oracle.satisfied_with(self.graph, query)
+
+    def run(self) -> InteractiveResult:
+        """Run interactions until the halt condition triggers or nothing remains."""
+        started = time.perf_counter()
+        halted_by = "exhausted"
+        # The loop needs at least one positive label before a query can exist,
+        # so the halt check runs after each interaction.
+        while True:
+            if self.goal_reached():
+                halted_by = "goal"
+                break
+            interaction = self.step()
+            if interaction is None:
+                halted_by = (
+                    "max_interactions"
+                    if self.max_interactions is not None
+                    and len(self.interactions) >= self.max_interactions
+                    else "no_informative_node"
+                )
+                break
+        total = time.perf_counter() - started
+        query = None if self.last_result is None else self.last_result.best_effort_query
+        return InteractiveResult(
+            query=query,
+            sample=self.sample,
+            interactions=self.interactions,
+            halted_by=halted_by,
+            total_seconds=total,
+        )
+
+
+def run_interactive_learning(
+    graph: GraphDB,
+    oracle: Oracle,
+    strategy: Strategy,
+    *,
+    k_start: int = DEFAULT_K,
+    k_max: int = 6,
+    max_interactions: int | None = None,
+) -> InteractiveResult:
+    """Run a full interactive session and return its result."""
+    session = InteractiveSession(
+        graph,
+        oracle,
+        strategy,
+        k_start=k_start,
+        k_max=k_max,
+        max_interactions=max_interactions,
+    )
+    return session.run()

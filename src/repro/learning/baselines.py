@@ -1,0 +1,51 @@
+"""Baseline learners used by the ablation benchmarks.
+
+Section 3.2 discusses -- and Section 5.2 quantifies -- the effect of the
+generalization phase on top of SCP selection.  The baseline implemented
+here stops after the SCP step: it returns the plain disjunction of the
+selected smallest consistent paths (a query using only concatenation and
+disjunction, never the Kleene star).  Comparing it against the full learner
+reproduces the "generalization adds about 1% of F1" observation and the
+qualitative point that the baseline can never express starred queries.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.graph import GraphDB
+from repro.graphdb.product import node_selects
+from repro.learning.learner import DEFAULT_K, LearnerResult
+from repro.learning.sample import Sample
+from repro.learning.scp import select_smallest_consistent_paths
+from repro.queries.path_query import PathQuery
+
+
+def learn_scp_disjunction(
+    graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K
+) -> LearnerResult:
+    """The no-generalization baseline: the disjunction of the SCPs.
+
+    Abstains (returns a null result) when no positive node yields an SCP or
+    when the disjunction fails to select some positive node (which happens
+    exactly when that node has no consistent path of length at most ``k``).
+    """
+    sample.check_against(graph)
+    if not sample.positives:
+        return LearnerResult(query=None, k=k)
+    scps = select_smallest_consistent_paths(graph, sample, k=k)
+    positives_without_scp = frozenset(sample.positives - scps.keys())
+    if not scps:
+        return LearnerResult(query=None, k=k, positives_without_scp=positives_without_scp)
+    query = PathQuery.from_words(graph.alphabet, scps.values())
+    selects_all = all(
+        node_selects(graph, query.dfa, node) for node in sample.positives
+    )
+    return LearnerResult(
+        query=query if selects_all else None,
+        k=k,
+        scps=scps,
+        pta_states=query.size,
+        generalized_states=query.size,
+        positives_without_scp=positives_without_scp,
+        selects_all_positives=selects_all,
+        hypothesis=query,
+    )

@@ -1,0 +1,94 @@
+"""Algorithm 2: learning path queries under the binary semantics.
+
+The only change with respect to Algorithm 1 is the space of candidate paths
+per example: a positive example is now a *pair* of nodes, so the paths to
+consider are the words of ``paths2_G(nu, nu')`` (the destination node is
+fixed), and negative coverage is checked against the paths between the
+negative pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.alphabet import Word
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.pta import prefix_tree_acceptor
+from repro.errors import LearningError
+from repro.graphdb.graph import GraphDB, Node
+from repro.graphdb.paths import enumerate_paths_between
+from repro.graphdb.product import pair_selects
+from repro.learning.generalize import generalize_pta
+from repro.learning.learner import DEFAULT_K
+from repro.learning.sample import BinarySample
+from repro.queries.binary import BinaryPathQuery
+
+
+@dataclass(frozen=True)
+class BinaryLearnerResult:
+    """Outcome of one run of the binary learner (``query`` is None on abstain)."""
+
+    query: BinaryPathQuery | None
+    k: int
+    scps: dict[tuple[Node, Node], Word] = field(default_factory=dict)
+    selects_all_positives: bool = False
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the learner abstained."""
+        return self.query is None
+
+
+def _pair_covered(graph: GraphDB, word: Word, pairs: frozenset[tuple[Node, Node]]) -> bool:
+    """Whether ``word`` labels a path between one of the given node pairs."""
+    for origin, end in pairs:
+        frontier = {origin}
+        for symbol in word:
+            next_frontier: set[Node] = set()
+            for current in frontier:
+                next_frontier.update(graph.successors(current, symbol))
+            frontier = next_frontier
+            if not frontier:
+                break
+        if frontier and end in frontier:
+            return True
+    return False
+
+
+def learn_binary_query(
+    graph: GraphDB, sample: BinarySample, *, k: int = DEFAULT_K
+) -> BinaryLearnerResult:
+    """Run Algorithm 2 on the given graph and binary sample."""
+    if k < 0:
+        raise LearningError("the path-length bound k must be non-negative")
+    sample.check_against(graph)
+    if not sample.positives:
+        return BinaryLearnerResult(query=None, k=k)
+
+    negatives = sample.negatives
+    scps: dict[tuple[Node, Node], Word] = {}
+    for origin, end in sample.positives:
+        for path in enumerate_paths_between(graph, origin, end, max_length=k):
+            if not _pair_covered(graph, path, negatives):
+                scps[(origin, end)] = path
+                break
+    if not scps:
+        return BinaryLearnerResult(query=None, k=k)
+
+    pta = prefix_tree_acceptor(graph.alphabet, scps.values())
+
+    def violates(candidate: DFA) -> bool:
+        return any(
+            pair_selects(graph, candidate, origin, end) for origin, end in negatives
+        )
+
+    generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
+    canonical = canonical_dfa(generalized)
+    selects_all = all(
+        pair_selects(graph, canonical, origin, end) for origin, end in sample.positives
+    )
+    query = BinaryPathQuery(canonical) if selects_all else None
+    return BinaryLearnerResult(
+        query=query, k=k, scps=scps, selects_all_positives=selects_all
+    )

@@ -1,0 +1,225 @@
+"""Characteristic samples and characteristic graphs (Theorem 3.5).
+
+Theorem 3.5 proves that the class of path queries of bounded canonical-DFA
+size is learnable with abstain: for every query ``q`` one can build a graph
+and a polynomially-sized *characteristic sample* on it such that the
+learner, given any consistent extension of that sample, returns ``q``.
+
+The construction has two stages, both implemented here:
+
+1. :func:`characteristic_word_sample` -- the characteristic *word* sample
+   ``(P+, P-)`` that the word-level learner (RPNI) needs to identify
+   ``L(q)``.  We follow the standard construction over the minimal complete
+   DFA: short prefixes reach every state, kernel words exercise every
+   transition, and distinguishing suffixes separate every pair of states.
+2. :func:`characteristic_graph` -- the graph of Figure 7: one positive node
+   per word of ``P+`` whose smallest consistent path is exactly that word,
+   and one negative node covering every word of ``P-`` together with every
+   word canonically smaller than the longest positive word that is not
+   prefixed by a word of ``L(q)`` (so that SCP selection cannot pick
+   anything smaller than the intended word).
+"""
+
+from __future__ import annotations
+
+from repro.automata.alphabet import Alphabet, Word
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa, minimize
+from repro.errors import LearningError
+from repro.graphdb.graph import GraphDB
+from repro.learning.sample import Sample
+from repro.queries.path_query import PathQuery
+
+
+def _shortest_word_between(dfa: DFA, source, targets: frozenset) -> Word | None:
+    """The canonically smallest word leading from ``source`` to one of ``targets``."""
+    from collections import deque
+
+    if source in targets:
+        return ()
+    queue: deque[tuple[object, Word]] = deque([(source, ())])
+    seen = {source}
+    while queue:
+        state, word = queue.popleft()
+        for symbol in dfa.alphabet:
+            nxt = dfa.delta(state, symbol)
+            if nxt is None:
+                continue
+            extended = word + (symbol,)
+            if nxt in targets:
+                return extended
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, extended))
+    return None
+
+
+def _access_words(dfa: DFA) -> dict[object, Word]:
+    """The canonically smallest word reaching every reachable state."""
+    from collections import deque
+
+    access: dict[object, Word] = {dfa.initial: ()}
+    queue: deque[object] = deque([dfa.initial])
+    while queue:
+        state = queue.popleft()
+        for symbol in dfa.alphabet:
+            nxt = dfa.delta(state, symbol)
+            if nxt is not None and nxt not in access:
+                access[nxt] = access[state] + (symbol,)
+                queue.append(nxt)
+    return access
+
+
+def _distinguishing_suffix(dfa: DFA, left, right) -> Word | None:
+    """A canonically small word accepted from exactly one of the two states."""
+    from collections import deque
+
+    if (left in dfa.final_states) != (right in dfa.final_states):
+        return ()
+    queue: deque[tuple[object, object, Word]] = deque([(left, right, ())])
+    seen = {(left, right)}
+    while queue:
+        l_state, r_state, word = queue.popleft()
+        for symbol in dfa.alphabet:
+            l_next = dfa.delta(l_state, symbol)
+            r_next = dfa.delta(r_state, symbol)
+            if l_next is None or r_next is None:
+                continue
+            extended = word + (symbol,)
+            if (l_next in dfa.final_states) != (r_next in dfa.final_states):
+                return extended
+            if (l_next, r_next) not in seen:
+                seen.add((l_next, r_next))
+                queue.append((l_next, r_next, extended))
+    return None
+
+
+def characteristic_word_sample(query: PathQuery | DFA) -> tuple[set[Word], set[Word]]:
+    """The characteristic word sample ``(P+, P-)`` for RPNI to identify ``L(q)``.
+
+    For the paper's running example ``(a.b)*.c`` this yields
+    ``P+ = {c, abc}`` and a ``P-`` containing (at least) ``eps, a, ab, ac, bc``.
+    """
+    dfa = query.dfa if isinstance(query, PathQuery) else canonical_dfa(query)
+    if dfa.is_empty():
+        raise LearningError("cannot build a characteristic sample for the empty query")
+    complete = minimize(dfa)  # minimal complete DFA (may include a sink)
+    access = _access_words(complete)
+    finals = complete.final_states
+
+    positives: set[Word] = set()
+    negatives: set[Word] = set()
+
+    # Kernel words: the access word of every state, extended by every symbol.
+    kernel: set[Word] = {()}
+    for state, word in access.items():
+        for symbol in complete.alphabet:
+            if complete.delta(state, symbol) is not None:
+                kernel.add(word + (symbol,))
+
+    # (1) every kernel word, completed by the shortest accepting tail, is positive.
+    for word in kernel:
+        landing = complete.run(word)
+        if landing is None:
+            continue
+        tail = _shortest_word_between(complete, landing, finals)
+        if tail is not None:
+            positives.add(word + tail)
+
+    # (2) distinguishing suffixes between every short prefix and kernel word
+    # that land on different states.
+    short_prefixes = set(access.values())
+    for left_word in sorted(short_prefixes):
+        for right_word in sorted(kernel):
+            left_state = complete.run(left_word)
+            right_state = complete.run(right_word)
+            if left_state is None or right_state is None or left_state == right_state:
+                continue
+            suffix = _distinguishing_suffix(complete, left_state, right_state)
+            if suffix is None:
+                continue
+            left_full, right_full = left_word + suffix, right_word + suffix
+            if complete.accepts(left_full):
+                positives.add(left_full)
+                negatives.add(right_full)
+            else:
+                negatives.add(left_full)
+                positives.add(right_full)
+    return positives, negatives
+
+
+def theoretical_k(query: PathQuery) -> int:
+    """The path-length bound ``k = 2n + 1`` of Theorem 3.5 for this query."""
+    return 2 * query.size + 1
+
+
+def characteristic_graph(
+    query: PathQuery,
+    *,
+    alphabet: Alphabet | None = None,
+) -> tuple[GraphDB, Sample]:
+    """Build the characteristic graph and sample of Theorem 3.5 for ``query``.
+
+    Returns ``(graph, sample)`` such that running the learner on any sample
+    that extends ``sample`` consistently with ``query`` (with ``k`` at least
+    :func:`theoretical_k`) returns a query equivalent to ``query``.
+    """
+    prefix_free_query = query.prefix_free_form()
+    target_alphabet = alphabet if alphabet is not None else prefix_free_query.alphabet
+    positives_words, negatives_words = characteristic_word_sample(prefix_free_query)
+    if not positives_words:
+        raise LearningError("the query has an empty characteristic positive set")
+
+    graph = GraphDB(target_alphabet)
+    sample_positives: set[str] = set()
+
+    # (i) one positive node per positive word; a simple chain realizes the
+    # word, and (the query being prefix-free) that word is necessarily the
+    # smallest consistent path of the node.
+    for index, word in enumerate(sorted(positives_words, key=target_alphabet.word_key)):
+        head = f"pos{index}"
+        current = head
+        for position, symbol in enumerate(word, start=1):
+            nxt = f"pos{index}_{position}"
+            graph.add_edge(current, symbol, nxt)
+            current = nxt
+        graph.add_node(head)
+        sample_positives.add(head)
+
+    # (ii)+(iii) one negative node covering P- and every word canonically
+    # smaller than the largest positive word that is not prefixed by a word
+    # of L(q) (such words would otherwise be picked as spuriously small SCPs).
+    largest_positive = max(positives_words, key=target_alphabet.word_key)
+    blocked: set[Word] = set()
+    for word in negatives_words:
+        if not _has_prefix_in_language(prefix_free_query, word):
+            blocked.add(word)
+    for word in target_alphabet.words_up_to(len(largest_positive)):
+        if target_alphabet.word_key(word) >= target_alphabet.word_key(largest_positive):
+            continue
+        if not _has_prefix_in_language(prefix_free_query, word):
+            blocked.add(word)
+
+    negative_head = "neg"
+    graph.add_node(negative_head)
+    trie_nodes: dict[Word, str] = {(): negative_head}
+    for word in sorted(blocked, key=target_alphabet.word_key):
+        for cut in range(1, len(word) + 1):
+            prefix = word[:cut]
+            if prefix in trie_nodes:
+                continue
+            parent = trie_nodes[word[: cut - 1]]
+            node_name = f"neg_{len(trie_nodes)}"
+            graph.add_edge(parent, word[cut - 1], node_name)
+            trie_nodes[prefix] = node_name
+
+    sample = Sample(positives=sample_positives, negatives={negative_head})
+    return graph, sample
+
+
+def _has_prefix_in_language(query: PathQuery, word: Word) -> bool:
+    """Whether some prefix of ``word`` (including itself) belongs to ``L(q)``."""
+    for cut in range(len(word) + 1):
+        if query.accepts_word(word[:cut]):
+            return True
+    return False

@@ -1,0 +1,69 @@
+"""Consistency of a sample (Lemma 3.1 and its bounded approximation).
+
+A sample ``S`` on a graph ``G`` is *consistent* if some path query selects
+every positive node and no negative node.  Lemma 3.1 characterizes this:
+``S`` is consistent iff for every positive node ``nu``,
+``paths_G(nu)`` is not included in ``paths_G(S-)``.
+
+Deciding this exactly is PSPACE-complete (Lemma 3.2) -- the exact check here
+determinizes the negative-paths NFA and is therefore exponential in the
+worst case; it is meant for the small graphs of tests and examples.  The
+*bounded* check (paths of length at most ``k``) is what Algorithm 1
+effectively uses and runs in polynomial time.
+"""
+
+from __future__ import annotations
+
+from repro.automata.operations import language_included
+from repro.graphdb.graph import GraphDB
+from repro.graphdb.paths import covered_by, enumerate_paths, paths_nfa
+from repro.learning.sample import Sample
+
+
+def is_consistent(graph: GraphDB, sample: Sample) -> bool:
+    """Exact consistency check (Lemma 3.1).
+
+    Uses language inclusion between the positive node's path automaton and
+    the negative set's path automaton.  Exponential in the worst case; use
+    :func:`bounded_consistent` on large graphs.
+    """
+    sample.check_against(graph)
+    if not sample.positives:
+        return True
+    if not sample.negatives:
+        return True
+    negative_paths = paths_nfa(graph, sample.negatives)
+    for node in sample.positives:
+        positive_paths = paths_nfa(graph, node)
+        if not language_included(positive_paths, negative_paths):
+            continue
+        return False
+    return True
+
+
+def bounded_consistent(graph: GraphDB, sample: Sample, *, k: int) -> bool:
+    """Whether every positive node has a consistent path of length at most ``k``.
+
+    This is the (sound but incomplete) certificate of consistency Algorithm 1
+    relies on: if it holds, the sample is consistent (the disjunction of the
+    witnessing paths is a consistent query); if it does not hold, the sample
+    may still be consistent via longer paths.
+    """
+    sample.check_against(graph)
+    negatives = sample.negatives
+    for node in sample.positives:
+        found = False
+        for path in enumerate_paths(graph, node, max_length=k):
+            if not covered_by(graph, path, negatives):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def sample_has_consistent_query(graph: GraphDB, sample: Sample, *, k: int | None = None) -> bool:
+    """Convenience dispatcher: exact check if ``k`` is None, bounded otherwise."""
+    if k is None:
+        return is_consistent(graph, sample)
+    return bounded_consistent(graph, sample, k=k)

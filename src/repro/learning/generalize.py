@@ -1,0 +1,107 @@
+"""Generalization of the PTA by state merging (Algorithm 1, lines 4-5).
+
+Starting from the prefix tree acceptor of the selected SCPs, states are
+merged as long as the resulting automaton does not *select any negative
+node*, i.e. as long as ``L(A) & paths_G(S-)`` stays empty.  The paper keeps
+the hypothesis deterministic and follows RPNI's strategy, so the procedure
+here is the classical red-blue loop with merge-and-fold:
+
+* *red* states form the consolidated part of the hypothesis (initially just
+  the root);
+* *blue* states are the immediate successors of red states;
+* the canonically smallest blue state is either merged into some red state
+  (first red state, in canonical order, whose merge passes the guard) or
+  promoted to red.
+
+The guard is injected as a callable so that the same engine serves the graph
+learner (guard = "selects a negative node"), the word-level RPNI
+implementation (guard = "accepts a negative word") and the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.merging import deterministic_merge
+from repro.errors import LearningError
+
+
+def _state_order_key(alphabet: Alphabet, state: object) -> tuple:
+    """Canonical ordering key for PTA states (word prefixes).
+
+    States produced by the PTA are tuples of symbols; merged automata keep a
+    representative from the original states, so the key stays applicable.
+    Non-tuple states (possible if a caller hands in a foreign DFA) are
+    ordered after all tuple states, by repr, which keeps the procedure
+    deterministic without claiming canonicity.
+    """
+    if isinstance(state, tuple) and all(isinstance(part, str) for part in state):
+        try:
+            return (0,) + alphabet.word_key(state)
+        except Exception:  # symbol outside the alphabet: fall through
+            pass
+    return (1, repr(state))
+
+
+def generalize_pta(
+    pta: DFA,
+    violates: Callable[[DFA], bool],
+    *,
+    alphabet: Alphabet | None = None,
+    max_merges: int | None = None,
+) -> DFA:
+    """Generalize a PTA by red-blue state merging under the given guard.
+
+    Parameters
+    ----------
+    pta:
+        The prefix tree acceptor (or any DFA) to generalize.
+    violates:
+        Guard predicate: ``violates(candidate)`` must return True when the
+        candidate automaton is unacceptable (e.g. it selects a negative
+        node).  A merge is kept only if the merged automaton does not
+        violate the guard.
+    alphabet:
+        Ordering alphabet for the canonical state order; defaults to the
+        PTA's own alphabet.
+    max_merges:
+        Optional safety cap on the number of accepted merges.
+    """
+    if violates(pta):
+        raise LearningError("the initial automaton already violates the guard")
+    order_alphabet = alphabet if alphabet is not None else pta.alphabet
+    current = pta.copy()
+    red: set = {current.initial}
+    merges_done = 0
+
+    def blue_states() -> list:
+        successors: set = set()
+        for state in red:
+            for _, target in current.outgoing(state):
+                if target not in red:
+                    successors.add(target)
+        return sorted(successors, key=lambda s: _state_order_key(order_alphabet, s))
+
+    blue = blue_states()
+    while blue:
+        if max_merges is not None and merges_done >= max_merges:
+            break
+        candidate_state = blue[0]
+        merged_into_red = False
+        for red_state in sorted(red, key=lambda s: _state_order_key(order_alphabet, s)):
+            candidate = deterministic_merge(current, red_state, candidate_state)
+            if violates(candidate):
+                continue
+            current = candidate
+            merges_done += 1
+            # Keep only the red states that survived the merge-and-fold.
+            red = {state for state in red if state in current.states}
+            red.add(current.initial)
+            merged_into_red = True
+            break
+        if not merged_into_red:
+            red.add(candidate_state)
+        blue = blue_states()
+    return current

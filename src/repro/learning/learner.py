@@ -1,0 +1,149 @@
+"""Algorithm 1: the path-query learner.
+
+``learner(G, S)`` either returns a query consistent with the sample or the
+special value *null* ("abstain": not enough examples, or no consistent query
+constructible with paths of length at most ``k``).  The steps follow the
+paper exactly:
+
+1. select, for each positive node, its smallest consistent path of length at
+   most ``k`` (skipping positives that have none);
+2. build the prefix tree acceptor of those paths;
+3. generalize it by state merging while no negative node is selected;
+4. return the resulting query if it selects *every* positive node (including
+   the ones that contributed no SCP), otherwise return null.
+
+Section 5.1 sets ``k`` dynamically in the experiments (start at 2, grow while
+the learned query misses a positive); :func:`learn_with_dynamic_k` implements
+that procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.automata.alphabet import Word
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.pta import prefix_tree_acceptor
+from repro.errors import LearningError
+from repro.graphdb.graph import GraphDB, Node
+from repro.graphdb.product import any_node_selects, node_selects
+from repro.learning.generalize import generalize_pta
+from repro.learning.sample import Sample
+from repro.learning.scp import select_smallest_consistent_paths
+from repro.queries.path_query import PathQuery
+
+#: Default path-length bound, the value Section 5.1 reports as sufficient in
+#: the majority of practical cases.
+DEFAULT_K = 2
+
+
+@dataclass(frozen=True)
+class LearnerResult:
+    """The outcome of one run of the learner.
+
+    ``query`` is None when the learner abstains (the paper's *null* answer:
+    the generalized query failed to select every positive node with SCPs of
+    length at most ``k``).  ``hypothesis`` is the generalized query itself,
+    regardless of abstention -- it is always consistent with the negative
+    examples and is what the experiment drivers score mid-run (a null answer
+    would otherwise be indistinguishable from "learned nothing" in the F1
+    plots, which is not how the paper reports Figure 11).
+    """
+
+    query: PathQuery | None
+    k: int
+    scps: dict[Node, Word] = field(default_factory=dict)
+    pta_states: int = 0
+    generalized_states: int = 0
+    positives_without_scp: frozenset[Node] = frozenset()
+    selects_all_positives: bool = False
+    hypothesis: PathQuery | None = None
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the learner abstained."""
+        return self.query is None
+
+    @property
+    def best_effort_query(self) -> PathQuery | None:
+        """The returned query if any, else the (possibly incomplete) hypothesis."""
+        return self.query if self.query is not None else self.hypothesis
+
+    def __repr__(self) -> str:
+        outcome = "null" if self.is_null else repr(self.query.expression)
+        return f"LearnerResult({outcome}, k={self.k}, scps={len(self.scps)})"
+
+
+def learn_path_query(graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K) -> LearnerResult:
+    """Run Algorithm 1 on the given graph and sample with a fixed bound ``k``.
+
+    Returns a :class:`LearnerResult`; ``result.query`` is the learned
+    :class:`~repro.queries.PathQuery` or None (the *null* abstention).
+    """
+    if k < 0:
+        raise LearningError("the path-length bound k must be non-negative")
+    sample.check_against(graph)
+
+    if not sample.positives:
+        # With no positive example every query selecting nothing is trivially
+        # consistent, but none is informative; the learner abstains.
+        return LearnerResult(query=None, k=k)
+
+    scps = select_smallest_consistent_paths(graph, sample, k=k)
+    positives_without_scp = frozenset(sample.positives - scps.keys())
+    if not scps:
+        return LearnerResult(
+            query=None, k=k, positives_without_scp=positives_without_scp
+        )
+
+    pta = prefix_tree_acceptor(graph.alphabet, scps.values())
+
+    negatives = sample.negatives
+
+    def violates(candidate: DFA) -> bool:
+        if not negatives:
+            return False
+        return any_node_selects(graph, candidate, negatives)
+
+    generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
+    canonical = canonical_dfa(generalized)
+
+    selects_all = all(node_selects(graph, canonical, node) for node in sample.positives)
+    hypothesis = PathQuery(canonical)
+    query = hypothesis if selects_all else None
+    return LearnerResult(
+        query=query,
+        k=k,
+        scps=scps,
+        pta_states=len(pta),
+        generalized_states=len(canonical),
+        positives_without_scp=positives_without_scp,
+        selects_all_positives=selects_all,
+        hypothesis=hypothesis,
+    )
+
+
+def learn_with_dynamic_k(
+    graph: GraphDB,
+    sample: Sample,
+    *,
+    k_start: int = DEFAULT_K,
+    k_max: int = 6,
+) -> LearnerResult:
+    """The dynamic-``k`` procedure of Section 5.1.
+
+    Start with ``k = k_start``; as long as the learner abstains (the learned
+    query does not select every positive node with SCPs that short),
+    increment ``k`` and retry, up to ``k_max``.  Returns the first
+    non-abstaining result, or the last (abstaining) result if ``k_max`` is
+    reached without success.
+    """
+    if k_start < 0 or k_max < k_start:
+        raise LearningError("need 0 <= k_start <= k_max")
+    result = LearnerResult(query=None, k=k_start)
+    for k in range(k_start, k_max + 1):
+        result = learn_path_query(graph, sample, k=k)
+        if not result.is_null:
+            return result
+    return result

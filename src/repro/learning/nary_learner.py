@@ -1,0 +1,56 @@
+"""Algorithm 3: learning n-ary path queries.
+
+An n-ary example labels a tuple of nodes; the algorithm projects the sample
+onto each pair of adjacent positions, learns a binary query per position
+with Algorithm 2, and combines the component queries.  If any component
+learner abstains, the n-ary learner abstains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LearningError
+from repro.graphdb.graph import GraphDB
+from repro.learning.binary_learner import BinaryLearnerResult, learn_binary_query
+from repro.learning.learner import DEFAULT_K
+from repro.learning.sample import NarySample
+from repro.queries.nary import NaryPathQuery
+
+
+@dataclass(frozen=True)
+class NaryLearnerResult:
+    """Outcome of one run of the n-ary learner (``query`` is None on abstain)."""
+
+    query: NaryPathQuery | None
+    k: int
+    components: tuple[BinaryLearnerResult, ...] = field(default_factory=tuple)
+
+    @property
+    def is_null(self) -> bool:
+        """Whether the learner abstained."""
+        return self.query is None
+
+
+def learn_nary_query(
+    graph: GraphDB, sample: NarySample, *, k: int = DEFAULT_K
+) -> NaryLearnerResult:
+    """Run Algorithm 3 on the given graph and n-ary sample."""
+    if k < 0:
+        raise LearningError("the path-length bound k must be non-negative")
+    sample.check_against(graph)
+    arity = sample.arity
+    if arity is None or not sample.positives:
+        return NaryLearnerResult(query=None, k=k)
+
+    component_results: list[BinaryLearnerResult] = []
+    for position in range(arity - 1):
+        projected = sample.project(position)
+        result = learn_binary_query(graph, projected, k=k)
+        component_results.append(result)
+        if result.is_null:
+            return NaryLearnerResult(
+                query=None, k=k, components=tuple(component_results)
+            )
+    query = NaryPathQuery([result.query for result in component_results])
+    return NaryLearnerResult(query=query, k=k, components=tuple(component_results))

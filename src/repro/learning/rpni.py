@@ -1,0 +1,51 @@
+"""The classical RPNI algorithm on words (Oncina & Garcia 1992).
+
+RPNI learns a regular language from positive and negative *word* examples:
+build the prefix tree acceptor of the positives, then merge states in
+canonical order as long as no negative word is accepted.  The paper's graph
+learner is built on the same generalization engine
+(:func:`repro.learning.generalize.generalize_pta`); RPNI is provided here
+both as the reference word-level learner that the characteristic-sample
+construction of Theorem 3.5 leans on, and for direct use and testing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.automata.alphabet import Alphabet, Word
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.pta import prefix_tree_acceptor
+from repro.errors import LearningError
+from repro.learning.generalize import generalize_pta
+
+
+def rpni(
+    alphabet: Alphabet,
+    positive_words: Iterable[Sequence[str]],
+    negative_words: Iterable[Sequence[str]],
+) -> DFA:
+    """Learn a DFA consistent with the given word examples.
+
+    Returns the canonical DFA of the inferred language.  Raises
+    :class:`LearningError` if the word sample itself is contradictory (a
+    word labeled both positive and negative).
+    """
+    positives: list[Word] = [alphabet.check_word(w) for w in positive_words]
+    negatives: list[Word] = [alphabet.check_word(w) for w in negative_words]
+    negative_set = set(negatives)
+    conflict = [w for w in positives if w in negative_set]
+    if conflict:
+        raise LearningError(f"words labeled both positive and negative: {conflict[:3]!r}")
+    if not positives:
+        # The empty language is consistent with any purely negative sample.
+        return canonical_dfa(DFA(alphabet, initial=0))
+
+    pta = prefix_tree_acceptor(alphabet, positives)
+
+    def violates(candidate: DFA) -> bool:
+        return any(candidate.accepts(word) for word in negative_set)
+
+    generalized = generalize_pta(pta, violates, alphabet=alphabet)
+    return canonical_dfa(generalized)

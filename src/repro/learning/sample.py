@@ -1,0 +1,208 @@
+"""Samples: sets of labeled examples.
+
+A (monadic) example is a pair ``(node, label)`` with label ``+`` or ``-``;
+a sample is a set of examples (Section 3.1).  Binary and n-ary samples
+(Appendix B) label pairs and tuples of nodes instead.
+
+Samples are immutable value objects; "adding" an example returns a new
+sample, which keeps the interactive loop's bookkeeping simple and makes the
+objects safe to share between strategies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Generic, TypeVar
+
+from repro.errors import SampleError
+from repro.graphdb.graph import GraphDB, Node
+
+POSITIVE = "+"
+NEGATIVE = "-"
+
+ExampleT = TypeVar("ExampleT")
+
+
+class _BaseSample(Generic[ExampleT]):
+    """Shared implementation of the three sample flavours."""
+
+    def __init__(
+        self,
+        positives: Iterable[ExampleT] = (),
+        negatives: Iterable[ExampleT] = (),
+    ) -> None:
+        self._positives: frozenset[ExampleT] = frozenset(positives)
+        self._negatives: frozenset[ExampleT] = frozenset(negatives)
+        overlap = self._positives & self._negatives
+        if overlap:
+            raise SampleError(
+                f"examples labeled both positive and negative: {sorted(overlap, key=repr)[:5]!r}"
+            )
+
+    @property
+    def positives(self) -> frozenset[ExampleT]:
+        """The positive examples (S+)."""
+        return self._positives
+
+    @property
+    def negatives(self) -> frozenset[ExampleT]:
+        """The negative examples (S-)."""
+        return self._negatives
+
+    @property
+    def labeled(self) -> frozenset[ExampleT]:
+        """All labeled examples."""
+        return self._positives | self._negatives
+
+    def __len__(self) -> int:
+        return len(self._positives) + len(self._negatives)
+
+    def __bool__(self) -> bool:
+        return bool(self._positives or self._negatives)
+
+    def __contains__(self, example: object) -> bool:
+        return example in self._positives or example in self._negatives
+
+    def __iter__(self) -> Iterator[tuple[ExampleT, str]]:
+        for example in self._positives:
+            yield example, POSITIVE
+        for example in self._negatives:
+            yield example, NEGATIVE
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self._positives == other._positives and self._negatives == other._negatives
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._positives, self._negatives))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(positives={len(self._positives)}, "
+            f"negatives={len(self._negatives)})"
+        )
+
+    def label_of(self, example: ExampleT) -> str | None:
+        """The label of an example (``'+'``, ``'-'``) or None if unlabeled."""
+        if example in self._positives:
+            return POSITIVE
+        if example in self._negatives:
+            return NEGATIVE
+        return None
+
+    def with_example(self, example: ExampleT, label: str) -> "_BaseSample[ExampleT]":
+        """A new sample with one more labeled example."""
+        if label not in (POSITIVE, NEGATIVE):
+            raise SampleError(f"label must be '+' or '-', got {label!r}")
+        current = self.label_of(example)
+        if current is not None and current != label:
+            raise SampleError(
+                f"example {example!r} is already labeled {current!r}"
+            )
+        if label == POSITIVE:
+            return type(self)(self._positives | {example}, self._negatives)
+        return type(self)(self._positives, self._negatives | {example})
+
+    def with_positive(self, example: ExampleT) -> "_BaseSample[ExampleT]":
+        """A new sample with one more positive example."""
+        return self.with_example(example, POSITIVE)
+
+    def with_negative(self, example: ExampleT) -> "_BaseSample[ExampleT]":
+        """A new sample with one more negative example."""
+        return self.with_example(example, NEGATIVE)
+
+    def extends(self, other: "_BaseSample[ExampleT]") -> bool:
+        """Whether this sample contains every example of ``other`` with the same label."""
+        return other.positives <= self._positives and other.negatives <= self._negatives
+
+
+class Sample(_BaseSample[Node]):
+    """A monadic sample: positive and negative graph nodes."""
+
+    def check_against(self, graph: GraphDB) -> None:
+        """Validate that every labeled node belongs to the given graph."""
+        missing = [node for node in self.labeled if node not in graph]
+        if missing:
+            raise SampleError(
+                f"labeled nodes not present in the graph: {sorted(missing, key=repr)[:5]!r}"
+            )
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Node, str]]) -> "Sample":
+        """Build a sample from ``(node, '+'/'-')`` pairs."""
+        positives, negatives = [], []
+        for node, label in pairs:
+            if label == POSITIVE:
+                positives.append(node)
+            elif label == NEGATIVE:
+                negatives.append(node)
+            else:
+                raise SampleError(f"label must be '+' or '-', got {label!r}")
+        return cls(positives, negatives)
+
+
+class BinarySample(_BaseSample[tuple[Node, Node]]):
+    """A binary sample: positive and negative node pairs."""
+
+    def check_against(self, graph: GraphDB) -> None:
+        """Validate that every node of every labeled pair belongs to the graph."""
+        missing = [
+            pair for pair in self.labeled if pair[0] not in graph or pair[1] not in graph
+        ]
+        if missing:
+            raise SampleError(
+                f"labeled pairs with nodes not in the graph: {sorted(missing, key=repr)[:5]!r}"
+            )
+
+
+class NarySample(_BaseSample[tuple[Node, ...]]):
+    """An n-ary sample: positive and negative node tuples (all the same arity)."""
+
+    def __init__(
+        self,
+        positives: Iterable[Sequence[Node]] = (),
+        negatives: Iterable[Sequence[Node]] = (),
+    ) -> None:
+        super().__init__(
+            (tuple(example) for example in positives),
+            (tuple(example) for example in negatives),
+        )
+        arities = {len(example) for example in self.labeled}
+        if len(arities) > 1:
+            raise SampleError(f"examples of mixed arities: {sorted(arities)!r}")
+        if arities and min(arities) < 2:
+            raise SampleError("n-ary examples must have arity at least 2")
+
+    @property
+    def arity(self) -> int | None:
+        """The arity of the labeled tuples (None if the sample is empty)."""
+        for example in self.labeled:
+            return len(example)
+        return None
+
+    def check_against(self, graph: GraphDB) -> None:
+        """Validate that every node of every labeled tuple belongs to the graph."""
+        missing = [
+            example
+            for example in self.labeled
+            if any(node not in graph for node in example)
+        ]
+        if missing:
+            raise SampleError(
+                f"labeled tuples with nodes not in the graph: {sorted(missing, key=repr)[:5]!r}"
+            )
+
+    def project(self, position: int) -> BinarySample:
+        """The binary sample of adjacent pairs at ``position`` (Algorithm 3, lines 2-3)."""
+        if self.arity is None:
+            return BinarySample()
+        if not 0 <= position < self.arity - 1:
+            raise SampleError(f"position {position} out of range for arity {self.arity}")
+        positives = {(t[position], t[position + 1]) for t in self.positives}
+        negatives = {(t[position], t[position + 1]) for t in self.negatives}
+        # A pair can appear in both projections (different tuples); positives win,
+        # because a consistent component query must select every positive pair,
+        # while a negative tuple only requires *some* position to fail.
+        negatives -= positives
+        return BinarySample(positives, negatives)

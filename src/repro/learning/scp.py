@@ -1,0 +1,61 @@
+"""Selection of the smallest consistent paths (SCPs).
+
+For a positive node ``nu``, its smallest consistent path is the canonically
+smallest word of ``paths_G(nu) \\ paths_G(S-)`` -- the smallest path of
+``nu`` that no negative node covers (Algorithm 1, lines 1-2).  Because
+``paths_G(nu)`` can be infinite, the search is bounded by the learner's
+parameter ``k``; a positive node with no consistent path of length at most
+``k`` simply contributes no SCP (the generalization step may still make the
+learned query select it, which line 6 of the algorithm verifies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.alphabet import Word
+from repro.errors import LearningError
+from repro.graphdb.graph import GraphDB, Node
+from repro.graphdb.paths import covered_by, enumerate_paths
+from repro.learning.sample import Sample
+
+
+def smallest_consistent_path(
+    graph: GraphDB,
+    node: Node,
+    negatives: Iterable[Node],
+    *,
+    k: int,
+) -> Word | None:
+    """The smallest path of ``node`` (length <= k) not covered by the negatives.
+
+    Returns None when no such path exists within the bound.
+    """
+    if k < 0:
+        raise LearningError("the path-length bound k must be non-negative")
+    negative_set = frozenset(negatives)
+    for path in enumerate_paths(graph, node, max_length=k):
+        if not covered_by(graph, path, negative_set):
+            return path
+    return None
+
+
+def select_smallest_consistent_paths(
+    graph: GraphDB,
+    sample: Sample,
+    *,
+    k: int,
+) -> dict[Node, Word]:
+    """The SCP of every positive node that has one (length <= k).
+
+    The returned mapping may omit positive nodes (when their consistent
+    paths are all longer than ``k``); Algorithm 1 tolerates this and checks
+    at the end that the generalized query still selects them.
+    """
+    sample.check_against(graph)
+    scps: dict[Node, Word] = {}
+    for node in sample.positives:
+        path = smallest_consistent_path(graph, node, sample.negatives, k=k)
+        if path is not None:
+            scps[node] = path
+    return scps

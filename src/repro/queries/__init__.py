@@ -1,0 +1,25 @@
+"""Path queries and their semantics.
+
+* :class:`~repro.queries.path_query.PathQuery` -- monadic path queries (the
+  paper's main query class ``pq``): a regular expression selecting every
+  node from which some path spells a word of the language.
+* :class:`~repro.queries.binary.BinaryPathQuery` -- binary semantics (pairs
+  of nodes linked by a matching path).
+* :class:`~repro.queries.nary.NaryPathQuery` -- n-ary semantics (tuples of
+  nodes linked position-by-position by n-1 regular expressions).
+* :mod:`repro.queries.selectivity` -- selectivity measurements used by the
+  experiment drivers (Table 1 reports query selectivities).
+"""
+
+from repro.queries.path_query import PathQuery
+from repro.queries.binary import BinaryPathQuery
+from repro.queries.nary import NaryPathQuery
+from repro.queries.selectivity import selectivity, selectivity_report
+
+__all__ = [
+    "PathQuery",
+    "BinaryPathQuery",
+    "NaryPathQuery",
+    "selectivity",
+    "selectivity_report",
+]

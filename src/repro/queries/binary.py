@@ -1,0 +1,110 @@
+"""Binary path queries (Appendix B of the paper).
+
+Under the binary semantics a query ``q`` selects the pairs of nodes
+``(nu, nu')`` such that some path from ``nu`` to ``nu'`` spells a word of
+``L(q)``.  This is the classical regular-path-query semantics; the paper's
+monadic class generalizes it, and Algorithm 2 learns it with the same
+machinery (only the candidate-path space per example changes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.alphabet import Alphabet
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.nfa import NFA
+from repro.automata.operations import language_equivalent
+from repro.errors import QueryError
+from repro.graphdb.graph import GraphDB, Node
+from repro.graphdb.product import binary_evaluate, pair_selects
+from repro.regex.ast import Regex
+from repro.regex.build import compile_query
+from repro.regex.convert import dfa_to_regex
+
+
+class BinaryPathQuery:
+    """A regular path query under the binary (pairs-of-nodes) semantics."""
+
+    def __init__(self, dfa: DFA, *, expression: str | None = None) -> None:
+        self._dfa = canonical_dfa(dfa)
+        self._expression = expression
+
+    @classmethod
+    def parse(
+        cls,
+        expression: str | Regex,
+        alphabet: Alphabet | Iterable[str] | None = None,
+    ) -> "BinaryPathQuery":
+        """Build a binary query from a regular expression string (or AST)."""
+        dfa = compile_query(expression, alphabet)
+        text = expression if isinstance(expression, str) else str(expression)
+        return cls(dfa, expression=text)
+
+    @classmethod
+    def from_automaton(cls, automaton: DFA | NFA) -> "BinaryPathQuery":
+        """Build a binary query from any automaton."""
+        return cls(canonical_dfa(automaton))
+
+    @property
+    def dfa(self) -> DFA:
+        """The canonical DFA representing the query."""
+        return self._dfa
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet the query is defined over."""
+        return self._dfa.alphabet
+
+    @property
+    def size(self) -> int:
+        """The number of states of the canonical DFA."""
+        return len(self._dfa)
+
+    @property
+    def expression(self) -> str:
+        """A regular-expression rendering of the query."""
+        if self._expression is not None:
+            return self._expression
+        return str(dfa_to_regex(self._dfa))
+
+    def __repr__(self) -> str:
+        return f"BinaryPathQuery({self.expression!r}, size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryPathQuery):
+            return NotImplemented
+        # Binary semantics distinguishes prefixes (the end node is observed),
+        # so equivalence is plain language equivalence.
+        return language_equivalent(self._dfa, other._dfa)
+
+    def __hash__(self) -> int:
+        dfa = self._dfa
+        return hash((dfa.alphabet, len(dfa), frozenset(dfa.final_states)))
+
+    def evaluate(self, graph: GraphDB) -> frozenset[tuple[Node, Node]]:
+        """The set of node pairs selected on ``graph``."""
+        return binary_evaluate(graph, self._dfa)
+
+    def selects(self, graph: GraphDB, origin: Node, end: Node) -> bool:
+        """Whether the query selects the pair ``(origin, end)``."""
+        return pair_selects(graph, self._dfa, origin, end)
+
+    def selectivity(self, graph: GraphDB) -> float:
+        """The fraction of node pairs selected (0.0 - 1.0)."""
+        total = graph.node_count() ** 2
+        if total == 0:
+            raise QueryError("selectivity is undefined on an empty graph")
+        return len(self.evaluate(graph)) / total
+
+    def is_consistent_with(
+        self,
+        graph: GraphDB,
+        positives: Iterable[tuple[Node, Node]],
+        negatives: Iterable[tuple[Node, Node]],
+    ) -> bool:
+        """Whether the query selects every positive pair and no negative pair."""
+        return all(self.selects(graph, *pair) for pair in positives) and not any(
+            self.selects(graph, *pair) for pair in negatives
+        )

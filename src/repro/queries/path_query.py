@@ -1,0 +1,185 @@
+"""Monadic path queries (the paper's class ``pq``).
+
+A path query is a regular expression ``q``; on a graph ``G`` it selects::
+
+    q(G) = { nu in G | L(q) & paths_G(nu) != {} }
+
+A :class:`PathQuery` wraps the canonical DFA of the expression (the paper's
+query representation) together with, when available, the source expression
+for readable display.  Instances are immutable value objects: equality is
+language equivalence, hashing uses the relabeled canonical structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+from repro.automata.alphabet import Alphabet, Word
+from repro.automata.dfa import DFA
+from repro.automata.minimize import canonical_dfa
+from repro.automata.nfa import NFA
+from repro.automata.operations import language_equivalent
+from repro.automata.prefix_free import is_prefix_free, prefix_free
+from repro.errors import QueryError
+from repro.graphdb.graph import GraphDB, Node
+from repro.graphdb.product import evaluate, node_selects
+from repro.regex.ast import Regex
+from repro.regex.build import compile_query
+from repro.regex.convert import dfa_to_regex
+
+
+class PathQuery:
+    """A monadic regular path query, represented by its canonical DFA."""
+
+    def __init__(self, dfa: DFA, *, expression: str | None = None) -> None:
+        self._dfa = canonical_dfa(dfa)
+        self._expression = expression
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls,
+        expression: str | Regex,
+        alphabet: Alphabet | Iterable[str] | None = None,
+    ) -> "PathQuery":
+        """Build a query from a regular-expression string (or AST).
+
+        Passing the graph's alphabet lets the query be evaluated on graphs
+        that use labels not mentioned in the expression.
+        """
+        dfa = compile_query(expression, alphabet)
+        text = expression if isinstance(expression, str) else str(expression)
+        return cls(dfa, expression=text)
+
+    @classmethod
+    def from_automaton(cls, automaton: DFA | NFA) -> "PathQuery":
+        """Build a query from any automaton (canonicalized on construction)."""
+        dfa = automaton if isinstance(automaton, DFA) else canonical_dfa(automaton)
+        return cls(dfa)
+
+    @classmethod
+    def from_words(cls, alphabet: Alphabet, words: Iterable[Sequence[str]]) -> "PathQuery":
+        """The disjunction-of-words query selecting nodes with one of the given paths."""
+        word_list = [tuple(word) for word in words]
+        if not word_list:
+            raise QueryError("a disjunction-of-words query needs at least one word")
+        return cls(canonical_dfa(NFA.from_words(alphabet, word_list)))
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def dfa(self) -> DFA:
+        """The canonical DFA representing the query."""
+        return self._dfa
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet the query is defined over."""
+        return self._dfa.alphabet
+
+    @property
+    def size(self) -> int:
+        """The size of the query: number of states of its canonical DFA."""
+        return len(self._dfa)
+
+    @cached_property
+    def expression(self) -> str:
+        """A regular-expression rendering of the query.
+
+        The original expression string if the query was parsed from one,
+        otherwise an expression recovered from the DFA by state elimination.
+        """
+        if self._expression is not None:
+            return self._expression
+        return str(dfa_to_regex(self._dfa))
+
+    def __repr__(self) -> str:
+        return f"PathQuery({self.expression!r}, size={self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathQuery):
+            return NotImplemented
+        return self.equivalent_to(other)
+
+    def __hash__(self) -> int:
+        dfa = self._dfa
+        return hash(
+            (
+                dfa.alphabet,
+                len(dfa),
+                frozenset(dfa.final_states),
+                frozenset(dfa.transitions()),
+            )
+        )
+
+    # -- language-level operations ---------------------------------------------
+
+    def accepts_word(self, word: Sequence[str]) -> bool:
+        """Whether the word belongs to the query's language."""
+        return self._dfa.accepts(word)
+
+    def is_empty(self) -> bool:
+        """Whether the query language is empty (selects nothing on any graph)."""
+        return self._dfa.is_empty()
+
+    def is_prefix_free(self) -> bool:
+        """Whether the query is prefix-free (Section 2)."""
+        return is_prefix_free(self._dfa)
+
+    def prefix_free_form(self) -> "PathQuery":
+        """The equivalent prefix-free query (the minimal representative)."""
+        return PathQuery(prefix_free(self._dfa))
+
+    def equivalent_to(self, other: "PathQuery") -> bool:
+        """Language equivalence of the two queries.
+
+        Under monadic semantics, two queries select the same nodes on every
+        graph iff their *prefix-free forms* have the same language (e.g.
+        ``a`` and ``a.b*`` are equivalent queries); that is the notion
+        implemented here.
+        """
+        return language_equivalent(
+            prefix_free(self._dfa), prefix_free(other._dfa)
+        )
+
+    # -- evaluation on graphs ----------------------------------------------------
+
+    def evaluate(self, graph: GraphDB) -> frozenset[Node]:
+        """The set of nodes selected on ``graph`` (monadic semantics)."""
+        return evaluate(graph, self._dfa)
+
+    def selects(self, graph: GraphDB, node: Node) -> bool:
+        """Whether the query selects one given node of ``graph``."""
+        return node_selects(graph, self._dfa, node)
+
+    def selectivity(self, graph: GraphDB) -> float:
+        """The fraction of graph nodes selected by the query (0.0 - 1.0)."""
+        if graph.node_count() == 0:
+            raise QueryError("selectivity is undefined on an empty graph")
+        return len(self.evaluate(graph)) / graph.node_count()
+
+    def equivalent_on(self, other: "PathQuery", graph: GraphDB) -> bool:
+        """Whether the two queries select the same node set on this graph.
+
+        This is the "indistinguishable by the user" notion of Section 3.3:
+        weaker than language equivalence, and the halt condition used by the
+        interactive experiments.
+        """
+        return self.evaluate(graph) == other.evaluate(graph)
+
+    def is_consistent_with(
+        self,
+        graph: GraphDB,
+        positives: Iterable[Node],
+        negatives: Iterable[Node],
+    ) -> bool:
+        """Whether the query selects every positive node and no negative node."""
+        return all(self.selects(graph, node) for node in positives) and not any(
+            self.selects(graph, node) for node in negatives
+        )
+
+    def shortest_word(self) -> Word | None:
+        """The canonically smallest word in the query language, if any."""
+        return self._dfa.shortest_accepted_word()

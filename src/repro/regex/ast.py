@@ -1,0 +1,193 @@
+"""Regular expression abstract syntax trees.
+
+Nodes are small immutable dataclasses.  Smart constructors (:func:`concat`,
+:func:`disjunction`, :func:`star`) apply the obvious algebraic
+simplifications (identity of epsilon for concatenation, idempotence of star,
+absorption of the empty set) so that programmatically assembled expressions
+stay readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+class Regex:
+    """Base class of regular expression nodes."""
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        """The set of alphabet symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def node_count(self) -> int:
+        """The number of AST nodes (a syntactic size measure)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegated to subclasses
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty word."""
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def node_count(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language (used internally by DFA -> regex conversion)."""
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def node_count(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single alphabet symbol."""
+
+    name: str
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def node_count(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``left . right``."""
+
+    left: Regex
+    right: Regex
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return self.left.alphabet_symbols() | self.right.alphabet_symbols()
+
+    def node_count(self) -> int:
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def __str__(self) -> str:
+        parts = []
+        for child in (self.left, self.right):
+            text = str(child)
+            if isinstance(child, Union):
+                text = f"({text})"
+            parts.append(text)
+        return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Disjunction ``left + right``."""
+
+    left: Regex
+    right: Regex
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return self.left.alphabet_symbols() | self.right.alphabet_symbols()
+
+    def node_count(self) -> int:
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def __str__(self) -> str:
+        return f"{self.left}+{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    inner: Regex
+
+    def alphabet_symbols(self) -> frozenset[str]:
+        return self.inner.alphabet_symbols()
+
+    def node_count(self) -> int:
+        return 1 + self.inner.node_count()
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if isinstance(self.inner, (Union, Concat)):
+            text = f"({text})"
+        return f"{text}*"
+
+
+# -- smart constructors -------------------------------------------------------
+
+
+def epsilon() -> Regex:
+    """The empty-word expression."""
+    return Epsilon()
+
+
+def symbol(name: str) -> Regex:
+    """A single-symbol expression."""
+    return Symbol(name)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenate the given expressions, simplifying epsilon and empty set."""
+    result: Regex | None = None
+    for part in parts:
+        if isinstance(part, EmptySet):
+            return EmptySet()
+        if isinstance(part, Epsilon):
+            continue
+        result = part if result is None else Concat(result, part)
+    return result if result is not None else Epsilon()
+
+
+def disjunction(*parts: Regex) -> Regex:
+    """Disjunction of the given expressions, dropping empty-set members."""
+    useful = [part for part in parts if not isinstance(part, EmptySet)]
+    # Deduplicate syntactically identical alternatives while keeping order.
+    unique: list[Regex] = []
+    for part in useful:
+        if part not in unique:
+            unique.append(part)
+    if not unique:
+        return EmptySet()
+    result = unique[0]
+    for part in unique[1:]:
+        result = Union(result, part)
+    return result
+
+
+def disjunction_of_symbols(names: Iterable[str]) -> Regex:
+    """Convenience: ``a1 + a2 + ... + an`` from symbol names."""
+    return disjunction(*(Symbol(name) for name in names))
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with the simplifications ``eps* = eps`` and ``(r*)* = r*``."""
+    if isinstance(inner, (Epsilon, EmptySet)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def word_regex(word: Sequence[str]) -> Regex:
+    """The expression denoting exactly one word (concatenation of its symbols)."""
+    if not word:
+        return Epsilon()
+    return concat(*(Symbol(symbol_name) for symbol_name in word))

@@ -1,0 +1,126 @@
+"""Unit tests for alphabets and the canonical order on words."""
+
+import pytest
+
+from repro.automata.alphabet import Alphabet, word_to_str
+from repro.errors import AlphabetError
+
+
+class TestConstruction:
+    def test_symbols_are_sorted_by_default(self):
+        alphabet = Alphabet(["c", "a", "b"])
+        assert alphabet.symbols == ("a", "b", "c")
+
+    def test_explicit_order_is_preserved_when_sort_disabled(self):
+        alphabet = Alphabet(["c", "a", "b"], sort=False)
+        assert alphabet.symbols == ("c", "a", "b")
+
+    def test_duplicate_symbols_are_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", "a"])
+
+    def test_empty_symbol_is_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", ""])
+
+    def test_non_string_symbol_is_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", 3])
+
+    def test_multicharacter_symbols_are_supported(self):
+        alphabet = Alphabet(["tram", "bus", "cinema"])
+        assert "tram" in alphabet
+        assert alphabet.index("bus") == 0
+
+    def test_equality_and_hash(self):
+        assert Alphabet(["a", "b"]) == Alphabet(["b", "a"])
+        assert hash(Alphabet(["a", "b"])) == hash(Alphabet(["b", "a"]))
+        assert Alphabet(["a", "b"]) != Alphabet(["a", "c"])
+
+
+class TestMembershipAndIndex:
+    def test_contains_and_len(self):
+        alphabet = Alphabet(["a", "b", "c"])
+        assert "a" in alphabet
+        assert "z" not in alphabet
+        assert len(alphabet) == 3
+
+    def test_index_of_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a"]).index("b")
+
+    def test_check_word_accepts_valid_and_rejects_unknown(self):
+        alphabet = Alphabet(["a", "b"])
+        assert alphabet.check_word(["a", "b", "a"]) == ("a", "b", "a")
+        with pytest.raises(AlphabetError):
+            alphabet.check_word(["a", "z"])
+
+
+class TestCanonicalOrder:
+    def test_shorter_words_come_first(self):
+        alphabet = Alphabet(["a", "b"])
+        assert alphabet.canonical_less(("b",), ("a", "a"))
+
+    def test_equal_length_words_compare_lexicographically(self):
+        alphabet = Alphabet(["a", "b"])
+        assert alphabet.canonical_less(("a", "b"), ("b", "a"))
+        assert not alphabet.canonical_less(("b", "a"), ("a", "b"))
+
+    def test_canonical_sorted_matches_paper_example(self):
+        # Section 2: w <= u iff |w| < |u|, or equal length and lexicographic.
+        alphabet = Alphabet(["a", "b", "c"])
+        words = [("c",), ("a", "b", "c"), (), ("b",), ("a", "a")]
+        assert alphabet.canonical_sorted(words) == [
+            (),
+            ("b",),
+            ("c",),
+            ("a", "a"),
+            ("a", "b", "c"),
+        ]
+
+    def test_canonical_min(self):
+        alphabet = Alphabet(["a", "b", "c"])
+        assert alphabet.canonical_min([("a", "b"), ("c",), ("b", "a")]) == ("c",)
+
+    def test_custom_symbol_order_changes_lexicographic_order(self):
+        alphabet = Alphabet(["b", "a"], sort=False)
+        # With order b < a, the word (b,) precedes (a,).
+        assert alphabet.canonical_less(("b",), ("a",))
+
+
+class TestWordGeneration:
+    def test_words_up_to_counts(self):
+        alphabet = Alphabet(["a", "b"])
+        words = list(alphabet.words_up_to(2))
+        assert len(words) == 1 + 2 + 4
+        assert words[0] == ()
+        assert set(words[1:3]) == {("a",), ("b",)}
+
+    def test_words_up_to_is_canonically_ordered(self):
+        alphabet = Alphabet(["a", "b", "c"])
+        words = list(alphabet.words_up_to(2))
+        assert words == alphabet.canonical_sorted(words)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(AlphabetError):
+            list(Alphabet(["a"]).words_up_to(-1))
+
+
+class TestRestrictAndUnion:
+    def test_restrict_keeps_order(self):
+        alphabet = Alphabet(["a", "b", "c", "d"])
+        assert alphabet.restrict(["c", "a"]).symbols == ("a", "c")
+
+    def test_restrict_to_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a"]).restrict(["z"])
+
+    def test_union(self):
+        merged = Alphabet(["a", "b"]).union(Alphabet(["b", "c"]))
+        assert merged.symbols == ("a", "b", "c")
+
+
+class TestDisplay:
+    def test_word_to_str(self):
+        assert word_to_str(("a", "b")) == "a.b"
+        assert word_to_str(()) == "ε"

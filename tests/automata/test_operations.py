@@ -1,0 +1,102 @@
+"""Unit tests for Boolean operations and decision procedures on automata."""
+
+import pytest
+
+from repro.automata import (
+    Alphabet,
+    complement,
+    enumerate_words,
+    intersect,
+    intersection_empty,
+    is_empty,
+    language_equivalent,
+    language_included,
+    union,
+)
+from repro.automata.nfa import NFA
+from repro.automata.operations import accepts_all, accepts_any
+from repro.errors import AutomatonError
+from repro.regex import compile_query
+
+
+@pytest.fixture
+def abc():
+    return Alphabet(["a", "b", "c"])
+
+
+class TestIntersection:
+    def test_intersection_of_overlapping_languages(self, abc):
+        left = compile_query("(a+b)*", abc)
+        right = compile_query("a.b*", abc)
+        product = intersect(left, right)
+        assert product.accepts(("a",))
+        assert product.accepts(("a", "b", "b"))
+        assert not product.accepts(("b",))
+
+    def test_intersection_empty_detects_disjoint_languages(self, abc):
+        assert intersection_empty(compile_query("a.a*", abc), compile_query("b.b*", abc))
+        assert not intersection_empty(compile_query("a*", abc), compile_query("a.a", abc))
+
+    def test_intersection_across_different_alphabets(self):
+        left = compile_query("a", Alphabet(["a", "b"]))
+        right = compile_query("a", Alphabet(["a", "c"]))
+        assert not intersection_empty(left, right)
+
+
+class TestUnionAndComplement:
+    def test_union_accepts_both_sides(self, abc):
+        combined = union(compile_query("a", abc), compile_query("b.c", abc))
+        assert combined.accepts(("a",))
+        assert combined.accepts(("b", "c"))
+        assert not combined.accepts(("b",))
+
+    def test_complement(self, abc):
+        comp = complement(compile_query("a*", abc))
+        assert not comp.accepts(("a", "a"))
+        assert comp.accepts(("b",))
+        assert not comp.accepts(())
+
+
+class TestEmptinessInclusionEquivalence:
+    def test_is_empty(self, abc):
+        assert is_empty(NFA(abc, initial=[0]))
+        assert not is_empty(compile_query("a", abc))
+
+    def test_language_included(self, abc):
+        assert language_included(compile_query("a.b", abc), compile_query("a.b*", abc))
+        assert not language_included(compile_query("a.b*", abc), compile_query("a.b", abc))
+
+    def test_language_equivalent(self, abc):
+        assert language_equivalent(
+            compile_query("(a.b)*.c", abc), compile_query("c+a.b.(a.b)*.c", abc)
+        )
+        assert not language_equivalent(compile_query("a", abc), compile_query("a.b", abc))
+
+
+class TestEnumeration:
+    def test_enumerate_words_in_canonical_order(self, abc):
+        dfa = compile_query("(a.b)*.c", abc)
+        words = list(enumerate_words(dfa, max_length=5))
+        assert words == [("c",), ("a", "b", "c"), ("a", "b", "a", "b", "c")]
+
+    def test_enumerate_words_respects_limit(self, abc):
+        dfa = compile_query("a*", abc)
+        assert len(list(enumerate_words(dfa, max_length=10, limit=4))) == 4
+
+    def test_enumerate_words_negative_length_raises(self, abc):
+        with pytest.raises(AutomatonError):
+            list(enumerate_words(compile_query("a", abc), max_length=-1))
+
+    def test_enumerate_words_includes_epsilon(self, abc):
+        dfa = compile_query("a*", abc)
+        words = list(enumerate_words(dfa, max_length=2))
+        assert words[0] == ()
+
+
+class TestConvenience:
+    def test_accepts_any_and_all(self, abc):
+        dfa = compile_query("a+b", abc)
+        assert accepts_any(dfa, [("c",), ("b",)])
+        assert not accepts_any(dfa, [("c",), ("a", "a")])
+        assert accepts_all(dfa, [("a",), ("b",)])
+        assert not accepts_all(dfa, [("a",), ("c",)])

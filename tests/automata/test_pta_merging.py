@@ -1,0 +1,96 @@
+"""Unit tests for the prefix tree acceptor and state-merging operations."""
+
+import pytest
+
+from repro.automata import Alphabet, prefix_tree_acceptor
+from repro.automata.merging import deterministic_merge, merge_states
+from repro.automata.pta import pta_states_in_canonical_order
+from repro.errors import AutomatonError
+
+
+@pytest.fixture
+def abc():
+    return Alphabet(["a", "b", "c"])
+
+
+class TestPrefixTreeAcceptor:
+    def test_pta_of_paper_example(self, abc):
+        # Figure 6(a): PTA of {abc, c} has states eps, a, ab, abc, c.
+        pta = prefix_tree_acceptor(abc, [("a", "b", "c"), ("c",)])
+        assert set(pta.states) == {(), ("a",), ("a", "b"), ("a", "b", "c"), ("c",)}
+        assert pta.final_states == {("a", "b", "c"), ("c",)}
+
+    def test_pta_accepts_exactly_the_words(self, abc):
+        words = [("a", "b"), ("a",), ("c", "c")]
+        pta = prefix_tree_acceptor(abc, words)
+        for word in words:
+            assert pta.accepts(word)
+        assert not pta.accepts(("b",))
+        assert not pta.accepts(("a", "b", "c"))
+
+    def test_pta_of_empty_word(self, abc):
+        pta = prefix_tree_acceptor(abc, [()])
+        assert pta.accepts(())
+        assert len(pta) == 1
+
+    def test_pta_states_in_canonical_order(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a", "b", "c"), ("c",)])
+        ordered = pta_states_in_canonical_order(pta, abc)
+        assert ordered == [(), ("a",), ("c",), ("a", "b"), ("a", "b", "c")]
+
+    def test_pta_shares_prefixes(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a", "b"), ("a", "c")])
+        # eps, a, ab, ac -> 4 states, not 5.
+        assert len(pta) == 4
+
+
+class TestMergeStates:
+    def test_plain_merge_may_create_nondeterminism(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a", "b", "c"), ("c",)])
+        merged = merge_states(pta, (), ("a",))
+        # Merging eps and a creates the language a*(c + bc) (paper Section 3.2).
+        assert merged.accepts(("b", "c"))
+        assert merged.accepts(("c",))
+        assert merged.accepts(("a", "a", "c"))
+
+    def test_merge_unknown_state_raises(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a",)])
+        with pytest.raises(AutomatonError):
+            merge_states(pta, (), ("z",))
+
+
+class TestDeterministicMerge:
+    def test_paper_merge_eps_ab_yields_abstar_c(self, abc):
+        # Section 3.2: merging eps and ab in the PTA of {abc, c} gives (a.b)*.c.
+        pta = prefix_tree_acceptor(abc, [("a", "b", "c"), ("c",)])
+        merged = deterministic_merge(pta, (), ("a", "b"))
+        assert merged.accepts(("c",))
+        assert merged.accepts(("a", "b", "c"))
+        assert merged.accepts(("a", "b", "a", "b", "c"))
+        assert not merged.accepts(("b", "c"))
+        assert not merged.accepts(())
+
+    def test_merge_result_is_deterministic(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a", "b", "c"), ("c",), ("a", "c")])
+        merged = deterministic_merge(pta, (), ("a",))
+        seen = {}
+        for source, symbol, _ in merged.transitions():
+            assert (source, symbol) not in seen
+            seen[(source, symbol)] = True
+
+    def test_merge_language_includes_original(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a", "b"), ("b",)])
+        merged = deterministic_merge(pta, (), ("a",))
+        for word in [("a", "b"), ("b",)]:
+            assert merged.accepts(word)
+
+    def test_merge_same_state_is_identity(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a",)])
+        merged = deterministic_merge(pta, (), ())
+        assert merged.accepts(("a",))
+        assert len(merged) == len(pta)
+
+    def test_merge_unknown_state_raises(self, abc):
+        pta = prefix_tree_acceptor(abc, [("a",)])
+        with pytest.raises(AutomatonError):
+            deterministic_merge(pta, ("z",), ())

@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's worked-example graphs and small alphabets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import Alphabet
+from repro.datasets import (
+    certain_node_graph,
+    example_graph_g0,
+    geo_graph,
+    inconsistent_sample_graph,
+    prefix_equivalent_graph,
+)
+from repro.datasets.figures import g0_characteristic_sample
+from repro.learning import Sample
+from repro.queries import PathQuery
+
+
+@pytest.fixture
+def abc_alphabet() -> Alphabet:
+    """The {a, b, c} alphabet used by most of the paper's examples."""
+    return Alphabet(["a", "b", "c"])
+
+
+@pytest.fixture
+def g0():
+    """The graph G0 of Figure 3."""
+    return example_graph_g0()
+
+
+@pytest.fixture
+def g0_sample() -> Sample:
+    """The Section 3.2 sample on G0: S+ = {v1, v3}, S- = {v2, v7}."""
+    positives, negatives = g0_characteristic_sample()
+    return Sample(positives, negatives)
+
+
+@pytest.fixture
+def abstar_c(g0) -> PathQuery:
+    """The running-example query (a.b)*.c over G0's alphabet."""
+    return PathQuery.parse("(a.b)*.c", g0.alphabet)
+
+
+@pytest.fixture
+def geo():
+    """The geographical graph of Figure 1."""
+    return geo_graph()
+
+
+@pytest.fixture
+def geo_goal(geo) -> PathQuery:
+    """The running-example query (tram+bus)*.cinema."""
+    return PathQuery.parse("(tram+bus)*.cinema", geo.alphabet)
+
+
+@pytest.fixture
+def inconsistent_case():
+    """The Figure 5 graph together with its (inconsistent) sample."""
+    graph, positives, negatives = inconsistent_sample_graph()
+    return graph, Sample(positives, negatives)
+
+
+@pytest.fixture
+def certain_case():
+    """The Figure 10 graph: sample plus the node that is certain-positive."""
+    graph, positives, negatives, certain = certain_node_graph()
+    return graph, Sample(positives, negatives), certain
+
+
+@pytest.fixture
+def prefix_equivalent_case():
+    """The Figure 8-style graph where the goal has no characteristic sample."""
+    graph, positives, negatives = prefix_equivalent_graph()
+    return graph, Sample(positives, negatives)

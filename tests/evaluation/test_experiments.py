@@ -1,0 +1,139 @@
+"""Unit tests for the static and interactive experiment drivers and reporting."""
+
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.evaluation import (
+    render_figure11,
+    render_figure12,
+    render_table1,
+    render_table2,
+    run_interactive_experiment,
+    run_static_experiment,
+)
+from repro.evaluation.static import draw_sample
+from repro.evaluation.workloads import Workload
+from repro.datasets import scale_free_graph
+from repro.queries import PathQuery, selectivity_report
+
+
+@pytest.fixture(scope="module")
+def small_workload() -> Workload:
+    graph = scale_free_graph(250, alphabet_size=8, seed=9)
+    query = PathQuery.parse("l00.(l01+l02)*.l03", graph.alphabet)
+    return Workload(name="tiny", query=query, graph=graph, description="A.B*.C")
+
+
+class TestDrawSample:
+    def test_sample_is_labeled_by_the_goal(self, small_workload):
+        rng = random.Random(0)
+        sample = draw_sample(
+            small_workload.graph, small_workload.query, labeled_fraction=0.05, rng=rng
+        )
+        selected = small_workload.query.evaluate(small_workload.graph)
+        assert sample.positives <= selected
+        assert sample.negatives.isdisjoint(selected)
+        assert len(sample) >= 2
+
+    def test_positive_share_override(self, small_workload):
+        rng = random.Random(1)
+        sample = draw_sample(
+            small_workload.graph,
+            small_workload.query,
+            labeled_fraction=0.1,
+            rng=rng,
+            positive_share=0.5,
+        )
+        assert len(sample.positives) >= 1
+
+    def test_invalid_fraction_raises(self, small_workload):
+        with pytest.raises(LearningError):
+            draw_sample(
+                small_workload.graph,
+                small_workload.query,
+                labeled_fraction=0.0,
+                rng=random.Random(0),
+            )
+
+
+class TestStaticExperiment:
+    def test_sweep_produces_one_point_per_fraction(self, small_workload):
+        result = run_static_experiment(
+            small_workload, labeled_fractions=(0.02, 0.05, 0.1), seed=3, k_max=3
+        )
+        assert len(result.points) == 3
+        assert [p.labeled_fraction for p in result.points] == [0.02, 0.05, 0.1]
+        for point in result.points:
+            assert 0.0 <= point.f1 <= 1.0
+            assert point.learning_seconds >= 0.0
+
+    def test_f1_and_time_series(self, small_workload):
+        result = run_static_experiment(
+            small_workload, labeled_fractions=(0.05,), seed=3, k_max=3
+        )
+        assert len(result.f1_series()) == 1
+        assert len(result.time_series()) == 1
+
+    def test_labels_needed_for_f1(self, small_workload):
+        result = run_static_experiment(
+            small_workload, labeled_fractions=(0.02, 0.3), seed=0, k_max=3
+        )
+        threshold = result.labels_needed_for_f1(0.5)
+        assert threshold is None or threshold in (0.02, 0.3)
+
+    def test_baseline_ablation_runs(self, small_workload):
+        result = run_static_experiment(
+            small_workload,
+            labeled_fractions=(0.05,),
+            seed=0,
+            use_generalization=False,
+        )
+        assert len(result.points) == 1
+
+
+class TestInteractiveExperiment:
+    def test_row_fields(self, small_workload):
+        row = run_interactive_experiment(
+            small_workload, strategy="kR", seed=1, max_interactions=15, k_max=3
+        )
+        assert row.workload_name == "tiny"
+        assert row.strategy == "kR"
+        assert row.interactions <= 15
+        assert 0.0 <= row.labeled_fraction <= 1.0
+        assert 0.0 <= row.final_f1 <= 1.0
+
+    def test_relaxed_target_halts_no_later_than_strict(self, small_workload):
+        relaxed = run_interactive_experiment(
+            small_workload, strategy="kS", seed=2, max_interactions=25, target_f1=0.6
+        )
+        strict = run_interactive_experiment(
+            small_workload, strategy="kS", seed=2, max_interactions=25, target_f1=1.0
+        )
+        assert relaxed.interactions <= strict.interactions
+
+    def test_invalid_budget_raises(self, small_workload):
+        with pytest.raises(LearningError):
+            run_interactive_experiment(small_workload, max_interactions=0)
+
+
+class TestReporting:
+    def test_render_table1(self, small_workload):
+        report = selectivity_report({"q": small_workload.query}, small_workload.graph)
+        text = render_table1(report)
+        assert "Table 1" in text
+        assert "q" in text
+
+    def test_render_figures_and_table2(self, small_workload):
+        static = run_static_experiment(
+            small_workload, labeled_fractions=(0.05,), seed=0, k_max=3
+        )
+        interactive = run_interactive_experiment(
+            small_workload, strategy="kR", seed=0, max_interactions=10, k_max=3
+        )
+        assert "F1" in render_figure11([static])
+        assert "time" in render_figure12([static])
+        table2 = render_table2([interactive], {"tiny": 0.07})
+        assert "kR" in table2
+        assert "7.00%" in table2

@@ -1,0 +1,76 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphdb import (
+    GraphDB,
+    graph_from_edge_list,
+    graph_from_json,
+    graph_to_edge_list,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    graph = GraphDB(["a", "b"])
+    graph.add_edges([("x", "a", "y"), ("y", "b", "z")])
+    graph.add_node("isolated")
+    return graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample_graph):
+        text = graph_to_edge_list(sample_graph)
+        restored = graph_from_edge_list(text)
+        assert restored.nodes == sample_graph.nodes
+        assert restored.edges == sample_graph.edges
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        text = "# comment\n\nx\ta\ty\n"
+        graph = graph_from_edge_list(text)
+        assert graph.edges == {("x", "a", "y")}
+
+    def test_malformed_edge_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list("x\ta\n")
+
+    def test_malformed_node_directive_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list("%node\tx\textra\n")
+
+
+class TestJson:
+    def test_roundtrip(self, sample_graph):
+        text = graph_to_json(sample_graph)
+        restored = graph_from_json(text)
+        assert restored.nodes == sample_graph.nodes
+        assert restored.edges == sample_graph.edges
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_json("not json")
+
+    def test_missing_edges_key_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"nodes": []}')
+
+    def test_malformed_edge_entry_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"edges": [["x", "a"]]}')
+
+
+class TestFiles:
+    def test_save_and_load_json(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(sample_graph, path)
+        assert load_graph(path).edges == sample_graph.edges
+
+    def test_save_and_load_edge_list(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_graph(sample_graph, path)
+        assert load_graph(path).edges == sample_graph.edges
+        assert load_graph(path).nodes == sample_graph.nodes

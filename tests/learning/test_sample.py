@@ -1,0 +1,123 @@
+"""Unit tests for samples of labeled examples."""
+
+import pytest
+
+from repro.errors import SampleError
+from repro.learning import BinarySample, NarySample, Sample
+from repro.learning.sample import NEGATIVE, POSITIVE
+
+
+class TestSample:
+    def test_positive_and_negative_sets(self):
+        sample = Sample({"x", "y"}, {"z"})
+        assert sample.positives == {"x", "y"}
+        assert sample.negatives == {"z"}
+        assert sample.labeled == {"x", "y", "z"}
+        assert len(sample) == 3
+        assert bool(sample)
+
+    def test_empty_sample_is_falsy(self):
+        assert not Sample()
+
+    def test_conflicting_labels_raise(self):
+        with pytest.raises(SampleError):
+            Sample({"x"}, {"x"})
+
+    def test_label_of_and_contains(self):
+        sample = Sample({"x"}, {"y"})
+        assert sample.label_of("x") == POSITIVE
+        assert sample.label_of("y") == NEGATIVE
+        assert sample.label_of("z") is None
+        assert "x" in sample and "z" not in sample
+
+    def test_with_example_returns_new_sample(self):
+        sample = Sample({"x"})
+        extended = sample.with_negative("y")
+        assert "y" not in sample.labeled
+        assert extended.negatives == {"y"}
+
+    def test_with_example_rejects_relabeling(self):
+        sample = Sample({"x"})
+        with pytest.raises(SampleError):
+            sample.with_negative("x")
+
+    def test_with_example_same_label_is_idempotent(self):
+        sample = Sample({"x"})
+        assert sample.with_positive("x") == sample
+
+    def test_with_example_invalid_label(self):
+        with pytest.raises(SampleError):
+            Sample().with_example("x", "?")
+
+    def test_extends(self):
+        small = Sample({"x"}, {"y"})
+        big = Sample({"x", "w"}, {"y", "z"})
+        assert big.extends(small)
+        assert not small.extends(big)
+
+    def test_iteration_yields_labeled_pairs(self):
+        sample = Sample({"x"}, {"y"})
+        assert set(sample) == {("x", POSITIVE), ("y", NEGATIVE)}
+
+    def test_from_pairs(self):
+        sample = Sample.from_pairs([("x", "+"), ("y", "-")])
+        assert sample.positives == {"x"}
+        assert sample.negatives == {"y"}
+        with pytest.raises(SampleError):
+            Sample.from_pairs([("x", "?")])
+
+    def test_check_against_graph(self, g0):
+        Sample({"v1"}, {"v2"}).check_against(g0)
+        with pytest.raises(SampleError):
+            Sample({"missing"}).check_against(g0)
+
+    def test_equality_and_hash(self):
+        assert Sample({"x"}, {"y"}) == Sample({"x"}, {"y"})
+        assert hash(Sample({"x"})) == hash(Sample({"x"}))
+        assert Sample({"x"}) != Sample({"y"})
+
+
+class TestBinarySample:
+    def test_pairs(self):
+        sample = BinarySample({("x", "y")}, {("y", "z")})
+        assert ("x", "y") in sample.positives
+
+    def test_check_against(self, g0):
+        BinarySample({("v1", "v4")}).check_against(g0)
+        with pytest.raises(SampleError):
+            BinarySample({("v1", "missing")}).check_against(g0)
+
+
+class TestNarySample:
+    def test_arity_is_enforced(self):
+        with pytest.raises(SampleError):
+            NarySample({("x", "y")}, {("x", "y", "z")})
+        with pytest.raises(SampleError):
+            NarySample({("x",)})
+
+    def test_arity_property(self):
+        assert NarySample({("x", "y", "z")}).arity == 3
+        assert NarySample().arity is None
+
+    def test_project(self):
+        sample = NarySample({("a", "b", "c")}, {("d", "e", "f")})
+        first = sample.project(0)
+        assert first.positives == {("a", "b")}
+        assert first.negatives == {("d", "e")}
+        second = sample.project(1)
+        assert second.positives == {("b", "c")}
+
+    def test_project_out_of_range(self):
+        with pytest.raises(SampleError):
+            NarySample({("a", "b")}).project(1)
+
+    def test_project_prefers_positive_on_conflict(self):
+        sample = NarySample({("a", "b", "c")}, {("a", "b", "z")})
+        projected = sample.project(0)
+        assert ("a", "b") in projected.positives
+        assert ("a", "b") not in projected.negatives
+
+    def test_check_against(self, g0):
+        NarySample({("v1", "v2", "v3")}).check_against(g0)
+        with pytest.raises(SampleError):
+            NarySample({("v1", "v2", "nope")}).check_against(g0)

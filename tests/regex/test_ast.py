@@ -1,0 +1,85 @@
+"""Unit tests for the regex AST smart constructors and rendering."""
+
+from repro.regex.ast import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    disjunction,
+    disjunction_of_symbols,
+    epsilon,
+    star,
+    symbol,
+    word_regex,
+)
+
+
+class TestSmartConstructors:
+    def test_concat_drops_epsilon(self):
+        assert concat(Symbol("a"), Epsilon(), Symbol("b")) == Concat(Symbol("a"), Symbol("b"))
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == Epsilon()
+
+    def test_concat_absorbs_empty_set(self):
+        assert concat(Symbol("a"), EmptySet()) == EmptySet()
+
+    def test_disjunction_deduplicates(self):
+        assert disjunction(Symbol("a"), Symbol("a")) == Symbol("a")
+
+    def test_disjunction_drops_empty_set(self):
+        assert disjunction(Symbol("a"), EmptySet()) == Symbol("a")
+
+    def test_disjunction_of_nothing_is_empty_set(self):
+        assert disjunction() == EmptySet()
+
+    def test_star_of_epsilon_is_epsilon(self):
+        assert star(Epsilon()) == Epsilon()
+
+    def test_star_is_idempotent(self):
+        assert star(star(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_disjunction_of_symbols(self):
+        regex = disjunction_of_symbols(["a", "b", "c"])
+        assert regex.alphabet_symbols() == {"a", "b", "c"}
+
+    def test_word_regex(self):
+        assert word_regex(("a", "b")) == Concat(Symbol("a"), Symbol("b"))
+        assert word_regex(()) == Epsilon()
+
+    def test_epsilon_and_symbol_helpers(self):
+        assert epsilon() == Epsilon()
+        assert symbol("x") == Symbol("x")
+
+
+class TestMetrics:
+    def test_node_count(self):
+        # Concat + Symbol(a) + Star + Union + Symbol(b) + Symbol(c) = 6 nodes.
+        regex = concat(Symbol("a"), star(Union(Symbol("b"), Symbol("c"))))
+        assert regex.node_count() == 6
+
+    def test_alphabet_symbols(self):
+        regex = concat(Symbol("a"), star(Union(Symbol("b"), Symbol("a"))))
+        assert regex.alphabet_symbols() == {"a", "b"}
+
+
+class TestRendering:
+    def test_union_inside_concat_is_parenthesized(self):
+        regex = Concat(Union(Symbol("a"), Symbol("b")), Symbol("c"))
+        assert str(regex) == "(a+b).c"
+
+    def test_star_of_concat_is_parenthesized(self):
+        regex = Star(Concat(Symbol("a"), Symbol("b")))
+        assert str(regex) == "(a.b)*"
+
+    def test_epsilon_renders(self):
+        assert str(Epsilon()) == "eps"
+
+    def test_roundtrip_through_parser(self):
+        from repro.regex import parse
+
+        for text in ["(a.b)*.c", "a+b.c", "(a+b)*", "a.(b+c)*.a"]:
+            assert str(parse(str(parse(text)))) == str(parse(text))

@@ -1,0 +1,84 @@
+"""Unit tests for regex compilation (Thompson) and DFA -> regex conversion."""
+
+import pytest
+
+from repro.automata import Alphabet, canonical_dfa, language_equivalent
+from repro.errors import RegexSyntaxError
+from repro.regex import compile_query, dfa_to_regex, parse, regex_to_dfa, regex_to_nfa
+from repro.regex.ast import EmptySet
+
+
+@pytest.fixture
+def abc():
+    return Alphabet(["a", "b", "c"])
+
+
+class TestThompsonConstruction:
+    @pytest.mark.parametrize(
+        "expression, accepted, rejected",
+        [
+            ("a", [("a",)], [(), ("b",), ("a", "a")]),
+            ("eps", [()], [("a",)]),
+            ("a.b", [("a", "b")], [("a",), ("b",), ("a", "b", "c")]),
+            ("a+b", [("a",), ("b",)], [("c",), ("a", "b")]),
+            ("a*", [(), ("a",), ("a", "a", "a")], [("b",), ("a", "b")]),
+            (
+                "(a.b)*.c",
+                [("c",), ("a", "b", "c"), ("a", "b", "a", "b", "c")],
+                [(), ("a", "b"), ("a", "c"), ("c", "c")],
+            ),
+            (
+                "(a+b)*.c",
+                [("c",), ("a", "c"), ("b", "a", "c")],
+                [("c", "a"), ("a",)],
+            ),
+        ],
+    )
+    def test_language_of_compiled_expression(self, abc, expression, accepted, rejected):
+        nfa = regex_to_nfa(parse(expression), abc)
+        dfa = regex_to_dfa(parse(expression), abc)
+        for word in accepted:
+            assert nfa.accepts(word)
+            assert dfa.accepts(word)
+        for word in rejected:
+            assert not nfa.accepts(word)
+            assert not dfa.accepts(word)
+
+    def test_compile_query_accepts_string_and_ast(self, abc):
+        from_string = compile_query("(a.b)*.c", abc)
+        from_ast = compile_query(parse("(a.b)*.c"), abc)
+        assert from_string.structurally_equal(from_ast)
+
+    def test_compile_query_with_iterable_alphabet(self):
+        dfa = compile_query("a.b", ["a", "b", "c"])
+        assert dfa.accepts(("a", "b"))
+
+    def test_compile_query_rejects_symbols_outside_alphabet(self, abc):
+        with pytest.raises(RegexSyntaxError):
+            compile_query("a.z", abc)
+
+    def test_alphabet_is_inferred_when_missing(self):
+        dfa = compile_query("tram.bus")
+        assert dfa.accepts(("tram", "bus"))
+
+
+class TestStateElimination:
+    @pytest.mark.parametrize(
+        "expression",
+        ["a", "a.b", "a+b", "a*", "(a.b)*.c", "(a+b)*.c", "a.(b+c)*", "a.b.c+b"],
+    )
+    def test_roundtrip_preserves_language(self, abc, expression):
+        dfa = compile_query(expression, abc)
+        recovered = dfa_to_regex(dfa)
+        assert language_equivalent(compile_query(recovered, abc), dfa)
+
+    def test_empty_language_gives_empty_set(self, abc):
+        from repro.automata.dfa import DFA
+
+        empty = DFA(abc, initial=0)
+        assert dfa_to_regex(empty) == EmptySet()
+
+    def test_roundtrip_of_canonical_dfa(self, abc):
+        original = compile_query("(a.b)*.c", abc)
+        recovered = compile_query(dfa_to_regex(canonical_dfa(original)), abc)
+        assert language_equivalent(original, recovered)
