@@ -25,6 +25,7 @@ Subpackages
 ``repro.automata``     finite automata substrate (NFA/DFA, canonical DFA, PTA).
 ``repro.regex``        regular expressions: parser, Thompson construction, display.
 ``repro.graphdb``      the graph database, path semantics and query evaluation.
+``repro.engine``       the indexed query engine: CSR index, compiled plans, caches.
 ``repro.datasets``     paper figure graphs, synthetic/AliBaba-like generators.
 ``repro.queries``      monadic, binary and n-ary path query semantics.
 ``repro.learning``     Algorithm 1/2/3, RPNI, characteristic samples (Theorem 3.5).
@@ -44,6 +45,7 @@ from repro.errors import (
     SampleError,
 )
 from repro.automata import Alphabet
+from repro.engine import QueryEngine, get_default_engine
 from repro.graphdb import GraphDB
 from repro.queries import BinaryPathQuery, NaryPathQuery, PathQuery
 from repro.learning import (
@@ -80,6 +82,8 @@ __all__ = [
     # core types
     "Alphabet",
     "GraphDB",
+    "QueryEngine",
+    "get_default_engine",
     "PathQuery",
     "BinaryPathQuery",
     "NaryPathQuery",

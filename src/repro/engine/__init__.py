@@ -1,0 +1,46 @@
+"""The indexed query-engine subsystem.
+
+A production-shaped evaluation layer over the paper's product-construction
+semantics (:mod:`repro.graphdb.product` stays as the executable reference):
+
+* :mod:`repro.engine.index` -- :class:`GraphIndex`, an immutable int-encoded
+  per-label CSR snapshot of a graph, invalidated by the graph's version
+  counter;
+* :mod:`repro.engine.plan` -- :class:`CompiledPlan`, a query automaton
+  flattened into dense int transition tables, fingerprinted for caching;
+* :mod:`repro.engine.cache` -- LRU plan cache and versioned result cache;
+* :mod:`repro.engine.executor` -- the product-BFS kernels on int arrays;
+* :mod:`repro.engine.engine` -- :class:`QueryEngine`, the facade with
+  single-query, batch (:meth:`QueryEngine.evaluate_many`) and stats APIs.
+
+All the high-level entry points (``PathQuery.evaluate``, the learner's
+consistency checks, the experiment drivers) route through the shared default
+engine; results are bit-for-bit identical to the reference construction.
+"""
+
+from repro.engine.cache import LRUCache, PlanCache, ResultCache
+from repro.engine.engine import (
+    EngineStats,
+    QueryEngine,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.engine.executor import KernelStats
+from repro.engine.index import GraphIndex, get_index
+from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
+
+__all__ = [
+    "CompiledPlan",
+    "EngineStats",
+    "GraphIndex",
+    "KernelStats",
+    "LRUCache",
+    "PlanCache",
+    "QueryEngine",
+    "ResultCache",
+    "automaton_fingerprint",
+    "compile_plan",
+    "get_default_engine",
+    "get_index",
+    "set_default_engine",
+]

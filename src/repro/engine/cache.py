@@ -1,0 +1,102 @@
+"""LRU caches for compiled plans and versioned query results.
+
+Two caches back the engine:
+
+* the **plan cache** maps an automaton's structural fingerprint (see
+  :func:`repro.engine.plan.automaton_fingerprint`) to its
+  :class:`~repro.engine.plan.CompiledPlan`, so re-evaluating a query -- or a
+  different ``PathQuery`` object with the same canonical DFA -- skips the
+  flattening step;
+* the **result cache** maps ``(operation, fingerprint, graph uid, graph
+  version)`` to a finished result (a node set or a pair set).  Because the
+  graph's version counter participates in the key, a mutation silently
+  invalidates every stale entry: the new version simply misses and the old
+  entries age out of the LRU.
+
+Retention note: entries are evicted by capacity, not by graph lifetime, so
+results for graphs that have since been garbage collected (including
+``O(|V|^2)`` binary pair sets) stay pinned until enough newer entries churn
+them out.  Long-lived processes sweeping many large graphs should size
+``result_cache_size`` accordingly or call
+:meth:`~repro.engine.engine.QueryEngine.clear_caches` between workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Any
+
+from repro.engine.plan import Fingerprint
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A small order-of-use bounded mapping with hit/miss counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (1.0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class PlanCache(LRUCache):
+    """LRU cache of compiled plans, keyed by automaton fingerprint."""
+
+
+class ResultCache(LRUCache):
+    """LRU cache of finished results, keyed by (op, plan, graph uid+version)."""
+
+    @staticmethod
+    def key(
+        operation: str, fingerprint: Fingerprint, graph_uid: int, graph_version: int
+    ) -> tuple:
+        """The versioned cache key of one evaluation."""
+        return (operation, fingerprint, graph_uid, graph_version)

@@ -1,0 +1,306 @@
+"""The :class:`QueryEngine` facade: indexed, cached, batchable evaluation.
+
+The engine ties the subsystem together.  For every call it
+
+1. resolves the query (a ``PathQuery``/``BinaryPathQuery`` or a raw
+   DFA/NFA) to a :class:`~repro.engine.plan.CompiledPlan` through the LRU
+   plan cache,
+2. resolves the graph to a :class:`~repro.engine.index.GraphIndex`, rebuilt
+   only when the graph's version counter moved,
+3. consults the versioned result cache for whole-graph evaluations, and
+4. otherwise runs the int-array kernels of :mod:`repro.engine.executor`.
+
+A module-level default engine (:func:`get_default_engine`) backs the
+high-level APIs (``PathQuery.evaluate`` and friends) and the compatibility
+wrappers in :mod:`repro.graphdb.product`; callers that want isolated caches
+or stats (benchmarks, servers) instantiate their own.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.engine.cache import PlanCache, ResultCache
+from repro.engine.executor import KernelStats
+from repro.engine import executor
+from repro.engine.index import GraphIndex
+from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
+from repro.errors import GraphError, QueryError
+from repro.graphdb.graph import GraphDB, Node
+
+#: Anything the engine accepts as a query: a raw automaton or any object
+#: exposing a ``dfa`` attribute (``PathQuery``, ``BinaryPathQuery``).
+Query = object
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters of one engine instance."""
+
+    evaluations: int = 0
+    index_builds: int = 0
+    plan_compilations: int = 0
+    kernel: KernelStats = field(default_factory=KernelStats)
+
+    @property
+    def states_expanded(self) -> int:
+        """Product pairs popped by the kernels so far."""
+        return self.kernel.states_expanded
+
+    @property
+    def edges_scanned(self) -> int:
+        """Graph adjacency entries touched by the kernels so far."""
+        return self.kernel.edges_scanned
+
+    def as_dict(self) -> dict[str, int]:
+        """A flat snapshot (cache counters are added by the engine)."""
+        return {
+            "evaluations": self.evaluations,
+            "index_builds": self.index_builds,
+            "plan_compilations": self.plan_compilations,
+            "states_expanded": self.states_expanded,
+            "edges_scanned": self.edges_scanned,
+        }
+
+
+class QueryEngine:
+    """Indexed query evaluation with plan and result caching.
+
+    Parameters
+    ----------
+    plan_cache_size:
+        Capacity of the fingerprint -> :class:`CompiledPlan` LRU cache.
+    result_cache_size:
+        Capacity of the versioned whole-graph result cache.
+    """
+
+    def __init__(self, *, plan_cache_size: int = 256, result_cache_size: int = 1024) -> None:
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.stats = EngineStats()
+        # Strongly holds each live graph's index; dies with the graph.
+        self._indexes: WeakKeyDictionary[GraphDB, GraphIndex] = WeakKeyDictionary()
+
+    # -- resolution ----------------------------------------------------------
+
+    def index_for(self, graph: GraphDB) -> GraphIndex:
+        """The (cached) CSR index of ``graph``, rebuilt when stale."""
+        index = self._indexes.get(graph)
+        if index is None or not index.is_current(graph):
+            index = GraphIndex.build(graph)
+            self._indexes[graph] = index
+            self.stats.index_builds += 1
+        return index
+
+    def plan_for(self, query: Query) -> CompiledPlan:
+        """The (cached) compiled plan of a query or automaton."""
+        automaton = self._coerce_automaton(query)
+        fingerprint = automaton_fingerprint(automaton)
+        plan = self.plan_cache.get(fingerprint)
+        if plan is None:
+            plan = compile_plan(automaton, fingerprint=fingerprint)
+            self.plan_cache.put(fingerprint, plan)
+            self.stats.plan_compilations += 1
+        return plan
+
+    @staticmethod
+    def _coerce_automaton(query: Query) -> DFA | NFA:
+        if isinstance(query, (DFA, NFA)):
+            return query
+        dfa = getattr(query, "dfa", None)
+        if isinstance(dfa, DFA):
+            return dfa
+        raise QueryError(
+            f"cannot evaluate {type(query).__name__!r}: expected a DFA, an NFA "
+            "or an object with a 'dfa' attribute (PathQuery, BinaryPathQuery)"
+        )
+
+    # -- monadic semantics ---------------------------------------------------
+
+    def evaluate(self, graph: GraphDB, query: Query) -> frozenset[Node]:
+        """The set of nodes selected on ``graph`` (monadic semantics)."""
+        plan = self.plan_for(query)
+        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return cached
+        index = self.index_for(graph)
+        self.stats.evaluations += 1
+        selected_ids = executor.evaluate_all(index, plan, self.stats.kernel)
+        nodes_by_id = index.nodes_by_id
+        result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
+        self.result_cache.put(key, result)
+        return result
+
+    def selects(self, graph: GraphDB, query: Query, node: Node) -> bool:
+        """Whether the query selects one given node of ``graph``."""
+        if node not in graph:
+            raise GraphError(f"node {node!r} is not in the graph")
+        plan = self.plan_for(query)
+        # A finished whole-graph evaluation answers membership for free.
+        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return node in cached
+        index = self.index_for(graph)
+        self.stats.evaluations += 1
+        return executor.selects(index, plan, index.node_ids[node], self.stats.kernel)
+
+    def any_selects(
+        self,
+        graph: GraphDB,
+        query: Query,
+        nodes: Iterable[Node],
+        *,
+        ephemeral: bool = False,
+    ) -> bool:
+        """Whether the query selects at least one of the given nodes.
+
+        The engine-side intersection-emptiness test behind Algorithm 1's
+        merge guard (a candidate is rejected iff it selects a negative node).
+        Pass ``ephemeral=True`` for throwaway automata that will never be
+        evaluated again (e.g. merge candidates): the engine then skips
+        fingerprinting, plan compilation and both caches and runs the lazy
+        kernel directly on the CSR index.
+        """
+        start_nodes = list(nodes)
+        for node in start_nodes:
+            if node not in graph:
+                raise GraphError(f"node {node!r} is not in the graph")
+        if not start_nodes:
+            return False
+        index = self.index_for(graph)
+        node_ids = index.node_ids
+        if ephemeral:
+            self.stats.evaluations += 1
+            return executor.lazy_any_selects(
+                index,
+                self._coerce_automaton(query),
+                (node_ids[node] for node in start_nodes),
+                self.stats.kernel,
+            )
+        plan = self.plan_for(query)
+        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return any(node in cached for node in start_nodes)
+        self.stats.evaluations += 1
+        return executor.any_selects(
+            index, plan, (node_ids[node] for node in start_nodes), self.stats.kernel
+        )
+
+    def evaluate_many(
+        self, graph: GraphDB, queries: Sequence[Query]
+    ) -> list[frozenset[Node]]:
+        """Evaluate a whole workload of queries on one graph (batch API).
+
+        The index is resolved once up front and every plan/result goes
+        through the caches, so a batch amortizes the per-graph work across
+        the workload -- the intended call pattern for the static experiment
+        drivers and for serving query traffic.
+        """
+        self.index_for(graph)
+        return [self.evaluate(graph, query) for query in queries]
+
+    # -- binary semantics ----------------------------------------------------
+
+    def binary_evaluate(self, graph: GraphDB, query: Query) -> frozenset[tuple[Node, Node]]:
+        """The set of node pairs selected under the binary semantics."""
+        plan = self.plan_for(query)
+        key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return cached
+        index = self.index_for(graph)
+        self.stats.evaluations += 1
+        pair_ids = executor.binary_evaluate(index, plan, self.stats.kernel)
+        nodes_by_id = index.nodes_by_id
+        result = frozenset(
+            (nodes_by_id[source], nodes_by_id[end]) for source, end in pair_ids
+        )
+        self.result_cache.put(key, result)
+        return result
+
+    def pair_selects(
+        self,
+        graph: GraphDB,
+        query: Query,
+        origin: Node,
+        end: Node,
+        *,
+        ephemeral: bool = False,
+    ) -> bool:
+        """Whether the query selects the pair ``(origin, end)``.
+
+        ``ephemeral=True`` has the same meaning as in :meth:`any_selects`.
+        """
+        if origin not in graph or end not in graph:
+            raise GraphError("both endpoints must be in the graph")
+        index = self.index_for(graph)
+        if ephemeral:
+            self.stats.evaluations += 1
+            return executor.lazy_pair_selects(
+                index,
+                self._coerce_automaton(query),
+                index.node_ids[origin],
+                index.node_ids[end],
+                self.stats.kernel,
+            )
+        plan = self.plan_for(query)
+        key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            return (origin, end) in cached
+        self.stats.evaluations += 1
+        return executor.pair_selects(
+            index, plan, index.node_ids[origin], index.node_ids[end], self.stats.kernel
+        )
+
+    # -- management ----------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan, result and index."""
+        self.plan_cache.clear()
+        self.result_cache.clear()
+        self._indexes.clear()
+
+    def stats_snapshot(self) -> dict[str, int | float]:
+        """All counters (kernel work + cache hit rates) as one flat dict."""
+        snapshot: dict[str, int | float] = dict(self.stats.as_dict())
+        snapshot.update(
+            plan_cache_hits=self.plan_cache.hits,
+            plan_cache_misses=self.plan_cache.misses,
+            result_cache_hits=self.result_cache.hits,
+            result_cache_misses=self.result_cache.misses,
+            plan_cache_hit_rate=self.plan_cache.hit_rate,
+            result_cache_hit_rate=self.result_cache.hit_rate,
+        )
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(plans={len(self.plan_cache)}, "
+            f"results={len(self.result_cache)}, "
+            f"indexes={len(self._indexes)})"
+        )
+
+
+#: The process-wide engine behind the high-level evaluation APIs.
+_DEFAULT_ENGINE = QueryEngine()
+
+
+def get_default_engine() -> QueryEngine:
+    """The shared engine used by ``PathQuery`` and the compat wrappers."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: QueryEngine) -> QueryEngine:
+    """Swap the shared engine (returns the previous one); used by tests."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

@@ -1,0 +1,403 @@
+"""Product-BFS kernels over a :class:`GraphIndex` and a :class:`CompiledPlan`.
+
+Every kernel works on the int-encoded product space: the pair ``(node v,
+automaton state s)`` is the single int ``v * k + s`` (``k`` = number of plan
+states), and the per-label CSR slices of the index replace hash-set
+adjacency lookups.  The inner loop walks the popped state's *own* moves
+(``plan.state_moves``), so its cost scales with the automaton's out-degree,
+not with the alphabet.  This is the replacement for the dict/frozenset-based
+construction in :mod:`repro.graphdb.product`, with identical semantics (the
+parity tests in ``tests/engine`` pin the two against each other).
+
+All kernels take and return *int node ids*; mapping to and from user-facing
+node identifiers is the :class:`~repro.engine.engine.QueryEngine`'s job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.engine.index import GraphIndex
+from repro.engine.plan import CompiledPlan
+from repro.errors import GraphError
+
+
+class KernelStats:
+    """Mutable counters a kernel accumulates into (shared with the engine)."""
+
+    __slots__ = ("states_expanded", "edges_scanned")
+
+    def __init__(self) -> None:
+        self.states_expanded = 0
+        self.edges_scanned = 0
+
+
+def evaluate_all(
+    index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+) -> frozenset[int]:
+    """Int ids of all nodes the query selects (monadic semantics).
+
+    One *backward* BFS over the product from every accepting pair computes
+    the co-reachable set; a node is selected iff one of its initial pairs is
+    co-reachable.  ``O(|E| * k + |V| * k)`` like the reference, but on a
+    dense bitmap over int codes.
+    """
+    if plan.is_empty_language:
+        return frozenset()
+    n, k = index.num_nodes, plan.num_states
+    if plan.accepts_empty_word:
+        # Every node trivially matches via the empty path.
+        return frozenset(range(n))
+    sym_labels = plan.bind_symbols(index.label_ids)
+    rstate_moves = plan.rstate_moves
+    bwd_offsets, bwd_targets = index.bwd_offsets, index.bwd_targets
+
+    visited = bytearray(n * k)
+    queue: deque[int] = deque()
+    for final in plan.finals:
+        for node in range(n):
+            code = node * k + final
+            visited[code] = 1
+            queue.append(code)
+
+    expanded = 0
+    scanned = 0
+    while queue:
+        code = queue.popleft()
+        node, state = divmod(code, k)
+        expanded += 1
+        for symbol_pos, pred_states in rstate_moves[state]:
+            label_id = sym_labels[symbol_pos]
+            if label_id < 0:
+                continue
+            offsets = bwd_offsets[label_id]
+            start, stop = offsets[node], offsets[node + 1]
+            if start == stop:
+                continue
+            scanned += stop - start
+            for pred_node in bwd_targets[label_id][start:stop]:
+                base = pred_node * k
+                for pred_state in pred_states:
+                    pred_code = base + pred_state
+                    if not visited[pred_code]:
+                        visited[pred_code] = 1
+                        queue.append(pred_code)
+    if stats is not None:
+        stats.states_expanded += expanded
+        stats.edges_scanned += scanned
+
+    initials = plan.initials
+    return frozenset(
+        node for node in range(n) if any(visited[node * k + i] for i in initials)
+    )
+
+
+def selects(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    node_id: int,
+    stats: KernelStats | None = None,
+) -> bool:
+    """Whether the query selects the one given node (early-exit forward BFS)."""
+    return any_selects(index, plan, (node_id,), stats)
+
+
+def any_selects(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    node_ids: Iterable[int],
+    stats: KernelStats | None = None,
+) -> bool:
+    """Whether the query selects at least one of the given nodes.
+
+    Multi-source forward product BFS with an exit as soon as an accepting
+    automaton state is reached -- the engine-side version of the
+    intersection-emptiness test of Algorithm 1's merge guard.
+    """
+    starts = list(node_ids)
+    if not starts or plan.is_empty_language:
+        return False
+    if plan.accepts_empty_word:
+        return True
+    k = plan.num_states
+    sym_labels = plan.bind_symbols(index.label_ids)
+    state_moves = plan.state_moves
+    is_final = plan.is_final
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+
+    # Sparse visited set (int-coded pairs): early exits usually touch a tiny
+    # fraction of the product, so a dense |V|*k bitmap would cost more to
+    # allocate than the whole search.
+    visited: set[int] = set()
+    queue: deque[int] = deque()
+    for node in starts:
+        for initial in plan.initials:
+            code = node * k + initial
+            if code not in visited:
+                visited.add(code)
+                queue.append(code)
+
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            code = queue.popleft()
+            node, state = divmod(code, k)
+            expanded += 1
+            for symbol_pos, next_states in state_moves[state]:
+                label_id = sym_labels[symbol_pos]
+                if label_id < 0:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                for target_node in fwd_targets[label_id][start:stop]:
+                    base = target_node * k
+                    for target_state in next_states:
+                        if is_final[target_state]:
+                            return True
+                        target_code = base + target_state
+                        if target_code not in visited:
+                            visited.add(target_code)
+                            queue.append(target_code)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned
+
+
+def _automaton_ends(automaton: DFA | NFA):
+    """(initial states, final states) of an automaton; rejects epsilon NFAs."""
+    if isinstance(automaton, DFA):
+        return (automaton.initial,), automaton.final_states
+    if automaton.has_epsilon_transitions:
+        raise GraphError("query automata must be epsilon-free; determinize first")
+    return tuple(automaton.initial_states), automaton.final_states
+
+
+def lazy_any_selects(
+    index: GraphIndex,
+    automaton: DFA | NFA,
+    node_ids: Iterable[int],
+    stats: KernelStats | None = None,
+) -> bool:
+    """Uncompiled :func:`any_selects`: walk the automaton object directly.
+
+    The learner's merge guard evaluates thousands of candidate automata
+    exactly once each, so plan compilation (let alone caching) can never pay
+    for itself there.  This kernel skips it entirely -- the automaton's own
+    transition dicts drive the BFS while the graph side still runs on the
+    CSR index.
+    """
+    initials, finals = _automaton_ends(automaton)
+    if not finals:
+        return False
+    starts = list(node_ids)
+    if not starts:
+        return False
+    if any(initial in finals for initial in initials):
+        return True
+    label_ids = index.label_ids
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+    outgoing = automaton.outgoing
+
+    visited: set[tuple[int, object]] = {
+        (node, initial) for node in starts for initial in initials
+    }
+    queue: deque[tuple[int, object]] = deque(visited)
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            node, state = queue.popleft()
+            expanded += 1
+            for symbol, target_state in outgoing(state):
+                label_id = label_ids.get(symbol)
+                if label_id is None:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                if target_state in finals:
+                    return True
+                for target_node in fwd_targets[label_id][start:stop]:
+                    pair = (target_node, target_state)
+                    if pair not in visited:
+                        visited.add(pair)
+                        queue.append(pair)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned
+
+
+def lazy_pair_selects(
+    index: GraphIndex,
+    automaton: DFA | NFA,
+    origin_id: int,
+    end_id: int,
+    stats: KernelStats | None = None,
+) -> bool:
+    """Uncompiled :func:`pair_selects` for one-shot candidate automata."""
+    initials, finals = _automaton_ends(automaton)
+    if not finals:
+        return False
+    if origin_id == end_id and any(initial in finals for initial in initials):
+        return True
+    label_ids = index.label_ids
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+    outgoing = automaton.outgoing
+
+    visited: set[tuple[int, object]] = {(origin_id, initial) for initial in initials}
+    queue: deque[tuple[int, object]] = deque(visited)
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            node, state = queue.popleft()
+            expanded += 1
+            for symbol, target_state in outgoing(state):
+                label_id = label_ids.get(symbol)
+                if label_id is None:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                is_final = target_state in finals
+                for target_node in fwd_targets[label_id][start:stop]:
+                    if is_final and target_node == end_id:
+                        return True
+                    pair = (target_node, target_state)
+                    if pair not in visited:
+                        visited.add(pair)
+                        queue.append(pair)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned
+
+
+def binary_evaluate(
+    index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+) -> frozenset[tuple[int, int]]:
+    """All selected ``(source id, end id)`` pairs (binary semantics).
+
+    One forward product BFS per source node, as in the reference.
+    """
+    if plan.is_empty_language:
+        return frozenset()
+    n, k = index.num_nodes, plan.num_states
+    sym_labels = plan.bind_symbols(index.label_ids)
+    state_moves = plan.state_moves
+    is_final = plan.is_final
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+
+    result: set[tuple[int, int]] = set()
+    expanded = 0
+    scanned = 0
+    for source in range(n):
+        visited: set[int] = set()
+        queue: deque[int] = deque()
+        for initial in plan.initials:
+            code = source * k + initial
+            if code not in visited:
+                visited.add(code)
+                queue.append(code)
+        if plan.accepts_empty_word:
+            result.add((source, source))
+        while queue:
+            code = queue.popleft()
+            node, state = divmod(code, k)
+            expanded += 1
+            for symbol_pos, next_states in state_moves[state]:
+                label_id = sym_labels[symbol_pos]
+                if label_id < 0:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                for target_node in fwd_targets[label_id][start:stop]:
+                    base = target_node * k
+                    for target_state in next_states:
+                        target_code = base + target_state
+                        if target_code not in visited:
+                            visited.add(target_code)
+                            queue.append(target_code)
+                            if is_final[target_state]:
+                                result.add((source, target_node))
+    if stats is not None:
+        stats.states_expanded += expanded
+        stats.edges_scanned += scanned
+    return frozenset(result)
+
+
+def pair_selects(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    origin_id: int,
+    end_id: int,
+    stats: KernelStats | None = None,
+) -> bool:
+    """Whether the query selects the pair ``(origin, end)`` (early exit)."""
+    if plan.is_empty_language:
+        return False
+    if origin_id == end_id and plan.accepts_empty_word:
+        return True
+    k = plan.num_states
+    sym_labels = plan.bind_symbols(index.label_ids)
+    state_moves = plan.state_moves
+    is_final = plan.is_final
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+
+    visited: set[int] = set()
+    queue: deque[int] = deque()
+    for initial in plan.initials:
+        code = origin_id * k + initial
+        if code not in visited:
+            visited.add(code)
+            queue.append(code)
+
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            code = queue.popleft()
+            node, state = divmod(code, k)
+            expanded += 1
+            for symbol_pos, next_states in state_moves[state]:
+                label_id = sym_labels[symbol_pos]
+                if label_id < 0:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                for target_node in fwd_targets[label_id][start:stop]:
+                    base = target_node * k
+                    for target_state in next_states:
+                        if target_node == end_id and is_final[target_state]:
+                            return True
+                        target_code = base + target_state
+                        if target_code not in visited:
+                            visited.add(target_code)
+                            queue.append(target_code)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned

@@ -1,0 +1,189 @@
+"""The immutable CSR graph index the engine's kernels run on.
+
+A :class:`GraphIndex` is a read-optimized snapshot of a
+:class:`~repro.graphdb.graph.GraphDB`:
+
+* nodes are int-encoded ``0..n-1`` (in a deterministic order) and labels are
+  int-encoded ``0..m-1``;
+* for every label, the forward and backward adjacency is stored in CSR form
+  (compressed sparse rows): an offsets array of length ``n + 1`` and a flat
+  targets array, both :mod:`array` module int arrays, so one node's
+  neighbours on one label are a contiguous slice with no hashing involved;
+* the snapshot records the graph's ``(uid, version)`` at build time, so
+  staleness is a single integer comparison (:meth:`GraphIndex.is_current`).
+
+Building the index costs one pass over the edge set; every evaluation after
+that avoids the per-call dict/frozenset churn of the reference product
+construction in :mod:`repro.graphdb.product`.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.graphdb.graph import GraphDB, Node
+
+
+class GraphIndex:
+    """An immutable int-encoded, per-label CSR view of a graph database.
+
+    Build one with :meth:`GraphIndex.build` (or, with per-graph caching,
+    :func:`get_index`).  The index intentionally does not reference the
+    source :class:`GraphDB` so that it can outlive it and be shared freely.
+    """
+
+    __slots__ = (
+        "graph_uid",
+        "graph_version",
+        "num_nodes",
+        "num_labels",
+        "nodes_by_id",
+        "node_ids",
+        "labels_by_id",
+        "label_ids",
+        "fwd_offsets",
+        "fwd_targets",
+        "bwd_offsets",
+        "bwd_targets",
+        "edge_count",
+    )
+
+    def __init__(
+        self,
+        *,
+        graph_uid: int,
+        graph_version: int,
+        nodes_by_id: tuple[Node, ...],
+        labels_by_id: tuple[str, ...],
+        node_ids: dict[Node, int] | None = None,
+        label_ids: dict[str, int] | None = None,
+        fwd_offsets: list[array],
+        fwd_targets: list[array],
+        bwd_offsets: list[array],
+        bwd_targets: list[array],
+        edge_count: int,
+    ) -> None:
+        self.graph_uid = graph_uid
+        self.graph_version = graph_version
+        self.nodes_by_id = nodes_by_id
+        self.node_ids = (
+            {node: index for index, node in enumerate(nodes_by_id)}
+            if node_ids is None
+            else node_ids
+        )
+        self.labels_by_id = labels_by_id
+        self.label_ids = (
+            {label: index for index, label in enumerate(labels_by_id)}
+            if label_ids is None
+            else label_ids
+        )
+        self.num_nodes = len(nodes_by_id)
+        self.num_labels = len(labels_by_id)
+        self.fwd_offsets = fwd_offsets
+        self.fwd_targets = fwd_targets
+        self.bwd_offsets = bwd_offsets
+        self.bwd_targets = bwd_targets
+        self.edge_count = edge_count
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: GraphDB) -> "GraphIndex":
+        """Snapshot the graph into CSR form (one pass over the edge set)."""
+        nodes_by_id = tuple(sorted(graph.nodes, key=repr))
+        node_ids = {node: index for index, node in enumerate(nodes_by_id)}
+        labels_by_id = tuple(sorted(graph.labels()))
+        label_ids = {label: index for index, label in enumerate(labels_by_id)}
+        n = len(nodes_by_id)
+        m = len(labels_by_id)
+
+        # Bucket the int-encoded edges per label, then build both CSR
+        # directions with counting sort (counts -> prefix sums -> fill).
+        per_label: list[list[tuple[int, int]]] = [[] for _ in range(m)]
+        for origin, label, end in graph.edges:
+            per_label[label_ids[label]].append((node_ids[origin], node_ids[end]))
+
+        fwd_offsets: list[array] = []
+        fwd_targets: list[array] = []
+        bwd_offsets: list[array] = []
+        bwd_targets: list[array] = []
+        for edges in per_label:
+            fwd_off, fwd_tgt = _csr(edges, n, direction=0)
+            bwd_off, bwd_tgt = _csr(edges, n, direction=1)
+            fwd_offsets.append(fwd_off)
+            fwd_targets.append(fwd_tgt)
+            bwd_offsets.append(bwd_off)
+            bwd_targets.append(bwd_tgt)
+
+        return cls(
+            graph_uid=graph.uid,
+            graph_version=graph.version,
+            nodes_by_id=nodes_by_id,
+            labels_by_id=labels_by_id,
+            node_ids=node_ids,
+            label_ids=label_ids,
+            fwd_offsets=fwd_offsets,
+            fwd_targets=fwd_targets,
+            bwd_offsets=bwd_offsets,
+            bwd_targets=bwd_targets,
+            edge_count=graph.edge_count(),
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    def is_current(self, graph: GraphDB) -> bool:
+        """Whether this index still reflects the given graph's state."""
+        return graph.uid == self.graph_uid and graph.version == self.graph_version
+
+    def node_id(self, node: Node) -> int | None:
+        """The int id of ``node``, or None if it is not indexed."""
+        return self.node_ids.get(node)
+
+    def successors_slice(self, label_id: int, node_id: int) -> array:
+        """The targets of ``node_id``'s outgoing edges on ``label_id``."""
+        offsets = self.fwd_offsets[label_id]
+        return self.fwd_targets[label_id][offsets[node_id] : offsets[node_id + 1]]
+
+    def predecessors_slice(self, label_id: int, node_id: int) -> array:
+        """The origins of ``node_id``'s incoming edges on ``label_id``."""
+        offsets = self.bwd_offsets[label_id]
+        return self.bwd_targets[label_id][offsets[node_id] : offsets[node_id + 1]]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndex(nodes={self.num_nodes}, labels={self.num_labels}, "
+            f"edges={self.edge_count}, version={self.graph_version})"
+        )
+
+
+def _csr(edges: list[tuple[int, int]], n: int, *, direction: int) -> tuple[array, array]:
+    """CSR arrays for one label's edges, keyed by origin (0) or end (1)."""
+    counts = array("l", [0] * (n + 1))
+    key = 0 if direction == 0 else 1
+    value = 1 - key
+    for edge in edges:
+        counts[edge[key] + 1] += 1
+    for i in range(1, n + 1):
+        counts[i] += counts[i - 1]
+    offsets = array("l", counts)
+    targets = array("l", [0] * len(edges))
+    cursor = array("l", counts)
+    for edge in edges:
+        position = cursor[edge[key]]
+        targets[position] = edge[value]
+        cursor[edge[key]] += 1
+    return offsets, targets
+
+
+def get_index(graph: GraphDB) -> GraphIndex:
+    """The cached :class:`GraphIndex` of ``graph``, rebuilt if stale.
+
+    Convenience wrapper over the shared default engine's per-graph cache
+    (one caching mechanism process-wide): the index lives as long as the
+    graph does and is reused by every evaluation going through the default
+    engine.
+    """
+    # Imported lazily to avoid a module cycle (engine.py imports this module).
+    from repro.engine.engine import get_default_engine
+
+    return get_default_engine().index_for(graph)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.errors import LearningError
 from repro.evaluation.metrics import f1_score
 from repro.evaluation.workloads import Workload
@@ -55,6 +56,7 @@ def run_interactive_experiment(
     max_interactions: int | None = None,
     pool_size: int | None = 512,
     target_f1: float = 1.0,
+    engine: QueryEngine | None = None,
 ) -> InteractiveExperimentResult:
     """Run the interactive scenario for one workload and one strategy.
 
@@ -62,8 +64,14 @@ def run_interactive_experiment(
     budget given that the paper's interactive runs stay below 8%.
     ``target_f1`` is the halt threshold: 1.0 reproduces the paper's strongest
     condition, lower values model a user satisfied by an intermediate query.
+    ``engine`` is the query engine used for the final F1 scoring (the shared
+    default if omitted); its graph index is warmed once before the first
+    interaction.  The loop's own learner and halt checks always run on the
+    shared default engine.
     """
+    engine = engine or get_default_engine()
     graph, goal = workload.graph, workload.query
+    engine.index_for(graph)
     if max_interactions is None:
         max_interactions = max(20, graph.node_count() // 10)
     if max_interactions < 1:
@@ -78,7 +86,7 @@ def run_interactive_experiment(
         k_max=k_max,
         max_interactions=max_interactions,
     )
-    final_f1 = f1_score(outcome.query, goal, graph)
+    final_f1 = f1_score(outcome.query, goal, graph, engine=engine)
     return InteractiveExperimentResult(
         workload_name=workload.name,
         strategy=strategy_impl.name,

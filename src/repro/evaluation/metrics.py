@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.graphdb.graph import GraphDB, Node
 from repro.queries.path_query import PathQuery
 
@@ -83,18 +84,29 @@ def score_query(
     learned: PathQuery | None,
     goal: PathQuery,
     graph: GraphDB,
+    *,
+    engine: QueryEngine | None = None,
 ) -> ClassificationScores:
     """Score a learned query against the goal query on one graph.
 
     A null (abstained) learned query is scored as the empty prediction, which
     is how the static experiments account for runs where the learner had too
-    few examples.
+    few examples.  Both node sets are computed through the query engine, so
+    the goal's (fixed) reference set is a result-cache hit after the first
+    scoring round on a given graph.
     """
-    reference = goal.evaluate(graph)
-    predicted = learned.evaluate(graph) if learned is not None else frozenset()
+    engine = engine or get_default_engine()
+    reference = goal.evaluate(graph, engine=engine)
+    predicted = learned.evaluate(graph, engine=engine) if learned is not None else frozenset()
     return compare_node_sets(predicted, reference, graph.nodes)
 
 
-def f1_score(learned: PathQuery | None, goal: PathQuery, graph: GraphDB) -> float:
+def f1_score(
+    learned: PathQuery | None,
+    goal: PathQuery,
+    graph: GraphDB,
+    *,
+    engine: QueryEngine | None = None,
+) -> float:
     """Shortcut for ``score_query(...).f1``."""
-    return score_query(learned, goal, graph).f1
+    return score_query(learned, goal, graph, engine=engine).f1

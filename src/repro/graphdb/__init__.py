@@ -28,6 +28,11 @@ from repro.graphdb.product import (
     evaluate,
     node_selects,
     pair_selects,
+    reference_any_node_selects,
+    reference_binary_evaluate,
+    reference_evaluate,
+    reference_node_selects,
+    reference_pair_selects,
 )
 from repro.graphdb.io import (
     graph_from_edge_list,
@@ -50,6 +55,11 @@ __all__ = [
     "any_node_selects",
     "binary_evaluate",
     "pair_selects",
+    "reference_evaluate",
+    "reference_node_selects",
+    "reference_any_node_selects",
+    "reference_binary_evaluate",
+    "reference_pair_selects",
     "graph_from_edge_list",
     "graph_to_edge_list",
     "graph_from_json",

@@ -8,6 +8,7 @@ different labels are allowed, duplicate triples are stored once (the paper's
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 
@@ -16,6 +17,9 @@ from repro.errors import GraphError
 
 Node = Hashable
 Edge = tuple[Node, str, Node]
+
+#: Process-wide source of unique graph identifiers (see :attr:`GraphDB.uid`).
+_GRAPH_UIDS = itertools.count()
 
 
 class GraphDB:
@@ -46,6 +50,8 @@ class GraphDB:
         # reverse adjacency: end -> label -> set of origins
         self._backward: dict[Node, dict[str, set[Node]]] = {}
         self._labels: set[str] = set()
+        self._uid: int = next(_GRAPH_UIDS)
+        self._version: int = 0
 
     # -- construction --------------------------------------------------------
 
@@ -53,7 +59,9 @@ class GraphDB:
         """Add a node (idempotent) and return it."""
         if node is None:
             raise GraphError("None is not a valid node identifier")
-        self._nodes.add(node)
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._version += 1
         return node
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
@@ -72,6 +80,7 @@ class GraphDB:
         edge = (origin, label, end)
         if edge not in self._edges:
             self._edges.add(edge)
+            self._version += 1
             self._forward.setdefault(origin, {}).setdefault(label, set()).add(end)
             self._backward.setdefault(end, {}).setdefault(label, set()).add(origin)
             if label not in self._labels:
@@ -97,6 +106,27 @@ class GraphDB:
         return self._alphabet
 
     @property
+    def uid(self) -> int:
+        """A process-wide unique identifier of this graph instance.
+
+        Two distinct :class:`GraphDB` objects never share a uid -- copies,
+        subgraphs, deepcopies and unpickled graphs all mint fresh ones (see
+        ``__setstate__``) -- so ``(uid, version)`` is a sound cache key for
+        derived structures such as the engine's indexes and result caches,
+        unlike ``id(graph)``, which can be reused after garbage collection.
+        """
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """A counter incremented by every mutation (node or edge insertion).
+
+        The engine layer tags indexes and cached query results with the
+        version they were computed at and rebuilds them when it changes.
+        """
+        return self._version
+
+    @property
     def nodes(self) -> frozenset[Node]:
         """The set of nodes."""
         return frozenset(self._nodes)
@@ -116,6 +146,18 @@ class GraphDB:
 
     def __contains__(self, node: object) -> bool:
         return node in self._nodes
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The uid must never travel with the state: a deepcopy or unpickle
+        # produces a distinct graph object, and letting it inherit the uid
+        # would alias the two in every (uid, version)-keyed cache.
+        del state["_uid"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._uid = next(_GRAPH_UIDS)
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -9,8 +9,18 @@ states are pairs ``(node, automaton state)``, and a node ``nu`` is selected
 iff from ``(nu, q0)`` some pair whose automaton state is accepting is
 reachable.  Computing the co-reachable set of accepting pairs once (backward
 breadth-first search) evaluates the query on *all* nodes in
-``O(|E| * |Q| + |V| * |Q|)`` time, which is what keeps the experiment
-drivers fast on the 10k-30k node synthetic graphs.
+``O(|E| * |Q| + |V| * |Q|)`` time.
+
+This module plays two roles since the engine subsystem landed:
+
+* the **public functions** (:func:`evaluate`, :func:`node_selects`,
+  :func:`any_node_selects`, :func:`binary_evaluate`, :func:`pair_selects`)
+  are thin compatibility wrappers over the shared
+  :class:`~repro.engine.engine.QueryEngine`, which adds the CSR graph index,
+  compiled plans and plan/result caches;
+* the ``reference_*`` functions keep the original dict/frozenset product
+  construction as the executable specification.  The engine's parity tests
+  (``tests/engine``) pin the two against each other on randomized graphs.
 """
 
 from __future__ import annotations
@@ -24,6 +34,60 @@ from repro.errors import GraphError
 from repro.graphdb.graph import GraphDB, Node
 
 AutomatonState = Hashable
+
+
+def _engine():
+    # Imported lazily: repro.engine.engine itself imports repro.graphdb.graph,
+    # so a module-level import here would be circular whenever repro.engine
+    # is the first subpackage loaded.
+    from repro.engine.engine import get_default_engine
+
+    return get_default_engine()
+
+
+# -- engine-backed public API ---------------------------------------------------
+
+
+def evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[Node]:
+    """The set of nodes selected by the query automaton (monadic semantics)."""
+    return _engine().evaluate(graph, automaton)
+
+
+def node_selects(graph: GraphDB, automaton: DFA | NFA, node: Node) -> bool:
+    """Whether the query selects one given node.
+
+    Early-exit forward product search; cheaper than :func:`evaluate` when
+    only one node matters (e.g. the interactive loop's halt checks), and
+    free when the engine already has the whole-graph result cached.
+    """
+    return _engine().selects(graph, automaton, node)
+
+
+def any_node_selects(graph: GraphDB, automaton: DFA | NFA, nodes: Iterable[Node]) -> bool:
+    """Whether the query selects at least one of the given nodes.
+
+    Equivalent to ``L(automaton) & paths_G(nodes) != {}`` -- the polynomial
+    intersection-emptiness test at the heart of Algorithm 1's merge guard
+    (a candidate generalization is rejected iff it selects a negative node).
+    """
+    return _engine().any_selects(graph, automaton, nodes)
+
+
+def binary_evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[tuple[Node, Node]]:
+    """The set of node pairs selected under the binary semantics.
+
+    ``(nu, nu')`` is selected iff some path from ``nu`` to ``nu'`` has its
+    label word in the query language.
+    """
+    return _engine().binary_evaluate(graph, automaton)
+
+
+def pair_selects(graph: GraphDB, automaton: DFA | NFA, origin: Node, end: Node) -> bool:
+    """Whether the query selects the pair ``(origin, end)`` (binary semantics)."""
+    return _engine().pair_selects(graph, automaton, origin, end)
+
+
+# -- reference implementation ---------------------------------------------------
 
 
 def _automaton_parts(automaton: DFA | NFA):
@@ -52,28 +116,30 @@ def _accepting_pairs(graph: GraphDB, automaton: DFA | NFA) -> set[tuple[Node, Au
     """All product pairs from which an accepting pair is reachable (backward BFS)."""
     initials, finals, successors = _automaton_parts(automaton)
     # Build the backward product adjacency lazily: predecessors of (v', s')
-    # are pairs (v, s) with an edge (v, a, v') and s' in delta(s, a).  We
-    # compute it by iterating forward over graph edges and automaton states.
+    # are pairs (v, s) with an edge (v, a, v') and s' in delta(s, a).
     alphabet = graph.alphabet
     usable_symbols = [s for s in alphabet if s in automaton.alphabet]
 
-    predecessors: dict[tuple[Node, AutomatonState], set[tuple[Node, AutomatonState]]] = {}
     automaton_states = (
         automaton.states if isinstance(automaton, NFA) else frozenset(automaton.states)
     )
-    # Pre-index automaton transitions per symbol to avoid recomputing.
-    delta_cache: dict[tuple[AutomatonState, str], frozenset[AutomatonState]] = {}
+    # Pre-index the automaton transitions per symbol, keeping only the
+    # symbols with at least one transition ...
+    delta_by_symbol: dict[str, list[tuple[AutomatonState, frozenset[AutomatonState]]]] = {}
     for state in automaton_states:
         for symbol in usable_symbols:
             targets = successors(state, symbol)
             if targets:
-                delta_cache[(state, symbol)] = targets
+                delta_by_symbol.setdefault(symbol, []).append((state, targets))
 
+    # ... so that each graph edge only meets the automaton states that
+    # actually move on its label (instead of all |Q| states per edge).
+    predecessors: dict[tuple[Node, AutomatonState], set[tuple[Node, AutomatonState]]] = {}
     for origin, label, end in graph.edges:
-        for state in automaton_states:
-            targets = delta_cache.get((state, label))
-            if not targets:
-                continue
+        moves = delta_by_symbol.get(label)
+        if not moves:
+            continue
+        for state, targets in moves:
             for target in targets:
                 predecessors.setdefault((end, target), set()).add((origin, state))
 
@@ -93,8 +159,8 @@ def _accepting_pairs(graph: GraphDB, automaton: DFA | NFA) -> set[tuple[Node, Au
     return coreachable
 
 
-def evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[Node]:
-    """The set of nodes selected by the query automaton (monadic semantics)."""
+def reference_evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[Node]:
+    """The original whole-graph evaluation (backward product BFS)."""
     initials, finals, _ = _automaton_parts(automaton)
     if not finals:
         return frozenset()
@@ -106,14 +172,8 @@ def evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[Node]:
     return frozenset(selected)
 
 
-def node_selects(graph: GraphDB, automaton: DFA | NFA, node: Node) -> bool:
-    """Whether the query selects one given node.
-
-    Forward breadth-first search over the product from ``(node, q0)``; stops
-    as soon as an accepting automaton state is reached.  Cheaper than
-    :func:`evaluate` when only one node matters (e.g. the interactive loop's
-    halt checks).
-    """
+def reference_node_selects(graph: GraphDB, automaton: DFA | NFA, node: Node) -> bool:
+    """The original single-node check (forward product BFS, early exit)."""
     if node not in graph:
         raise GraphError(f"node {node!r} is not in the graph")
     initials, finals, successors = _automaton_parts(automaton)
@@ -139,15 +199,10 @@ def node_selects(graph: GraphDB, automaton: DFA | NFA, node: Node) -> bool:
     return False
 
 
-def any_node_selects(graph: GraphDB, automaton: DFA | NFA, nodes: Iterable[Node]) -> bool:
-    """Whether the query selects at least one of the given nodes.
-
-    Equivalent to ``L(automaton) & paths_G(nodes) != {}`` -- the polynomial
-    intersection-emptiness test at the heart of Algorithm 1's merge guard
-    (a candidate generalization is rejected iff it selects a negative node).
-    Implemented as a single multi-source forward product BFS with an early
-    exit as soon as an accepting automaton state is reached.
-    """
+def reference_any_node_selects(
+    graph: GraphDB, automaton: DFA | NFA, nodes: Iterable[Node]
+) -> bool:
+    """The original multi-source intersection-emptiness test."""
     initials, finals, successors = _automaton_parts(automaton)
     if not finals:
         return False
@@ -178,13 +233,10 @@ def any_node_selects(graph: GraphDB, automaton: DFA | NFA, nodes: Iterable[Node]
     return False
 
 
-def binary_evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[tuple[Node, Node]]:
-    """The set of node pairs selected under the binary semantics.
-
-    ``(nu, nu')`` is selected iff some path from ``nu`` to ``nu'`` has its
-    label word in the query language.  Computed with one forward product
-    BFS per source node.
-    """
+def reference_binary_evaluate(
+    graph: GraphDB, automaton: DFA | NFA
+) -> frozenset[tuple[Node, Node]]:
+    """The original binary-semantics evaluation (one BFS per source node)."""
     initials, finals, successors = _automaton_parts(automaton)
     result: set[tuple[Node, Node]] = set()
     if not finals:
@@ -213,8 +265,10 @@ def binary_evaluate(graph: GraphDB, automaton: DFA | NFA) -> frozenset[tuple[Nod
     return frozenset(result)
 
 
-def pair_selects(graph: GraphDB, automaton: DFA | NFA, origin: Node, end: Node) -> bool:
-    """Whether the query selects the pair ``(origin, end)`` (binary semantics)."""
+def reference_pair_selects(
+    graph: GraphDB, automaton: DFA | NFA, origin: Node, end: Node
+) -> bool:
+    """The original pair check (forward product BFS, early exit)."""
     if origin not in graph or end not in graph:
         raise GraphError("both endpoints must be in the graph")
     initials, finals, successors = _automaton_parts(automaton)

@@ -11,8 +11,8 @@ qualitative point that the baseline can never express starred queries.
 
 from __future__ import annotations
 
+from repro.engine.engine import get_default_engine
 from repro.graphdb.graph import GraphDB
-from repro.graphdb.product import node_selects
 from repro.learning.learner import DEFAULT_K, LearnerResult
 from repro.learning.sample import Sample
 from repro.learning.scp import select_smallest_consistent_paths
@@ -36,8 +36,9 @@ def learn_scp_disjunction(
     if not scps:
         return LearnerResult(query=None, k=k, positives_without_scp=positives_without_scp)
     query = PathQuery.from_words(graph.alphabet, scps.values())
+    engine = get_default_engine()
     selects_all = all(
-        node_selects(graph, query.dfa, node) for node in sample.positives
+        engine.selects(graph, query.dfa, node) for node in sample.positives
     )
     return LearnerResult(
         query=query if selects_all else None,

@@ -17,8 +17,8 @@ from repro.automata.minimize import canonical_dfa
 from repro.automata.pta import prefix_tree_acceptor
 from repro.errors import LearningError
 from repro.graphdb.graph import GraphDB, Node
+from repro.engine.engine import get_default_engine
 from repro.graphdb.paths import enumerate_paths_between
-from repro.graphdb.product import pair_selects
 from repro.learning.generalize import generalize_pta
 from repro.learning.learner import DEFAULT_K
 from repro.learning.sample import BinarySample
@@ -77,16 +77,19 @@ def learn_binary_query(
         return BinaryLearnerResult(query=None, k=k)
 
     pta = prefix_tree_acceptor(graph.alphabet, scps.values())
+    engine = get_default_engine()
 
     def violates(candidate: DFA) -> bool:
         return any(
-            pair_selects(graph, candidate, origin, end) for origin, end in negatives
+            engine.pair_selects(graph, candidate, origin, end, ephemeral=True)
+            for origin, end in negatives
         )
 
     generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
     canonical = canonical_dfa(generalized)
     selects_all = all(
-        pair_selects(graph, canonical, origin, end) for origin, end in sample.positives
+        engine.pair_selects(graph, canonical, origin, end)
+        for origin, end in sample.positives
     )
     query = BinaryPathQuery(canonical) if selects_all else None
     return BinaryLearnerResult(

@@ -14,9 +14,11 @@ effectively uses and runs in polynomial time.
 
 from __future__ import annotations
 
+from repro.automata.dfa import DFA
 from repro.automata.operations import language_included
+from repro.engine.engine import get_default_engine
 from repro.graphdb.graph import GraphDB
-from repro.graphdb.paths import covered_by, enumerate_paths, paths_nfa
+from repro.graphdb.paths import enumerate_paths, paths_nfa
 from repro.learning.sample import Sample
 
 
@@ -51,10 +53,19 @@ def bounded_consistent(graph: GraphDB, sample: Sample, *, k: int) -> bool:
     """
     sample.check_against(graph)
     negatives = sample.negatives
+    if not negatives:
+        # Every positive's empty path is trivially uncovered.
+        return True
+    engine = get_default_engine()
+    alphabet = graph.alphabet
     for node in sample.positives:
         found = False
         for path in enumerate_paths(graph, node, max_length=k):
-            if not covered_by(graph, path, negatives):
+            # "path not covered by any negative" is exactly "the single-word
+            # query of path selects no negative"; the engine's early-exit
+            # kernel answers it on the shared CSR index, and the compiled
+            # word plan is cached across the learner's repeated checks.
+            if not engine.any_selects(graph, DFA.single_word(alphabet, path), negatives):
                 found = True
                 break
         if not found:

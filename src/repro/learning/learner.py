@@ -25,9 +25,9 @@ from repro.automata.alphabet import Word
 from repro.automata.dfa import DFA
 from repro.automata.minimize import canonical_dfa
 from repro.automata.pta import prefix_tree_acceptor
+from repro.engine.engine import get_default_engine
 from repro.errors import LearningError
 from repro.graphdb.graph import GraphDB, Node
-from repro.graphdb.product import any_node_selects, node_selects
 from repro.learning.generalize import generalize_pta
 from repro.learning.sample import Sample
 from repro.learning.scp import select_smallest_consistent_paths
@@ -100,16 +100,22 @@ def learn_path_query(graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K) -> L
     pta = prefix_tree_acceptor(graph.alphabet, scps.values())
 
     negatives = sample.negatives
+    engine = get_default_engine()
 
     def violates(candidate: DFA) -> bool:
         if not negatives:
             return False
-        return any_node_selects(graph, candidate, negatives)
+        # Early-exit multi-source product BFS on the engine's CSR index; the
+        # graph is indexed once for the whole merge loop, and each one-shot
+        # candidate skips plan compilation entirely (ephemeral).
+        return engine.any_selects(graph, candidate, negatives, ephemeral=True)
 
     generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
     canonical = canonical_dfa(generalized)
 
-    selects_all = all(node_selects(graph, canonical, node) for node in sample.positives)
+    selects_all = all(
+        engine.selects(graph, canonical, node) for node in sample.positives
+    )
     hypothesis = PathQuery(canonical)
     query = hypothesis if selects_all else None
     return LearnerResult(

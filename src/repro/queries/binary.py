@@ -16,9 +16,9 @@ from repro.automata.dfa import DFA
 from repro.automata.minimize import canonical_dfa
 from repro.automata.nfa import NFA
 from repro.automata.operations import language_equivalent
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.errors import QueryError
 from repro.graphdb.graph import GraphDB, Node
-from repro.graphdb.product import binary_evaluate, pair_selects
 from repro.regex.ast import Regex
 from repro.regex.build import compile_query
 from repro.regex.convert import dfa_to_regex
@@ -83,13 +83,17 @@ class BinaryPathQuery:
         dfa = self._dfa
         return hash((dfa.alphabet, len(dfa), frozenset(dfa.final_states)))
 
-    def evaluate(self, graph: GraphDB) -> frozenset[tuple[Node, Node]]:
+    def evaluate(
+        self, graph: GraphDB, *, engine: QueryEngine | None = None
+    ) -> frozenset[tuple[Node, Node]]:
         """The set of node pairs selected on ``graph``."""
-        return binary_evaluate(graph, self._dfa)
+        return (engine or get_default_engine()).binary_evaluate(graph, self._dfa)
 
-    def selects(self, graph: GraphDB, origin: Node, end: Node) -> bool:
+    def selects(
+        self, graph: GraphDB, origin: Node, end: Node, *, engine: QueryEngine | None = None
+    ) -> bool:
         """Whether the query selects the pair ``(origin, end)``."""
-        return pair_selects(graph, self._dfa, origin, end)
+        return (engine or get_default_engine()).pair_selects(graph, self._dfa, origin, end)
 
     def selectivity(self, graph: GraphDB) -> float:
         """The fraction of node pairs selected (0.0 - 1.0)."""

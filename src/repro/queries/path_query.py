@@ -21,9 +21,9 @@ from repro.automata.minimize import canonical_dfa
 from repro.automata.nfa import NFA
 from repro.automata.operations import language_equivalent
 from repro.automata.prefix_free import is_prefix_free, prefix_free
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.errors import QueryError
 from repro.graphdb.graph import GraphDB, Node
-from repro.graphdb.product import evaluate, node_selects
 from repro.regex.ast import Regex
 from repro.regex.build import compile_query
 from repro.regex.convert import dfa_to_regex
@@ -146,13 +146,18 @@ class PathQuery:
 
     # -- evaluation on graphs ----------------------------------------------------
 
-    def evaluate(self, graph: GraphDB) -> frozenset[Node]:
-        """The set of nodes selected on ``graph`` (monadic semantics)."""
-        return evaluate(graph, self._dfa)
+    def evaluate(self, graph: GraphDB, *, engine: QueryEngine | None = None) -> frozenset[Node]:
+        """The set of nodes selected on ``graph`` (monadic semantics).
 
-    def selects(self, graph: GraphDB, node: Node) -> bool:
+        Evaluation goes through the (by default shared) query engine: the
+        graph is CSR-indexed once per version, the canonical DFA compiles to
+        a cached plan, and whole-graph results are cached per graph version.
+        """
+        return (engine or get_default_engine()).evaluate(graph, self._dfa)
+
+    def selects(self, graph: GraphDB, node: Node, *, engine: QueryEngine | None = None) -> bool:
         """Whether the query selects one given node of ``graph``."""
-        return node_selects(graph, self._dfa, node)
+        return (engine or get_default_engine()).selects(graph, self._dfa, node)
 
     def selectivity(self, graph: GraphDB) -> float:
         """The fraction of graph nodes selected by the query (0.0 - 1.0)."""

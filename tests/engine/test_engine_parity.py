@@ -1,0 +1,207 @@
+"""Parity of the engine subsystem against the reference product construction.
+
+The engine (CSR index + compiled plans + int-array kernels) must return
+results identical to the original dict/frozenset implementation kept in
+``repro.graphdb.product`` as ``reference_*`` -- on the paper's worked
+examples, on the documented edge cases, and on randomized synthetic graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.engine import QueryEngine
+from repro.errors import GraphError
+from repro.graphdb import (
+    GraphDB,
+    reference_any_node_selects,
+    reference_binary_evaluate,
+    reference_evaluate,
+    reference_node_selects,
+    reference_pair_selects,
+)
+from repro.regex import compile_query
+
+EXPRESSIONS = ["a", "(a.b)*.c", "a*.(c+b.c)", "b.b.c.c", "eps", "a*", "(a+b)*.c", "c.b*"]
+
+
+@pytest.fixture
+def engine() -> QueryEngine:
+    return QueryEngine()
+
+
+def random_graph(rng: random.Random, labels: list[str]) -> GraphDB:
+    graph = GraphDB(labels)
+    node_count = rng.randint(2, 14)
+    for _ in range(rng.randint(1, 40)):
+        graph.add_edge(
+            rng.randint(0, node_count), rng.choice(labels), rng.randint(0, node_count)
+        )
+    return graph
+
+
+class TestWorkedExamples:
+    def test_paper_examples_on_g0(self, engine, g0):
+        assert engine.evaluate(g0, compile_query("a", g0.alphabet)) == g0.nodes - {"v4"}
+        assert engine.evaluate(g0, compile_query("(a.b)*.c", g0.alphabet)) == {"v1", "v3"}
+        assert engine.evaluate(g0, compile_query("b.b.c.c", g0.alphabet)) == frozenset()
+
+    def test_geo_running_example(self, engine, geo):
+        query = compile_query("(tram+bus)*.cinema", geo.alphabet)
+        assert engine.evaluate(geo, query) == {"N1", "N2", "N4", "N6"}
+
+
+class TestEdgeCases:
+    def test_empty_language_no_finals(self, engine, g0):
+        empty = DFA(g0.alphabet, initial=0)
+        assert engine.evaluate(g0, empty) == frozenset()
+        assert engine.binary_evaluate(g0, empty) == frozenset()
+        assert not engine.any_selects(g0, empty, list(g0.nodes))
+
+    def test_empty_language_unreachable_final(self, engine, g0):
+        # A final state exists but no transition reaches it.
+        dfa = DFA(g0.alphabet, initial=0, states=[0, 1], finals=[1])
+        assert engine.evaluate(g0, dfa) == frozenset()
+        assert not engine.selects(g0, dfa, "v1")
+
+    def test_epsilon_nfa_rejected(self, engine, g0):
+        nfa = NFA(g0.alphabet, states=[0, 1], initial=[0], finals=[1])
+        nfa.add_epsilon_transition(0, 1)
+        with pytest.raises(GraphError):
+            engine.evaluate(g0, nfa)
+        with pytest.raises(GraphError):
+            engine.any_selects(g0, nfa, ["v1"])
+        with pytest.raises(GraphError):
+            engine.any_selects(g0, nfa, ["v1"], ephemeral=True)
+
+    def test_epsilon_free_nfa_accepted(self, engine, g0):
+        nfa = compile_query("a.b", g0.alphabet).to_nfa()
+        assert engine.evaluate(g0, nfa) == reference_evaluate(g0, nfa)
+
+    def test_unknown_node_raises(self, engine, g0):
+        query = compile_query("a", g0.alphabet)
+        with pytest.raises(GraphError):
+            engine.selects(g0, query, "missing")
+        with pytest.raises(GraphError):
+            engine.any_selects(g0, query, ["v1", "missing"])
+        with pytest.raises(GraphError):
+            engine.pair_selects(g0, query, "v1", "missing")
+        with pytest.raises(GraphError):
+            engine.pair_selects(g0, query, "missing", "v1", ephemeral=True)
+
+    def test_empty_word_acceptance(self, engine, g0):
+        # initials & finals != {} : every node has the empty path.
+        star = compile_query("a*", g0.alphabet)
+        assert engine.evaluate(g0, star) == g0.nodes
+        for node in g0.nodes:
+            assert engine.selects(g0, star, node)
+            assert engine.pair_selects(g0, star, node, node)
+
+    def test_empty_node_set(self, engine, g0):
+        query = compile_query("a*", g0.alphabet)
+        assert not engine.any_selects(g0, query, [])
+        assert not engine.any_selects(g0, query, [], ephemeral=True)
+
+    def test_query_alphabet_disjoint_from_graph(self, engine, g0):
+        query = compile_query("z", ["a", "b", "c", "z"])
+        assert engine.evaluate(g0, query) == frozenset()
+        assert engine.evaluate(g0, compile_query("a.b.c+z", ["a", "b", "c", "z"])) == {
+            "v1",
+            "v3",
+        }
+
+    def test_isolated_nodes_and_label_free_graph(self, engine):
+        graph = GraphDB(["a"])
+        graph.add_nodes(["x", "y"])
+        query = compile_query("a", ["a"])
+        assert engine.evaluate(graph, query) == frozenset()
+        assert engine.evaluate(graph, compile_query("a*", ["a"])) == {"x", "y"}
+
+
+class TestRandomizedParity:
+    LABELS = ["a", "b", "c"]
+
+    def test_monadic_parity(self, engine):
+        rng = random.Random(7)
+        for _ in range(25):
+            graph = random_graph(rng, self.LABELS)
+            for expression in EXPRESSIONS:
+                query = compile_query(expression, self.LABELS)
+                assert engine.evaluate(graph, query) == reference_evaluate(graph, query)
+
+    def test_selects_parity(self, engine):
+        rng = random.Random(11)
+        for _ in range(10):
+            graph = random_graph(rng, self.LABELS)
+            for expression in EXPRESSIONS:
+                query = compile_query(expression, self.LABELS)
+                for node in sorted(graph.nodes)[:6]:
+                    assert engine.selects(graph, query, node) == reference_node_selects(
+                        graph, query, node
+                    )
+
+    def test_any_selects_parity_both_modes(self, engine):
+        rng = random.Random(13)
+        for _ in range(10):
+            graph = random_graph(rng, self.LABELS)
+            subset = sorted(graph.nodes)[:4]
+            for expression in EXPRESSIONS:
+                query = compile_query(expression, self.LABELS)
+                expected = reference_any_node_selects(graph, query, subset)
+                assert engine.any_selects(graph, query, subset) == expected
+                assert engine.any_selects(graph, query, subset, ephemeral=True) == expected
+
+    def test_binary_parity(self, engine):
+        rng = random.Random(17)
+        for _ in range(10):
+            graph = random_graph(rng, self.LABELS)
+            for expression in EXPRESSIONS:
+                query = compile_query(expression, self.LABELS)
+                pairs = reference_binary_evaluate(graph, query)
+                assert engine.binary_evaluate(graph, query) == pairs
+                for origin in sorted(graph.nodes)[:4]:
+                    for end in sorted(graph.nodes)[:4]:
+                        expected = reference_pair_selects(graph, query, origin, end)
+                        assert engine.pair_selects(graph, query, origin, end) == expected
+                        assert (
+                            engine.pair_selects(graph, query, origin, end, ephemeral=True)
+                            == expected
+                        )
+
+    def test_wrapper_functions_match_reference(self):
+        # The public product.py wrappers delegate to the engine; their results
+        # must still match the reference implementation they replaced.
+        from repro.graphdb import binary_evaluate, evaluate
+
+        rng = random.Random(23)
+        for _ in range(8):
+            graph = random_graph(rng, self.LABELS)
+            for expression in EXPRESSIONS:
+                query = compile_query(expression, self.LABELS)
+                assert evaluate(graph, query) == reference_evaluate(graph, query)
+                assert binary_evaluate(graph, query) == reference_binary_evaluate(
+                    graph, query
+                )
+
+
+class TestBatchEvaluation:
+    def test_evaluate_many_matches_single_calls(self, g0):
+        engine = QueryEngine()
+        queries = [compile_query(expression, g0.alphabet) for expression in EXPRESSIONS]
+        batched = engine.evaluate_many(g0, queries)
+        assert batched == [reference_evaluate(g0, query) for query in queries]
+        # One graph, one index build for the whole batch.
+        assert engine.stats.index_builds == 1
+
+    def test_evaluate_many_amortizes_caches(self, g0):
+        engine = QueryEngine()
+        queries = [compile_query(expression, g0.alphabet) for expression in EXPRESSIONS]
+        engine.evaluate_many(g0, queries)
+        evaluations_after_first = engine.stats.evaluations
+        engine.evaluate_many(g0, queries)
+        # The second batch is answered entirely from the result cache.
+        assert engine.stats.evaluations == evaluations_after_first

@@ -1,0 +1,217 @@
+"""Unit tests of the engine internals: CSR index, compiled plans, caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.engine import (
+    GraphIndex,
+    LRUCache,
+    QueryEngine,
+    automaton_fingerprint,
+    compile_plan,
+    get_index,
+)
+from repro.graphdb import GraphDB
+from repro.queries import PathQuery
+from repro.regex import compile_query
+
+
+class TestGraphIndex:
+    def test_csr_matches_adjacency(self, g0):
+        index = GraphIndex.build(g0)
+        assert index.num_nodes == g0.node_count()
+        for node in g0.nodes:
+            node_id = index.node_ids[node]
+            for label in g0.labels():
+                label_id = index.label_ids[label]
+                successors = {
+                    index.nodes_by_id[t] for t in index.successors_slice(label_id, node_id)
+                }
+                assert successors == set(g0.successors(node, label))
+                predecessors = {
+                    index.nodes_by_id[t]
+                    for t in index.predecessors_slice(label_id, node_id)
+                }
+                assert predecessors == set(g0.predecessors(node, label))
+
+    def test_version_tracking(self):
+        graph = GraphDB(["a"])
+        graph.add_edge("x", "a", "y")
+        index = GraphIndex.build(graph)
+        assert index.is_current(graph)
+        graph.add_edge("y", "a", "x")
+        assert not index.is_current(graph)
+        assert GraphIndex.build(graph).is_current(graph)
+
+    def test_version_idempotent_mutations(self):
+        graph = GraphDB(["a"])
+        graph.add_edge("x", "a", "y")
+        version = graph.version
+        graph.add_edge("x", "a", "y")  # duplicate edge: no state change
+        graph.add_node("x")  # existing node: no state change
+        assert graph.version == version
+
+    def test_uids_are_unique(self):
+        graph = GraphDB(["a"])
+        graph.add_edge("x", "a", "y")
+        assert graph.uid != graph.copy().uid
+        assert graph.uid != graph.subgraph({"x"}).uid
+
+    def test_deepcopy_and_pickle_mint_fresh_uids(self):
+        import copy
+        import pickle
+
+        graph = GraphDB(["a"])
+        graph.add_edge(0, "a", 1)
+        clone = copy.deepcopy(graph)
+        assert clone.uid != graph.uid
+        restored = pickle.loads(pickle.dumps(graph))
+        assert restored.uid != graph.uid
+        assert restored.edges == graph.edges
+
+    def test_deepcopy_does_not_alias_result_cache(self):
+        # Regression: a deepcopied graph sharing the original's uid made the
+        # engine serve one graph's cached results for the other.
+        import copy
+
+        engine = QueryEngine()
+        graph = GraphDB(["a"])
+        graph.add_edge(0, "a", 1)
+        clone = copy.deepcopy(graph)
+        graph.add_edge(1, "a", 2)
+        clone.add_edge(5, "a", 0)  # same version counter, different content
+        query = PathQuery.parse("a.a", ["a"])
+        assert engine.evaluate(graph, query) == {0}
+        assert engine.evaluate(clone, query) == {5}
+
+    def test_get_index_caches_per_version(self):
+        graph = GraphDB(["a"])
+        graph.add_edge("x", "a", "y")
+        first = get_index(graph)
+        assert get_index(graph) is first
+        graph.add_edge("y", "a", "x")
+        rebuilt = get_index(graph)
+        assert rebuilt is not first
+        assert rebuilt.is_current(graph)
+
+    def test_empty_graph(self):
+        graph = GraphDB(["a"])
+        index = GraphIndex.build(graph)
+        assert index.num_nodes == 0
+        assert index.edge_count == 0
+
+
+class TestCompiledPlan:
+    def test_fingerprint_shared_by_equal_queries(self):
+        left = PathQuery.parse("a.b*", ["a", "b"])
+        right = PathQuery.parse("a.b*", ["a", "b"])
+        assert left.dfa is not right.dfa
+        assert automaton_fingerprint(left.dfa) == automaton_fingerprint(right.dfa)
+
+    def test_fingerprint_distinguishes_languages(self):
+        one = PathQuery.parse("a", ["a", "b"]).dfa
+        other = PathQuery.parse("b", ["a", "b"]).dfa
+        assert automaton_fingerprint(one) != automaton_fingerprint(other)
+
+    def test_empty_word_and_empty_language_flags(self):
+        star = compile_plan(PathQuery.parse("a*", ["a"]).dfa)
+        assert star.accepts_empty_word
+        assert not star.is_empty_language
+        from repro.automata.alphabet import Alphabet
+
+        empty = compile_plan(DFA(Alphabet(["a"]), initial=0))
+        assert empty.is_empty_language
+
+    def test_delta_round_trip(self):
+        dfa = PathQuery.parse("a.b", ["a", "b"]).dfa
+        plan = compile_plan(dfa)
+        # rdelta inverts delta.
+        for symbol_pos, by_state in enumerate(plan.delta):
+            for source, targets in by_state.items():
+                for target in targets:
+                    assert source in plan.rdelta[symbol_pos][target]
+
+    def test_bind_symbols_maps_missing_labels_to_minus_one(self):
+        plan = compile_plan(PathQuery.parse("a.z", ["a", "z"]).dfa)
+        binding = plan.bind_symbols({"a": 0, "b": 1})
+        assert binding[plan.symbol_positions["a"]] == 0
+        assert binding[plan.symbol_positions["z"]] == -1
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("absent")
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestEngineCaching:
+    def test_plan_cache_reused_across_equal_queries(self, g0):
+        engine = QueryEngine()
+        engine.evaluate(g0, PathQuery.parse("(a.b)*.c", g0.alphabet))
+        compilations = engine.stats.plan_compilations
+        engine.evaluate(g0, PathQuery.parse("(a.b)*.c", g0.alphabet))
+        assert engine.stats.plan_compilations == compilations
+
+    def test_result_cache_invalidated_by_mutation(self):
+        engine = QueryEngine()
+        graph = GraphDB(["a"])
+        graph.add_edge("x", "a", "y")
+        query = PathQuery.parse("a.a", ["a"])
+        assert engine.evaluate(graph, query) == frozenset()
+        graph.add_edge("y", "a", "z")
+        # The version bump must invalidate the cached empty result.
+        assert engine.evaluate(graph, query) == {"x"}
+        assert engine.stats.index_builds == 2
+
+    def test_selects_answers_from_cached_evaluation(self, g0):
+        engine = QueryEngine()
+        query = PathQuery.parse("(a.b)*.c", g0.alphabet)
+        selected = engine.evaluate(g0, query)
+        evaluations = engine.stats.evaluations
+        for node in g0.nodes:
+            assert engine.selects(g0, query, node) == (node in selected)
+        # Membership came from the result cache: no kernel runs.
+        assert engine.stats.evaluations == evaluations
+
+    def test_stats_snapshot_keys(self, g0):
+        engine = QueryEngine()
+        engine.evaluate(g0, PathQuery.parse("a", g0.alphabet))
+        snapshot = engine.stats_snapshot()
+        for key in (
+            "evaluations",
+            "index_builds",
+            "plan_compilations",
+            "states_expanded",
+            "edges_scanned",
+            "plan_cache_hits",
+            "result_cache_misses",
+        ):
+            assert key in snapshot
+
+    def test_clear_caches(self, g0):
+        engine = QueryEngine()
+        engine.evaluate(g0, PathQuery.parse("a", g0.alphabet))
+        engine.clear_caches()
+        assert len(engine.plan_cache) == 0
+        assert len(engine.result_cache) == 0
