@@ -7,21 +7,27 @@ positive/negative node examples, both from a fixed sample (Algorithm 1 --
 ``learner``) and interactively (Section 4's scenario), and ships the full
 experimental harness of the paper's Section 5.
 
-Quickstart::
+Quickstart (the :class:`Workspace` facade is the public API seam)::
 
-    from repro import GraphDB, PathQuery, Sample, learn_path_query
+    from repro import GraphDB, Sample, Workspace
 
     graph = GraphDB()
     graph.add_edge("N2", "bus", "N1")
     graph.add_edge("N1", "tram", "N4")
     graph.add_edge("N4", "cinema", "C1")
 
-    sample = Sample(positives={"N2"}, negatives={"C1"})
-    result = learn_path_query(graph, sample, k=3)
+    ws = Workspace(graph)
+    result = ws.learn(Sample(positives={"N2"}, negatives={"C1"}))
     print(result.query.expression)          # a query consistent with the labels
+    print(ws.query(result.query.expression).nodes())
+    print(ws.stats())                       # this workspace's engine counters
+
+The same pipeline is drivable without Python through ``python -m repro``
+(subcommands ``learn``, ``query``, ``experiment``, ``bench``).
 
 Subpackages
 -----------
+``repro.api``          the public surface: Workspace, typed configs, Result protocol, CLI.
 ``repro.automata``     finite automata substrate (NFA/DFA, canonical DFA, PTA).
 ``repro.regex``        regular expressions: parser, Thompson construction, display.
 ``repro.graphdb``      the graph database, path semantics and query evaluation.
@@ -36,6 +42,7 @@ Subpackages
 from repro.errors import (
     AlphabetError,
     AutomatonError,
+    ConfigError,
     GraphError,
     InteractionError,
     LearningError,
@@ -43,9 +50,10 @@ from repro.errors import (
     RegexSyntaxError,
     ReproError,
     SampleError,
+    SerializationError,
 )
 from repro.automata import Alphabet
-from repro.engine import QueryEngine, get_default_engine
+from repro.engine import EngineStats, QueryEngine, get_default_engine
 from repro.graphdb import GraphDB
 from repro.queries import BinaryPathQuery, NaryPathQuery, PathQuery
 from repro.learning import (
@@ -64,8 +72,20 @@ from repro.interactive import (
     run_interactive_learning,
 )
 from repro.evaluation import f1_score, score_query
+from repro.api import (
+    EngineConfig,
+    ExperimentConfig,
+    InteractiveConfig,
+    LearnerConfig,
+    QueryResult,
+    Result,
+    Workspace,
+    result_from_dict,
+    result_from_json,
+    result_to_json,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -79,10 +99,13 @@ __all__ = [
     "SampleError",
     "LearningError",
     "InteractionError",
+    "ConfigError",
+    "SerializationError",
     # core types
     "Alphabet",
     "GraphDB",
     "QueryEngine",
+    "EngineStats",
     "get_default_engine",
     "PathQuery",
     "BinaryPathQuery",
@@ -90,12 +113,23 @@ __all__ = [
     "Sample",
     "BinarySample",
     "NarySample",
-    # learning entry points
+    # public API facade
+    "Workspace",
+    "EngineConfig",
+    "LearnerConfig",
+    "InteractiveConfig",
+    "ExperimentConfig",
+    "Result",
+    "QueryResult",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_json",
+    # learning entry points (legacy shims; prefer Workspace.learn)
     "learn_path_query",
     "learn_with_dynamic_k",
     "learn_binary_query",
     "learn_nary_query",
-    # interactive entry points
+    # interactive entry points (legacy shims; prefer Workspace.learn_interactive)
     "QueryOracle",
     "make_strategy",
     "InteractiveSession",

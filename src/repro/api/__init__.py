@@ -1,0 +1,52 @@
+"""The public, typed API of the repro library.
+
+One facade (:class:`Workspace`), four frozen config dataclasses
+(:class:`EngineConfig`, :class:`LearnerConfig`, :class:`InteractiveConfig`,
+:class:`ExperimentConfig`), one uniform :class:`Result` protocol with a JSON
+round-trip, and the ``python -m repro`` CLI on top (:mod:`repro.api.cli`).
+
+The legacy module-level entry points (``learn_path_query``,
+``run_interactive_learning``, ``run_static_experiment``, ...) remain
+available as thin compatibility shims; new code should go through a
+workspace so engine wiring, cache statistics and result serialization are
+uniform.
+"""
+
+from repro.api.config import (
+    SCENARIOS,
+    SEMANTICS,
+    STRATEGIES,
+    EngineConfig,
+    ExperimentConfig,
+    InteractiveConfig,
+    LearnerConfig,
+)
+from repro.api.result import (
+    RESULT_TYPES,
+    QueryResult,
+    Result,
+    result_from_dict,
+    result_from_json,
+    result_to_json,
+)
+from repro.api.workspace import FIGURE_GRAPHS, Workspace
+
+__all__ = [
+    "Workspace",
+    "FIGURE_GRAPHS",
+    # configs
+    "EngineConfig",
+    "LearnerConfig",
+    "InteractiveConfig",
+    "ExperimentConfig",
+    "SEMANTICS",
+    "SCENARIOS",
+    "STRATEGIES",
+    # results
+    "Result",
+    "QueryResult",
+    "RESULT_TYPES",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_json",
+]

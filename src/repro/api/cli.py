@@ -1,0 +1,323 @@
+"""The ``python -m repro`` command line (also installed as ``repro``).
+
+Drives the :class:`~repro.api.Workspace` facade without writing Python.
+Every subcommand prints one JSON *result envelope* to stdout::
+
+    {
+      "ok": true,            # did the command execute? (exit code 0 iff true)
+      "command": "learn",    # which subcommand ran
+      "elapsed": 0.0123,     # wall-clock seconds of the whole command
+      "result": { ... },     # the uniform Result.to_dict() payload
+      "engine_stats": { ... }  # the workspace engine's counters
+    }
+
+``ok`` tracks command execution, not the outcome's quality: a learner that
+legitimately abstains still yields ``ok: true`` (with ``result.ok: false``)
+and exit code 0, so scripts can tell a valid abstention from a failure.
+
+Subcommands
+-----------
+``learn``       learn a query from ``--positives``/``--negatives`` labels;
+``query``       evaluate a regular path query on the graph;
+``experiment``  run a Section 5 experiment (static sweep or interactive loop);
+``bench``       repeat query evaluations to exercise the engine's caches.
+
+Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
+:mod:`repro.graphdb.io`) or ``--figure {geo,g0}`` (the paper's figure
+graphs).  Failures print ``{"ok": false, "error": {...}}`` and exit 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.api.config import (
+    STRATEGIES,
+    EngineConfig,
+    ExperimentConfig,
+    LearnerConfig,
+)
+from repro.api.result import Result
+from repro.api.workspace import FIGURE_GRAPHS, Workspace
+from repro.errors import ConfigError, ReproError
+from repro.learning.sample import BinarySample, Sample
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Learning path queries on graph databases (Bonifati-Ciucanu-Lemay, "
+            "EDBT 2015): learn, evaluate and benchmark regular path queries "
+            "from the command line."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--indent",
+            type=int,
+            default=2,
+            help="JSON indentation of the envelope (default 2; 0 for compact)",
+        )
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--graph", metavar="FILE", help="graph file (.tsv edge list or .json)"
+        )
+        source.add_argument(
+            "--figure",
+            choices=FIGURE_GRAPHS,
+            help="one of the paper's figure graphs instead of a file",
+        )
+        sub.add_argument(
+            "--plan-cache-size", type=int, default=256, help="engine plan cache capacity"
+        )
+        sub.add_argument(
+            "--result-cache-size",
+            type=int,
+            default=1024,
+            help="engine result cache capacity",
+        )
+
+    learn = subparsers.add_parser(
+        "learn", help="learn a query from labeled nodes (Algorithm 1/2)"
+    )
+    add_graph_source(learn)
+    learn.add_argument(
+        "--positives",
+        required=True,
+        help="comma-separated positive nodes (binary semantics: origin:end pairs)",
+    )
+    learn.add_argument(
+        "--negatives",
+        default="",
+        help="comma-separated negative nodes (binary semantics: origin:end pairs)",
+    )
+    learn.add_argument(
+        "--semantics", choices=("path", "binary"), default="path", help="query semantics"
+    )
+    learn.add_argument("--k", type=int, default=2, help="path-length bound k")
+    learn.add_argument(
+        "--k-max", type=int, default=6, help="upper bound for the dynamic-k procedure"
+    )
+    learn.add_argument(
+        "--fixed-k",
+        action="store_true",
+        help="disable the dynamic-k procedure (use exactly --k)",
+    )
+    learn.add_argument(
+        "--no-generalize",
+        action="store_true",
+        help="use the disjunction-of-SCPs baseline instead of generalization",
+    )
+
+    query = subparsers.add_parser("query", help="evaluate a regular path query")
+    add_graph_source(query)
+    query.add_argument("--expr", required=True, help="the regular path query expression")
+    query.add_argument(
+        "--semantics",
+        choices=("path", "binary"),
+        default="path",
+        help="monadic node selection (path) or classical pair selection (binary)",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a Section 5 experiment on the graph"
+    )
+    add_graph_source(experiment)
+    experiment.add_argument("--goal", required=True, help="the goal query expression")
+    experiment.add_argument(
+        "--scenario",
+        choices=("static", "interactive"),
+        default="static",
+        help="static sweep (Figures 11/12) or interactive loop (Table 2)",
+    )
+    experiment.add_argument("--seed", type=int, default=0, help="random seed")
+    experiment.add_argument("--k-start", type=int, default=2, help="initial k")
+    experiment.add_argument("--k-max", type=int, default=4, help="maximal k")
+    experiment.add_argument(
+        "--fractions",
+        default=None,
+        help="static scenario: comma-separated labeled fractions (e.g. 0.05,0.1)",
+    )
+    experiment.add_argument(
+        "--no-generalize",
+        action="store_true",
+        help="static scenario: use the disjunction-of-SCPs baseline",
+    )
+    experiment.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="kR",
+        help="interactive scenario: node-selection strategy",
+    )
+    experiment.add_argument(
+        "--max-interactions",
+        type=int,
+        default=None,
+        help="interactive scenario: interaction budget (default: 10%% of nodes)",
+    )
+    experiment.add_argument(
+        "--target-f1",
+        type=float,
+        default=1.0,
+        help="interactive scenario: halt threshold (1.0 = paper's strongest)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="repeat query evaluations to exercise the engine caches"
+    )
+    add_graph_source(bench)
+    bench.add_argument(
+        "--expr",
+        action="append",
+        required=True,
+        help="query expression to evaluate (repeatable)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=100, help="evaluations per expression (default 100)"
+    )
+
+    return parser
+
+
+def _make_workspace(args: argparse.Namespace) -> Workspace:
+    engine_config = EngineConfig(
+        plan_cache_size=args.plan_cache_size, result_cache_size=args.result_cache_size
+    )
+    if args.graph is not None:
+        return Workspace.from_file(args.graph, engine_config=engine_config)
+    return Workspace.from_figure(args.figure, engine_config=engine_config)
+
+
+def _split_csv(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_examples(text: str, semantics: str) -> list:
+    items = _split_csv(text)
+    if semantics != "binary":
+        return items
+    pairs = []
+    for item in items:
+        origin, separator, end = item.partition(":")
+        if not separator or not origin or not end:
+            raise ConfigError(
+                f"binary examples must be origin:end pairs, got {item!r}"
+            )
+        pairs.append((origin, end))
+    return pairs
+
+
+def _cmd_learn(args: argparse.Namespace, workspace: Workspace) -> Result:
+    positives = _parse_examples(args.positives, args.semantics)
+    negatives = _parse_examples(args.negatives, args.semantics)
+    if args.semantics == "binary":
+        sample: Sample | BinarySample = BinarySample(positives, negatives)
+    else:
+        sample = Sample(positives, negatives)
+    config = LearnerConfig(
+        k=args.k,
+        k_max=max(args.k, args.k_max),
+        dynamic_k=not args.fixed_k,
+        semantics=args.semantics,
+        generalize=not args.no_generalize,
+    )
+    return workspace.learn(sample, config)
+
+
+def _cmd_query(args: argparse.Namespace, workspace: Workspace) -> Result:
+    return workspace.query(args.expr, semantics=args.semantics)
+
+
+def _cmd_experiment(args: argparse.Namespace, workspace: Workspace) -> Result:
+    kwargs = dict(
+        goal=args.goal,
+        scenario=args.scenario,
+        seed=args.seed,
+        k_start=args.k_start,
+        k_max=args.k_max,
+        use_generalization=not args.no_generalize,
+        strategy=args.strategy,
+        max_interactions=args.max_interactions,
+        target_f1=args.target_f1,
+    )
+    if args.fractions is not None:
+        try:
+            kwargs["labeled_fractions"] = tuple(
+                float(fraction) for fraction in _split_csv(args.fractions)
+            )
+        except ValueError as error:
+            raise ConfigError(f"malformed --fractions value: {error}") from error
+    return workspace.run_experiment(ExperimentConfig(**kwargs))
+
+
+def _cmd_bench(args: argparse.Namespace, workspace: Workspace) -> dict:
+    if args.repeat < 1:
+        raise ConfigError("--repeat must be at least 1")
+    runs = []
+    for expression in args.expr:
+        first = workspace.query(expression)
+        # Reuse the compiled query object so the warm loop measures the
+        # engine's plan/result caches, not regex re-compilation.
+        compiled = first.query
+        warm_runs = args.repeat - 1
+        started = time.perf_counter()
+        for _ in range(warm_runs):
+            workspace.query(compiled)
+        warm_elapsed = time.perf_counter() - started
+        runs.append(
+            {
+                "expression": expression,
+                "selected": first.count,
+                "repeat": args.repeat,
+                "cold_seconds": first.elapsed,
+                # null when no warm evaluation happened (--repeat 1).
+                "warm_seconds_per_eval": (
+                    warm_elapsed / warm_runs if warm_runs else None
+                ),
+            }
+        )
+    return {"type": "BenchReport", "ok": True, "runs": runs}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    indent = args.indent if args.indent and args.indent > 0 else None
+    started = time.perf_counter()
+    try:
+        workspace = _make_workspace(args)
+        handler = {
+            "learn": _cmd_learn,
+            "query": _cmd_query,
+            "experiment": _cmd_experiment,
+            "bench": _cmd_bench,
+        }[args.command]
+        outcome = handler(args, workspace)
+        payload = outcome if isinstance(outcome, dict) else outcome.to_dict()
+        envelope = {
+            "ok": True,
+            "command": args.command,
+            "elapsed": time.perf_counter() - started,
+            "result": payload,
+            "engine_stats": workspace.stats(),
+        }
+    except (ReproError, OSError) as error:
+        envelope = {
+            "ok": False,
+            "command": args.command,
+            "elapsed": time.perf_counter() - started,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }
+    print(json.dumps(envelope, indent=indent, sort_keys=False))
+    return 0 if envelope["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""Typed, validated configuration objects for the public :class:`Workspace` API.
+
+Each config is a frozen dataclass that validates itself on construction
+(raising :class:`~repro.errors.ConfigError` on bad values) and round-trips
+through JSON-safe dictionaries (``to_dict``/``from_dict``).  They replace the
+scattered keyword arguments of the legacy module-level entry points:
+
+* :class:`EngineConfig`       -- cache sizing of a :class:`~repro.engine.QueryEngine`;
+* :class:`LearnerConfig`      -- Algorithm 1/2/3 parameters (``k``, semantics, ...);
+* :class:`InteractiveConfig`  -- the Figure 9 loop (strategy, budgets, halt);
+* :class:`ExperimentConfig`   -- the Section 5 experiment drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+#: The learner semantics a :class:`LearnerConfig` can select.
+SEMANTICS = ("path", "binary", "nary")
+
+#: The experiment scenarios an :class:`ExperimentConfig` can select.
+SCENARIOS = ("static", "interactive")
+
+#: The interactive strategies the paper evaluates (plus the naive baseline).
+STRATEGIES = ("kR", "kS", "random")
+
+
+class _BaseConfig:
+    """Shared JSON plumbing of the four config dataclasses."""
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict):
+        """Build (and validate) a config from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise ConfigError(f"{cls.__name__} payload must be a dict, got {type(payload).__name__}")
+        known = {spec.name: spec for spec in fields(cls)}
+        unknown = sorted(set(payload) - set(known))
+        if unknown:
+            raise ConfigError(f"unknown {cls.__name__} fields: {unknown!r}")
+        kwargs = {}
+        for name, value in payload.items():
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def replace(self, **changes):
+        """A copy with the given fields changed (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class EngineConfig(_BaseConfig):
+    """Cache sizing of a per-workspace :class:`~repro.engine.QueryEngine`."""
+
+    plan_cache_size: int = 256
+    result_cache_size: int = 1024
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.plan_cache_size, int) and self.plan_cache_size >= 1,
+            f"plan_cache_size must be a positive int, got {self.plan_cache_size!r}",
+        )
+        _require(
+            isinstance(self.result_cache_size, int) and self.result_cache_size >= 1,
+            f"result_cache_size must be a positive int, got {self.result_cache_size!r}",
+        )
+
+    def build(self):
+        """A fresh :class:`~repro.engine.QueryEngine` with this sizing."""
+        from repro.engine.engine import QueryEngine
+
+        return QueryEngine(
+            plan_cache_size=self.plan_cache_size,
+            result_cache_size=self.result_cache_size,
+        )
+
+
+@dataclass(frozen=True)
+class LearnerConfig(_BaseConfig):
+    """Parameters of one learning run (Algorithm 1, 2 or 3).
+
+    ``dynamic_k`` enables the Section 5.1 procedure (grow ``k`` from ``k``
+    up to ``k_max`` while the learner abstains); :meth:`repro.api.Workspace.learn`
+    applies it to all three semantics and to the baseline.
+    ``generalize=False`` swaps in the disjunction-of-SCPs baseline (monadic
+    semantics only).
+    """
+
+    k: int = 2
+    dynamic_k: bool = True
+    k_max: int = 6
+    semantics: str = "path"
+    generalize: bool = True
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.k, int) and self.k >= 0, f"k must be a non-negative int, got {self.k!r}")
+        _require(
+            isinstance(self.k_max, int) and self.k_max >= self.k,
+            f"need k <= k_max, got k={self.k!r}, k_max={self.k_max!r}",
+        )
+        _require(
+            self.semantics in SEMANTICS,
+            f"semantics must be one of {SEMANTICS}, got {self.semantics!r}",
+        )
+        _require(
+            self.generalize or self.semantics == "path",
+            "generalize=False (the SCP-disjunction baseline) only exists for the "
+            "monadic 'path' semantics",
+        )
+
+
+@dataclass(frozen=True)
+class InteractiveConfig(_BaseConfig):
+    """Parameters of one interactive session (the Figure 9 loop)."""
+
+    strategy: str = "kR"
+    k_start: int = 2
+    k_max: int = 6
+    max_interactions: int | None = None
+    neighborhood_radius: int | None = None
+    pool_size: int | None = 512
+    seed: int = 0
+    target_f1: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.strategy in STRATEGIES,
+            f"strategy must be one of {STRATEGIES}, got {self.strategy!r}",
+        )
+        _require(
+            isinstance(self.k_start, int) and self.k_start >= 0,
+            f"k_start must be a non-negative int, got {self.k_start!r}",
+        )
+        _require(
+            isinstance(self.k_max, int) and self.k_max >= self.k_start,
+            f"need k_start <= k_max, got k_start={self.k_start!r}, k_max={self.k_max!r}",
+        )
+        _require(
+            self.max_interactions is None or self.max_interactions >= 1,
+            f"max_interactions must be None or >= 1, got {self.max_interactions!r}",
+        )
+        _require(
+            self.neighborhood_radius is None or self.neighborhood_radius >= 0,
+            f"neighborhood_radius must be None or >= 0, got {self.neighborhood_radius!r}",
+        )
+        _require(
+            self.pool_size is None or self.pool_size >= 1,
+            f"pool_size must be None (full scan) or >= 1, got {self.pool_size!r}",
+        )
+        _require(
+            0.0 < self.target_f1 <= 1.0,
+            f"target_f1 must be in (0, 1], got {self.target_f1!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig(_BaseConfig):
+    """Parameters of one Section 5 experiment run.
+
+    ``goal`` is the goal query's regular expression; the workspace compiles
+    it over its graph's alphabet.  ``scenario`` picks the static sweep
+    (Figures 11/12) or the interactive loop (Table 2); fields irrelevant to
+    the chosen scenario are simply ignored by the driver.  ``name`` labels
+    the workload in reports (None: the workspace's own name).
+    """
+
+    goal: str = ""
+    scenario: str = "static"
+    name: str | None = None
+    seed: int = 0
+    k_start: int = 2
+    k_max: int = 4
+    # static scenario
+    labeled_fractions: tuple[float, ...] = (0.005, 0.01, 0.02, 0.05, 0.07, 0.10, 0.15)
+    use_generalization: bool = True
+    # interactive scenario
+    strategy: str = "kR"
+    max_interactions: int | None = None
+    pool_size: int | None = 512
+    target_f1: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.goal, str), f"goal must be an expression string, got {self.goal!r}")
+        _require(
+            self.name is None or isinstance(self.name, str),
+            f"name must be None or a string, got {self.name!r}",
+        )
+        _require(
+            self.scenario in SCENARIOS,
+            f"scenario must be one of {SCENARIOS}, got {self.scenario!r}",
+        )
+        _require(
+            isinstance(self.k_start, int) and self.k_start >= 0,
+            f"k_start must be a non-negative int, got {self.k_start!r}",
+        )
+        _require(
+            isinstance(self.k_max, int) and self.k_max >= self.k_start,
+            f"need k_start <= k_max, got k_start={self.k_start!r}, k_max={self.k_max!r}",
+        )
+        _require(
+            bool(self.labeled_fractions),
+            "labeled_fractions must contain at least one fraction",
+        )
+        _require(
+            all(0.0 < fraction <= 1.0 for fraction in self.labeled_fractions),
+            f"labeled fractions must be in (0, 1], got {self.labeled_fractions!r}",
+        )
+        _require(
+            self.strategy in STRATEGIES,
+            f"strategy must be one of {STRATEGIES}, got {self.strategy!r}",
+        )
+        _require(
+            self.max_interactions is None or self.max_interactions >= 1,
+            f"max_interactions must be None or >= 1, got {self.max_interactions!r}",
+        )
+        _require(
+            self.pool_size is None or self.pool_size >= 1,
+            f"pool_size must be None (full scan) or >= 1, got {self.pool_size!r}",
+        )
+        _require(
+            0.0 < self.target_f1 <= 1.0,
+            f"target_f1 must be in (0, 1], got {self.target_f1!r}",
+        )

@@ -1,0 +1,184 @@
+"""The uniform result protocol of the public API.
+
+Every outcome object the library produces -- learning runs, interactive
+sessions, experiment sweeps, and the workspace's own query evaluations --
+satisfies one small structural contract, :class:`Result`:
+
+* ``ok``       -- did the run produce a usable outcome?
+* ``query``    -- the learned/evaluated query (or its expression), if any;
+* ``elapsed``  -- wall-clock seconds spent producing the result;
+* ``to_dict``  -- a JSON-safe snapshot (with a ``"type"`` tag) that
+  round-trips through the matching ``from_dict`` classmethod.
+
+:func:`result_from_dict` / :func:`result_from_json` are the inverse: they
+dispatch on the ``"type"`` tag and rebuild the concrete result object, which
+is what the ``python -m repro`` CLI envelope and any service layer on top of
+the workspace rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import SerializationError
+from repro.evaluation.interactive import InteractiveExperimentResult
+from repro.evaluation.static import StaticExperimentResult
+from repro.interactive.scenario import InteractiveResult
+from repro.learning.binary_learner import BinaryLearnerResult
+from repro.learning.learner import LearnerResult
+from repro.learning.nary_learner import NaryLearnerResult
+from repro.queries.binary import BinaryPathQuery
+from repro.queries.path_query import PathQuery
+
+
+@runtime_checkable
+class Result(Protocol):
+    """Structural protocol satisfied by every result object of the library."""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run produced a usable outcome."""
+
+    @property
+    def query(self) -> Any:
+        """The learned or evaluated query (or its expression), if any."""
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds spent producing this result."""
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot carrying a ``"type"`` tag."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one :meth:`repro.api.Workspace.query` evaluation.
+
+    ``selected`` holds the selected nodes (monadic semantics) or node pairs
+    (binary semantics).  Implements the :class:`Result` protocol.
+    """
+
+    query: PathQuery | BinaryPathQuery
+    semantics: str
+    selected: frozenset
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: evaluation always produces a node set."""
+        return True
+
+    @property
+    def count(self) -> int:
+        """The number of selected nodes (or pairs)."""
+        return len(self.selected)
+
+    def nodes(self) -> list:
+        """The selected nodes/pairs in deterministic order (for display)."""
+        return sorted(self.selected, key=repr)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({self.query.expression!r}, semantics={self.semantics!r}, "
+            f"count={self.count})"
+        )
+
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        if self.semantics == "binary":
+            selected: list = sorted(([o, e] for o, e in self.selected), key=repr)
+        else:
+            selected = sorted(self.selected, key=repr)
+        return {
+            "type": "QueryResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "semantics": self.semantics,
+            "query": self.query.to_dict(),
+            "count": self.count,
+            "selected": selected,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            semantics = payload.get("semantics", "path")
+            if semantics == "binary":
+                query: PathQuery | BinaryPathQuery = BinaryPathQuery.from_dict(
+                    payload["query"]
+                )
+                selected: frozenset = frozenset(
+                    (pair[0], pair[1]) for pair in payload.get("selected", [])
+                )
+            else:
+                query = PathQuery.from_dict(payload["query"])
+                selected = frozenset(payload.get("selected", []))
+            return cls(
+                query=query,
+                semantics=semantics,
+                selected=selected,
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError, IndexError) as error:
+            raise SerializationError(f"malformed QueryResult payload: {error}") from error
+
+
+#: ``"type"`` tag -> concrete result class, the dispatch table of
+#: :func:`result_from_dict`.
+RESULT_TYPES: dict[str, type] = {
+    "QueryResult": QueryResult,
+    "LearnerResult": LearnerResult,
+    "BinaryLearnerResult": BinaryLearnerResult,
+    "NaryLearnerResult": NaryLearnerResult,
+    "InteractiveResult": InteractiveResult,
+    "StaticExperimentResult": StaticExperimentResult,
+    "InteractiveExperimentResult": InteractiveExperimentResult,
+}
+
+
+def result_from_dict(payload: dict) -> Result:
+    """Rebuild any library result from its ``to_dict`` snapshot.
+
+    Dispatches on the payload's ``"type"`` tag; raises
+    :class:`~repro.errors.SerializationError` on unknown or missing tags.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"result payload must be a dict, got {type(payload).__name__}"
+        )
+    tag = payload.get("type")
+    result_cls = RESULT_TYPES.get(tag)
+    if result_cls is None:
+        known = sorted(RESULT_TYPES)
+        raise SerializationError(f"unknown result type tag {tag!r}; expected one of {known}")
+    return result_cls.from_dict(payload)
+
+
+def result_to_json(result: Result, *, indent: int | None = None) -> str:
+    """Serialize any library result to its JSON document."""
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=False)
+
+
+def result_from_json(text: str) -> Result:
+    """Inverse of :func:`result_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid result JSON: {error}") from error
+    return result_from_dict(payload)
+
+
+__all__ = [
+    "Result",
+    "QueryResult",
+    "RESULT_TYPES",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_json",
+]

@@ -1,0 +1,284 @@
+"""The :class:`Workspace` facade: one graph, one engine, one API.
+
+A workspace owns a :class:`~repro.graphdb.GraphDB` and a private
+:class:`~repro.engine.QueryEngine` and exposes the paper's whole pipeline
+behind five methods::
+
+    ws = Workspace(graph)                  # or Workspace.from_file("g.tsv")
+    ws.query("(tram+bus)*.cinema")         # evaluate   -> QueryResult
+    ws.learn(sample, LearnerConfig(...))   # Algorithm 1/2/3 -> *LearnerResult
+    ws.learn_interactive("(a.b)*.c")       # Figure 9 loop -> InteractiveResult
+    ws.run_experiment(ExperimentConfig(goal="..."))   # Section 5 drivers
+    ws.stats()                             # engine + graph counters
+
+Every outcome satisfies the uniform :class:`~repro.api.result.Result`
+protocol, so it serializes to the same JSON envelope the ``python -m repro``
+CLI emits.  Because the engine is per-workspace, cache hit rates and kernel
+counters in :meth:`Workspace.stats` describe exactly this workspace's
+traffic -- nothing silently falls back to the process-wide default engine.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.api.config import EngineConfig, ExperimentConfig, InteractiveConfig, LearnerConfig
+from repro.api.result import QueryResult
+from repro.engine.engine import QueryEngine
+from repro.errors import ConfigError, QueryError
+from repro.evaluation.interactive import InteractiveExperimentResult, run_interactive_experiment
+from repro.evaluation.static import StaticExperimentResult, run_static_experiment
+from repro.evaluation.workloads import Workload
+from repro.graphdb.graph import GraphDB
+from repro.graphdb.io import load_graph, save_graph
+from repro.interactive.oracle import Oracle, QueryOracle
+from repro.interactive.scenario import InteractiveResult, InteractiveSession
+from repro.interactive.strategies import make_strategy
+from repro.learning.baselines import learn_scp_disjunction
+from repro.learning.binary_learner import BinaryLearnerResult, learn_binary_query
+from repro.learning.learner import LearnerResult, dynamic_k_procedure, learn_path_query
+from repro.learning.nary_learner import NaryLearnerResult, learn_nary_query
+from repro.learning.sample import BinarySample, NarySample, Sample
+from repro.queries.binary import BinaryPathQuery
+from repro.queries.path_query import PathQuery
+from repro.regex.ast import Regex
+
+#: Built-in figure graphs :meth:`Workspace.from_figure` (and the CLI's
+#: ``--figure``) can load without a graph file.
+FIGURE_GRAPHS = ("geo", "g0")
+
+
+def _figure_graph(name: str) -> GraphDB:
+    from repro.datasets.figures import example_graph_g0, geo_graph
+
+    if name == "geo":
+        return geo_graph()
+    if name == "g0":
+        return example_graph_g0()
+    raise ConfigError(f"unknown figure graph {name!r}; expected one of {FIGURE_GRAPHS}")
+
+
+class Workspace:
+    """A graph database plus a private query engine behind one typed API."""
+
+    def __init__(
+        self,
+        graph: GraphDB | None = None,
+        *,
+        engine: QueryEngine | None = None,
+        engine_config: EngineConfig | None = None,
+        name: str = "workspace",
+    ) -> None:
+        if engine is not None and engine_config is not None:
+            raise ConfigError("pass either a ready engine or an engine_config, not both")
+        self._graph = graph if graph is not None else GraphDB()
+        self._engine = engine if engine is not None else (engine_config or EngineConfig()).build()
+        self.name = name
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str | Path, **kwargs) -> "Workspace":
+        """A workspace over a graph file (edge-list ``.tsv`` or ``.json``)."""
+        workspace = cls(load_graph(path), **kwargs)
+        workspace.name = kwargs.get("name", Path(path).stem)
+        return workspace
+
+    @classmethod
+    def from_figure(cls, name: str, **kwargs) -> "Workspace":
+        """A workspace over one of the paper's figure graphs (``geo``, ``g0``)."""
+        workspace = cls(_figure_graph(name), **kwargs)
+        workspace.name = kwargs.get("name", name)
+        return workspace
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def graph(self) -> GraphDB:
+        """The workspace's graph database."""
+        return self._graph
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The workspace-private query engine (isolated caches and stats)."""
+        return self._engine
+
+    def __repr__(self) -> str:
+        return (
+            f"Workspace({self.name!r}, nodes={self._graph.node_count()}, "
+            f"edges={self._graph.edge_count()})"
+        )
+
+    # -- the five public operations -------------------------------------------
+
+    def query(
+        self, expr: str | Regex | PathQuery | BinaryPathQuery, *, semantics: str = "path"
+    ) -> QueryResult:
+        """Evaluate a path query on the workspace graph.
+
+        ``expr`` is a regular-expression string or AST (compiled over the
+        graph's alphabet) or an already-built query object.  ``semantics`` selects
+        monadic (``"path"``, the paper's main class) or classical binary
+        RPQ evaluation.
+        """
+        if semantics not in ("path", "binary"):
+            raise ConfigError(f"semantics must be 'path' or 'binary', got {semantics!r}")
+        if not isinstance(expr, (str, Regex, PathQuery, BinaryPathQuery)):
+            raise QueryError(
+                "expected an expression string (or Regex AST, PathQuery, "
+                f"BinaryPathQuery), got {type(expr).__name__}"
+            )
+        started = time.perf_counter()
+        if semantics == "binary":
+            if isinstance(expr, BinaryPathQuery):
+                query = expr
+            else:
+                source = expr.expression if isinstance(expr, PathQuery) else expr
+                query = BinaryPathQuery.parse(source, self._graph.alphabet)
+            selected: frozenset = query.evaluate(self._graph, engine=self._engine)
+        else:
+            if isinstance(expr, PathQuery):
+                query = expr
+            elif isinstance(expr, BinaryPathQuery):
+                query = PathQuery.parse(expr.expression, self._graph.alphabet)
+            else:
+                query = PathQuery.parse(expr, self._graph.alphabet)
+            selected = query.evaluate(self._graph, engine=self._engine)
+        return QueryResult(
+            query=query,
+            semantics=semantics,
+            selected=selected,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def learn(
+        self,
+        sample: Sample | BinarySample | NarySample,
+        config: LearnerConfig | None = None,
+    ) -> LearnerResult | BinaryLearnerResult | NaryLearnerResult:
+        """Learn a query from a fixed sample (Algorithm 1, 2 or 3).
+
+        The algorithm is picked from ``config.semantics``, which must agree
+        with the sample's type (a plain :class:`Sample` for ``"path"``, a
+        :class:`BinarySample` for ``"binary"``, a :class:`NarySample` for
+        ``"nary"``).  With the default config the learner runs with the
+        paper's dynamic-``k`` procedure (grow ``k`` up to ``k_max`` while it
+        abstains); that applies to all three semantics.
+        """
+        config = config or LearnerConfig(semantics=self._infer_semantics(sample))
+        expected = self._infer_semantics(sample)
+        if config.semantics != expected:
+            raise ConfigError(
+                f"config.semantics={config.semantics!r} does not match the sample type "
+                f"({type(sample).__name__} implies {expected!r})"
+            )
+        if config.semantics == "binary":
+            return self._learn_dynamic(learn_binary_query, sample, config)
+        if config.semantics == "nary":
+            return self._learn_dynamic(learn_nary_query, sample, config)
+        if not config.generalize:
+            return self._learn_dynamic(learn_scp_disjunction, sample, config)
+        return self._learn_dynamic(learn_path_query, sample, config)
+
+    def _learn_dynamic(self, learn, sample, config: LearnerConfig):
+        """Run a fixed-``k`` learner, under dynamic ``k`` when configured."""
+        if not config.dynamic_k:
+            return learn(self._graph, sample, k=config.k, engine=self._engine)
+        return dynamic_k_procedure(
+            learn, self._graph, sample, k_start=config.k, k_max=config.k_max, engine=self._engine
+        )
+
+    def learn_interactive(
+        self,
+        target: str | PathQuery | Oracle,
+        config: InteractiveConfig | None = None,
+    ) -> InteractiveResult:
+        """Run the Figure 9 interactive loop against a goal query or oracle.
+
+        ``target`` is the goal query (an expression string or
+        :class:`PathQuery`) labeled by a simulated perfect user, or any
+        :class:`~repro.interactive.Oracle` for custom labeling behaviour.
+        """
+        config = config or InteractiveConfig()
+        if isinstance(target, Oracle):
+            oracle = target
+        else:
+            goal = (
+                target
+                if isinstance(target, PathQuery)
+                else PathQuery.parse(target, self._graph.alphabet)
+            )
+            oracle = QueryOracle(
+                goal, satisfaction_threshold=config.target_f1, engine=self._engine
+            )
+        session = InteractiveSession(
+            self._graph,
+            oracle,
+            make_strategy(config.strategy, seed=config.seed, pool_size=config.pool_size),
+            k_start=config.k_start,
+            k_max=config.k_max,
+            max_interactions=config.max_interactions,
+            neighborhood_radius=config.neighborhood_radius,
+            engine=self._engine,
+        )
+        return session.run()
+
+    def run_experiment(
+        self, config: ExperimentConfig
+    ) -> StaticExperimentResult | InteractiveExperimentResult:
+        """Run one Section 5 experiment on the workspace graph.
+
+        The goal query comes from ``config.goal``; ``config.scenario`` picks
+        the static sweep (Figures 11/12) or the interactive loop (Table 2).
+        The whole run -- sampling, learning, scoring -- uses the workspace
+        engine, so :meth:`stats` afterwards describes exactly this
+        experiment's work.
+        """
+        if not isinstance(config, ExperimentConfig):
+            raise ConfigError(
+                f"run_experiment needs an ExperimentConfig, got {type(config).__name__}"
+            )
+        if not config.goal:
+            raise ConfigError("ExperimentConfig.goal must name the goal query expression")
+        goal = PathQuery.parse(config.goal, self._graph.alphabet)
+        workload = Workload(
+            name=config.name if config.name is not None else self.name,
+            query=goal,
+            graph=self._graph,
+        )
+        if config.scenario == "interactive":
+            return run_interactive_experiment(workload, config=config, engine=self._engine)
+        return run_static_experiment(workload, config=config, engine=self._engine)
+
+    def stats(self) -> dict:
+        """Engine counters (cache hit rates, kernel work) plus graph shape."""
+        snapshot = dict(self._engine.stats_snapshot())
+        snapshot.update(
+            graph_nodes=self._graph.node_count(),
+            graph_edges=self._graph.edge_count(),
+            graph_labels=len(self._graph.labels()),
+        )
+        return snapshot
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Save the workspace graph (format chosen from the file extension)."""
+        save_graph(self._graph, path)
+
+    def clear_caches(self) -> None:
+        """Drop the workspace engine's cached plans, results and indexes."""
+        self._engine.clear_caches()
+
+    @staticmethod
+    def _infer_semantics(sample: Sample | BinarySample | NarySample) -> str:
+        if isinstance(sample, NarySample):
+            return "nary"
+        if isinstance(sample, BinarySample):
+            return "binary"
+        if isinstance(sample, Sample):
+            return "path"
+        raise ConfigError(
+            f"expected a Sample, BinarySample or NarySample, got {type(sample).__name__}"
+        )

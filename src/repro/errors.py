@@ -48,3 +48,11 @@ class LearningError(ReproError):
 
 class InteractionError(ReproError):
     """The interactive scenario was driven into an invalid state."""
+
+
+class ConfigError(ReproError):
+    """A typed configuration object (:mod:`repro.api.config`) is invalid."""
+
+
+class SerializationError(ReproError):
+    """A result or config payload could not be (de)serialized."""

@@ -15,20 +15,29 @@ static driver (:func:`repro.evaluation.static.run_static_experiment`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.engine import QueryEngine, get_default_engine
-from repro.errors import LearningError
+from repro.errors import LearningError, SerializationError
 from repro.evaluation.metrics import f1_score
 from repro.evaluation.workloads import Workload
 from repro.interactive.oracle import QueryOracle
 from repro.interactive.scenario import run_interactive_learning
 from repro.interactive.strategies import make_strategy
 
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.api
+    from repro.api.config import ExperimentConfig
+
 
 @dataclass(frozen=True)
 class InteractiveExperimentResult:
-    """One row of Table 2 (one workload, one strategy)."""
+    """One row of Table 2 (one workload, one strategy).
+
+    Implements the uniform :class:`repro.api.Result` protocol: ``ok``,
+    ``query``, ``elapsed`` and a JSON-safe ``to_dict``/``from_dict`` pair.
+    """
 
     workload_name: str
     strategy: str
@@ -39,11 +48,65 @@ class InteractiveExperimentResult:
     final_f1: float
     halted_by: str
     learned_expression: str | None
+    elapsed: float = 0.0
 
     @property
     def reached_goal(self) -> bool:
         """Whether the session stopped because the learned query matched the goal."""
         return self.halted_by == "goal"
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: True iff the session reached the goal query."""
+        return self.reached_goal
+
+    @property
+    def query(self) -> str | None:
+        """Result protocol: the learned expression of the session, if any."""
+        return self.learned_expression
+
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "InteractiveExperimentResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "query": self.query,
+            "workload_name": self.workload_name,
+            "strategy": self.strategy,
+            "goal_selectivity": self.goal_selectivity,
+            "interactions": self.interactions,
+            "labeled_fraction": self.labeled_fraction,
+            "mean_seconds_between_interactions": self.mean_seconds_between_interactions,
+            "final_f1": self.final_f1,
+            "halted_by": self.halted_by,
+            "learned_expression": self.learned_expression,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InteractiveExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                workload_name=payload["workload_name"],
+                strategy=payload["strategy"],
+                goal_selectivity=payload["goal_selectivity"],
+                interactions=payload["interactions"],
+                labeled_fraction=payload["labeled_fraction"],
+                mean_seconds_between_interactions=payload[
+                    "mean_seconds_between_interactions"
+                ],
+                final_f1=payload["final_f1"],
+                halted_by=payload["halted_by"],
+                learned_expression=payload.get("learned_expression"),
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed InteractiveExperimentResult payload: {error}"
+            ) from error
 
 
 def run_interactive_experiment(
@@ -57,6 +120,7 @@ def run_interactive_experiment(
     pool_size: int | None = 512,
     target_f1: float = 1.0,
     engine: QueryEngine | None = None,
+    config: "ExperimentConfig | None" = None,
 ) -> InteractiveExperimentResult:
     """Run the interactive scenario for one workload and one strategy.
 
@@ -64,11 +128,27 @@ def run_interactive_experiment(
     budget given that the paper's interactive runs stay below 8%.
     ``target_f1`` is the halt threshold: 1.0 reproduces the paper's strongest
     condition, lower values model a user satisfied by an intermediate query.
-    ``engine`` is the query engine used for the final F1 scoring (the shared
-    default if omitted); its graph index is warmed once before the first
-    interaction.  The loop's own learner and halt checks always run on the
-    shared default engine.
+    ``engine`` is the query engine used throughout: the oracle's goal
+    evaluation, the loop's learner and halt checks and the final F1 scoring
+    all run on it (the shared default if omitted), so per-engine cache stats
+    account for the whole experiment.  ``config`` (an
+    :class:`repro.api.ExperimentConfig`) overrides the loose keyword
+    arguments when given; :meth:`repro.api.Workspace.run_experiment` is the
+    preferred entry point.
+
+    .. deprecated:: 1.1
+        Calling this with loose keyword arguments is kept as a compatibility
+        shim; prefer :meth:`repro.api.Workspace.run_experiment` with an
+        :class:`repro.api.ExperimentConfig`.
     """
+    if config is not None:
+        strategy = config.strategy
+        seed = config.seed
+        k_start = config.k_start
+        k_max = config.k_max
+        max_interactions = config.max_interactions
+        pool_size = config.pool_size
+        target_f1 = config.target_f1
     engine = engine or get_default_engine()
     graph, goal = workload.graph, workload.query
     engine.index_for(graph)
@@ -76,7 +156,8 @@ def run_interactive_experiment(
         max_interactions = max(20, graph.node_count() // 10)
     if max_interactions < 1:
         raise LearningError("max_interactions must be at least 1")
-    oracle = QueryOracle(goal, satisfaction_threshold=target_f1)
+    started = time.perf_counter()
+    oracle = QueryOracle(goal, satisfaction_threshold=target_f1, engine=engine)
     strategy_impl = make_strategy(strategy, seed=seed, pool_size=pool_size)
     outcome = run_interactive_learning(
         graph,
@@ -85,16 +166,18 @@ def run_interactive_experiment(
         k_start=k_start,
         k_max=k_max,
         max_interactions=max_interactions,
+        engine=engine,
     )
     final_f1 = f1_score(outcome.query, goal, graph, engine=engine)
     return InteractiveExperimentResult(
         workload_name=workload.name,
         strategy=strategy_impl.name,
-        goal_selectivity=workload.selectivity,
+        goal_selectivity=workload.query.selectivity(workload.graph, engine=engine),
         interactions=outcome.interaction_count,
         labeled_fraction=outcome.labels_fraction(graph),
         mean_seconds_between_interactions=outcome.mean_seconds_between_interactions,
         final_f1=final_f1,
         halted_by=outcome.halted_by,
         learned_expression=None if outcome.query is None else outcome.query.expression,
+        elapsed=time.perf_counter() - started,
     )

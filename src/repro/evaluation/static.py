@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.engine.engine import QueryEngine, get_default_engine
-from repro.errors import LearningError
+from repro.errors import LearningError, SerializationError
 from repro.evaluation.metrics import f1_score
 from repro.evaluation.workloads import Workload
 from repro.graphdb.graph import GraphDB, Node
@@ -23,6 +24,9 @@ from repro.learning.learner import LearnerResult, learn_with_dynamic_k
 from repro.learning.baselines import learn_scp_disjunction
 from repro.learning.sample import Sample
 from repro.queries.path_query import PathQuery
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.api
+    from repro.api.config import ExperimentConfig
 
 
 @dataclass(frozen=True)
@@ -40,12 +44,30 @@ class StaticPoint:
 
 @dataclass
 class StaticExperimentResult:
-    """The full series of one workload's static sweep."""
+    """The full series of one workload's static sweep.
+
+    Implements the uniform :class:`repro.api.Result` protocol: ``ok``,
+    ``query``, ``elapsed`` and a JSON-safe ``to_dict``/``from_dict`` pair.
+    """
 
     workload_name: str
     goal_expression: str
     goal_selectivity: float
     points: list[StaticPoint] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: True iff the sweep produced at least one point."""
+        return bool(self.points)
+
+    @property
+    def query(self) -> str | None:
+        """Result protocol: the final learned expression of the sweep, if any."""
+        for point in reversed(self.points):
+            if point.learned_expression is not None:
+                return point.learned_expression
+        return None
 
     def f1_series(self) -> list[tuple[float, float]]:
         """(labeled fraction, F1) pairs -- the Figure 11 series."""
@@ -65,6 +87,37 @@ class StaticExperimentResult:
             if point.f1 >= threshold:
                 return point.labeled_fraction
         return None
+
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "StaticExperimentResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "query": self.query,
+            "workload_name": self.workload_name,
+            "goal_expression": self.goal_expression,
+            "goal_selectivity": self.goal_selectivity,
+            "points": [asdict(point) for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StaticExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                workload_name=payload["workload_name"],
+                goal_expression=payload["goal_expression"],
+                goal_selectivity=payload["goal_selectivity"],
+                points=[StaticPoint(**point) for point in payload.get("points", [])],
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed StaticExperimentResult payload: {error}"
+            ) from error
 
 
 def draw_sample(
@@ -117,29 +170,43 @@ def run_static_experiment(
     k_max: int = 4,
     use_generalization: bool = True,
     engine: QueryEngine | None = None,
+    config: "ExperimentConfig | None" = None,
 ) -> StaticExperimentResult:
     """Run the static sweep of Section 5.2 for one workload.
 
     ``use_generalization=False`` replaces the learner with the
     disjunction-of-SCPs baseline (the A1 ablation).
 
-    ``engine`` is the query engine used for the sweep's sampling and F1
-    scoring (the shared default if omitted).  The learner's own internal
-    checks always run on the shared default engine, so pass a custom engine
-    for cache sizing/stats of the scoring path only -- its index is warmed
-    once and the goal query's node set is a result-cache hit across every
-    labeled fraction.
+    ``engine`` is the query engine used throughout the sweep: sampling, F1
+    scoring *and* the learner's internal merge-guard/positives checks all run
+    on it (the shared default if omitted), so per-engine cache stats account
+    for the whole experiment.  ``config`` (an
+    :class:`repro.api.ExperimentConfig`) overrides the loose keyword
+    arguments when given; :meth:`repro.api.Workspace.run_experiment` is the
+    preferred entry point.
+
+    .. deprecated:: 1.1
+        Calling this with loose keyword arguments is kept as a compatibility
+        shim; prefer :meth:`repro.api.Workspace.run_experiment` with an
+        :class:`repro.api.ExperimentConfig`.
     """
+    if config is not None:
+        labeled_fractions = config.labeled_fractions
+        seed = config.seed
+        k_start = config.k_start
+        k_max = config.k_max
+        use_generalization = config.use_generalization
     rng = random.Random(seed)
     engine = engine or get_default_engine()
     graph, goal = workload.graph, workload.query
     # Warm the CSR index up front so the per-point timings measure learning,
     # not the one-off index build.
     engine.index_for(graph)
+    sweep_started = time.perf_counter()
     result = StaticExperimentResult(
         workload_name=workload.name,
         goal_expression=goal.expression,
-        goal_selectivity=workload.selectivity,
+        goal_selectivity=workload.query.selectivity(workload.graph, engine=engine),
     )
     for fraction in labeled_fractions:
         sample = draw_sample(
@@ -148,9 +215,11 @@ def run_static_experiment(
         started = time.perf_counter()
         learn_result: LearnerResult
         if use_generalization:
-            learn_result = learn_with_dynamic_k(graph, sample, k_start=k_start, k_max=k_max)
+            learn_result = learn_with_dynamic_k(
+                graph, sample, k_start=k_start, k_max=k_max, engine=engine
+            )
         else:
-            learn_result = learn_scp_disjunction(graph, sample, k=k_max)
+            learn_result = learn_scp_disjunction(graph, sample, k=k_max, engine=engine)
         elapsed = time.perf_counter() - started
         # Score the best-effort hypothesis: a strict null answer would show up
         # as F1 = 0 and hide the gradual convergence the paper's plots show.
@@ -168,4 +237,5 @@ def run_static_experiment(
                 k=learn_result.k,
             )
         )
+    result.elapsed = time.perf_counter() - sweep_started
     return result

@@ -8,6 +8,7 @@ other behaviours (e.g. a noisy user) in examples and tests.
 
 from __future__ import annotations
 
+from repro.engine.engine import QueryEngine
 from repro.graphdb.graph import GraphDB, Node
 from repro.learning.sample import NEGATIVE, POSITIVE
 from repro.queries.path_query import PathQuery
@@ -43,17 +44,26 @@ class QueryOracle(Oracle):
     conditions Section 5.3 mentions.
     """
 
-    def __init__(self, goal: PathQuery, *, satisfaction_threshold: float = 1.0) -> None:
+    def __init__(
+        self,
+        goal: PathQuery,
+        *,
+        satisfaction_threshold: float = 1.0,
+        engine: QueryEngine | None = None,
+    ) -> None:
         if not 0.0 < satisfaction_threshold <= 1.0:
             raise ValueError("satisfaction_threshold must be in (0, 1]")
         self.goal = goal
         self.satisfaction_threshold = satisfaction_threshold
-        self._cache: dict[int, frozenset[Node]] = {}
+        self.engine = engine
+        self._cache: dict[tuple[int, int], frozenset[Node]] = {}
 
     def _selected(self, graph: GraphDB) -> frozenset[Node]:
-        key = id(graph)
+        # (uid, version) keys the cache soundly: mutating the graph moves its
+        # version counter, so labels never go stale mid-session.
+        key = (graph.uid, graph.version)
         if key not in self._cache:
-            self._cache[key] = self.goal.evaluate(graph)
+            self._cache[key] = self.goal.evaluate(graph, engine=self.engine)
         return self._cache[key]
 
     def label(self, graph: GraphDB, node: Node) -> str:
@@ -70,7 +80,7 @@ class QueryOracle(Oracle):
         if query is None:
             return False
         goal_nodes = self._selected(graph)
-        learned_nodes = query.evaluate(graph)
+        learned_nodes = query.evaluate(graph, engine=self.engine)
         if self.satisfaction_threshold >= 1.0:
             return learned_nodes == goal_nodes
         true_positives = len(learned_nodes & goal_nodes)

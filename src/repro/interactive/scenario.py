@@ -23,12 +23,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import InteractionError
+from repro.engine.engine import QueryEngine
+from repro.errors import InteractionError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
 from repro.interactive.oracle import Oracle
 from repro.interactive.strategies import Strategy
 from repro.learning.learner import DEFAULT_K, LearnerResult, learn_path_query
-from repro.learning.sample import POSITIVE, Sample
+from repro.learning.sample import Sample
 from repro.queries.path_query import PathQuery
 
 
@@ -43,16 +44,53 @@ class Interaction:
     seconds: float
     learned_expression: str | None
 
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot of this interaction."""
+        return {
+            "index": self.index,
+            "node": self.node,
+            "label": self.label,
+            "k": self.k,
+            "seconds": self.seconds,
+            "learned_expression": self.learned_expression,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Interaction":
+        """Rebuild an interaction from :meth:`to_dict` output."""
+        return cls(
+            index=payload["index"],
+            node=payload["node"],
+            label=payload["label"],
+            k=payload["k"],
+            seconds=payload["seconds"],
+            learned_expression=payload.get("learned_expression"),
+        )
+
 
 @dataclass
 class InteractiveResult:
-    """The outcome of an interactive learning session."""
+    """The outcome of an interactive learning session.
+
+    Implements the uniform :class:`repro.api.Result` protocol: ``ok``,
+    ``query``, ``elapsed`` and a JSON-safe ``to_dict``/``from_dict`` pair.
+    """
 
     query: PathQuery | None
     sample: Sample
     interactions: list[Interaction] = field(default_factory=list)
     halted_by: str = "exhausted"
     total_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: True iff the session produced a query."""
+        return self.query is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Result protocol: total wall-clock seconds of the session."""
+        return self.total_seconds
 
     @property
     def interaction_count(self) -> int:
@@ -72,6 +110,46 @@ class InteractiveResult:
             return 0.0
         return sum(i.seconds for i in self.interactions) / len(self.interactions)
 
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "InteractiveResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "query": None if self.query is None else self.query.to_dict(),
+            "sample": {
+                "positives": sorted(self.sample.positives, key=repr),
+                "negatives": sorted(self.sample.negatives, key=repr),
+            },
+            "interactions": [interaction.to_dict() for interaction in self.interactions],
+            "halted_by": self.halted_by,
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InteractiveResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            sample = payload.get("sample", {})
+            return cls(
+                query=(
+                    None if payload["query"] is None else PathQuery.from_dict(payload["query"])
+                ),
+                sample=Sample(sample.get("positives", ()), sample.get("negatives", ())),
+                interactions=[
+                    Interaction.from_dict(entry)
+                    for entry in payload.get("interactions", [])
+                ],
+                halted_by=payload.get("halted_by", "exhausted"),
+                total_seconds=payload.get("total_seconds", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed InteractiveResult payload: {error}"
+            ) from error
+
 
 class InteractiveSession:
     """A stateful interactive learning session.
@@ -90,6 +168,7 @@ class InteractiveSession:
         k_max: int = 6,
         max_interactions: int | None = None,
         neighborhood_radius: int | None = None,
+        engine: QueryEngine | None = None,
     ) -> None:
         if k_start < 0 or k_max < k_start:
             raise InteractionError("need 0 <= k_start <= k_max")
@@ -100,6 +179,7 @@ class InteractiveSession:
         self.k_max = k_max
         self.max_interactions = max_interactions
         self.neighborhood_radius = neighborhood_radius
+        self.engine = engine
         self.sample = Sample()
         self.interactions: list[Interaction] = []
         self.last_result: LearnerResult | None = None
@@ -134,11 +214,11 @@ class InteractiveSession:
         procedure of Section 5.1.  The strategy keeps using the session's
         ``k``, which only grows when no k-informative node remains.
         """
-        result = learn_path_query(self.graph, self.sample, k=self.k)
+        result = learn_path_query(self.graph, self.sample, k=self.k, engine=self.engine)
         learn_k = self.k
         while result.is_null and result.positives_without_scp and learn_k < self.k_max:
             learn_k += 1
-            result = learn_path_query(self.graph, self.sample, k=learn_k)
+            result = learn_path_query(self.graph, self.sample, k=learn_k, engine=self.engine)
         self.last_result = result
         return result
 
@@ -218,8 +298,19 @@ def run_interactive_learning(
     k_start: int = DEFAULT_K,
     k_max: int = 6,
     max_interactions: int | None = None,
+    engine: QueryEngine | None = None,
 ) -> InteractiveResult:
-    """Run a full interactive session and return its result."""
+    """Run a full interactive session and return its result.
+
+    ``engine`` is forwarded to the session's learner calls; omitted, the
+    process-wide default engine is used.
+
+    .. deprecated:: 1.1
+        Prefer :meth:`repro.api.Workspace.learn_interactive` with an
+        :class:`repro.api.InteractiveConfig`, which owns the oracle, strategy
+        and engine wiring; this module-level function is kept as a thin
+        compatibility shim.
+    """
     session = InteractiveSession(
         graph,
         oracle,
@@ -227,5 +318,6 @@ def run_interactive_learning(
         k_start=k_start,
         k_max=k_max,
         max_interactions=max_interactions,
+        engine=engine,
     )
     return session.run()

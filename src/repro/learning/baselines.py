@@ -11,7 +11,9 @@ qualitative point that the baseline can never express starred queries.
 
 from __future__ import annotations
 
-from repro.engine.engine import get_default_engine
+import time
+
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.graphdb.graph import GraphDB
 from repro.learning.learner import DEFAULT_K, LearnerResult
 from repro.learning.sample import Sample
@@ -20,23 +22,41 @@ from repro.queries.path_query import PathQuery
 
 
 def learn_scp_disjunction(
-    graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K
+    graph: GraphDB,
+    sample: Sample,
+    *,
+    k: int = DEFAULT_K,
+    engine: QueryEngine | None = None,
 ) -> LearnerResult:
     """The no-generalization baseline: the disjunction of the SCPs.
 
     Abstains (returns a null result) when no positive node yields an SCP or
     when the disjunction fails to select some positive node (which happens
     exactly when that node has no consistent path of length at most ``k``).
+
+    ``engine`` is the query engine used for the positives check; omitted,
+    the process-wide default engine is used.
+
+    .. deprecated:: 1.1
+        Prefer :meth:`repro.api.Workspace.learn` with a
+        :class:`repro.api.LearnerConfig` (``generalize=False``); this
+        module-level function is kept as a thin compatibility shim.
     """
     sample.check_against(graph)
+    started = time.perf_counter()
     if not sample.positives:
-        return LearnerResult(query=None, k=k)
+        return LearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
     scps = select_smallest_consistent_paths(graph, sample, k=k)
     positives_without_scp = frozenset(sample.positives - scps.keys())
     if not scps:
-        return LearnerResult(query=None, k=k, positives_without_scp=positives_without_scp)
+        return LearnerResult(
+            query=None,
+            k=k,
+            positives_without_scp=positives_without_scp,
+            elapsed=time.perf_counter() - started,
+        )
     query = PathQuery.from_words(graph.alphabet, scps.values())
-    engine = get_default_engine()
+    engine = engine or get_default_engine()
     selects_all = all(
         engine.selects(graph, query.dfa, node) for node in sample.positives
     )
@@ -49,4 +69,5 @@ def learn_scp_disjunction(
         positives_without_scp=positives_without_scp,
         selects_all_positives=selects_all,
         hypothesis=query,
+        elapsed=time.perf_counter() - started,
     )

@@ -9,15 +9,16 @@ negative pairs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.automata.alphabet import Word
 from repro.automata.dfa import DFA
 from repro.automata.minimize import canonical_dfa
 from repro.automata.pta import prefix_tree_acceptor
-from repro.errors import LearningError
+from repro.errors import LearningError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
-from repro.engine.engine import get_default_engine
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.graphdb.paths import enumerate_paths_between
 from repro.learning.generalize import generalize_pta
 from repro.learning.learner import DEFAULT_K
@@ -27,17 +28,66 @@ from repro.queries.binary import BinaryPathQuery
 
 @dataclass(frozen=True)
 class BinaryLearnerResult:
-    """Outcome of one run of the binary learner (``query`` is None on abstain)."""
+    """Outcome of one run of the binary learner (``query`` is None on abstain).
+
+    Implements the uniform :class:`repro.api.Result` protocol: ``ok``,
+    ``query``, ``elapsed`` and a JSON-safe ``to_dict``/``from_dict`` pair.
+    """
 
     query: BinaryPathQuery | None
     k: int
     scps: dict[tuple[Node, Node], Word] = field(default_factory=dict)
     selects_all_positives: bool = False
+    elapsed: float = 0.0
 
     @property
     def is_null(self) -> bool:
         """Whether the learner abstained."""
         return self.query is None
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: True iff the learner returned a query."""
+        return not self.is_null
+
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "BinaryLearnerResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "k": self.k,
+            "query": None if self.query is None else self.query.to_dict(),
+            "scps": sorted(
+                ([list(pair), list(word)] for pair, word in self.scps.items()),
+                key=repr,
+            ),
+            "selects_all_positives": self.selects_all_positives,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BinaryLearnerResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                query=(
+                    None
+                    if payload["query"] is None
+                    else BinaryPathQuery.from_dict(payload["query"])
+                ),
+                k=payload["k"],
+                scps={
+                    tuple(pair): tuple(word) for pair, word in payload.get("scps", [])
+                },
+                selects_all_positives=payload.get("selects_all_positives", False),
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed BinaryLearnerResult payload: {error}"
+            ) from error
 
 
 def _pair_covered(graph: GraphDB, word: Word, pairs: frozenset[tuple[Node, Node]]) -> bool:
@@ -57,14 +107,28 @@ def _pair_covered(graph: GraphDB, word: Word, pairs: frozenset[tuple[Node, Node]
 
 
 def learn_binary_query(
-    graph: GraphDB, sample: BinarySample, *, k: int = DEFAULT_K
+    graph: GraphDB,
+    sample: BinarySample,
+    *,
+    k: int = DEFAULT_K,
+    engine: QueryEngine | None = None,
 ) -> BinaryLearnerResult:
-    """Run Algorithm 2 on the given graph and binary sample."""
+    """Run Algorithm 2 on the given graph and binary sample.
+
+    ``engine`` is the query engine used by the merge guard and the final
+    positives check; omitted, the process-wide default engine is used.
+
+    .. deprecated:: 1.1
+        Prefer :meth:`repro.api.Workspace.learn` with a
+        :class:`repro.api.LearnerConfig` (``semantics="binary"``); this
+        module-level function is kept as a thin compatibility shim.
+    """
     if k < 0:
         raise LearningError("the path-length bound k must be non-negative")
     sample.check_against(graph)
+    started = time.perf_counter()
     if not sample.positives:
-        return BinaryLearnerResult(query=None, k=k)
+        return BinaryLearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
     negatives = sample.negatives
     scps: dict[tuple[Node, Node], Word] = {}
@@ -74,10 +138,10 @@ def learn_binary_query(
                 scps[(origin, end)] = path
                 break
     if not scps:
-        return BinaryLearnerResult(query=None, k=k)
+        return BinaryLearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
     pta = prefix_tree_acceptor(graph.alphabet, scps.values())
-    engine = get_default_engine()
+    engine = engine or get_default_engine()
 
     def violates(candidate: DFA) -> bool:
         return any(
@@ -93,5 +157,9 @@ def learn_binary_query(
     )
     query = BinaryPathQuery(canonical) if selects_all else None
     return BinaryLearnerResult(
-        query=query, k=k, scps=scps, selects_all_positives=selects_all
+        query=query,
+        k=k,
+        scps=scps,
+        selects_all_positives=selects_all,
+        elapsed=time.perf_counter() - started,
     )

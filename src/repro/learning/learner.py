@@ -19,14 +19,15 @@ that procedure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
 from repro.automata.alphabet import Word
 from repro.automata.dfa import DFA
 from repro.automata.minimize import canonical_dfa
 from repro.automata.pta import prefix_tree_acceptor
-from repro.engine.engine import get_default_engine
-from repro.errors import LearningError
+from repro.engine.engine import QueryEngine, get_default_engine
+from repro.errors import LearningError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
 from repro.learning.generalize import generalize_pta
 from repro.learning.sample import Sample
@@ -49,6 +50,9 @@ class LearnerResult:
     examples and is what the experiment drivers score mid-run (a null answer
     would otherwise be indistinguishable from "learned nothing" in the F1
     plots, which is not how the paper reports Figure 11).
+
+    Implements the uniform :class:`repro.api.Result` protocol: ``ok``,
+    ``query``, ``elapsed`` and a JSON-safe ``to_dict``/``from_dict`` pair.
     """
 
     query: PathQuery | None
@@ -59,11 +63,17 @@ class LearnerResult:
     positives_without_scp: frozenset[Node] = frozenset()
     selects_all_positives: bool = False
     hypothesis: PathQuery | None = None
+    elapsed: float = 0.0
 
     @property
     def is_null(self) -> bool:
         """Whether the learner abstained."""
         return self.query is None
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: True iff the learner returned a query."""
+        return not self.is_null
 
     @property
     def best_effort_query(self) -> PathQuery | None:
@@ -74,33 +84,95 @@ class LearnerResult:
         outcome = "null" if self.is_null else repr(self.query.expression)
         return f"LearnerResult({outcome}, k={self.k}, scps={len(self.scps)})"
 
+    # -- serialization (Result protocol) -------------------------------------
 
-def learn_path_query(graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K) -> LearnerResult:
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "LearnerResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "k": self.k,
+            "query": None if self.query is None else self.query.to_dict(),
+            "hypothesis": None if self.hypothesis is None else self.hypothesis.to_dict(),
+            "scps": sorted(
+                ([node, list(word)] for node, word in self.scps.items()), key=repr
+            ),
+            "pta_states": self.pta_states,
+            "generalized_states": self.generalized_states,
+            "positives_without_scp": sorted(self.positives_without_scp, key=repr),
+            "selects_all_positives": self.selects_all_positives,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LearnerResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                query=(
+                    None if payload["query"] is None else PathQuery.from_dict(payload["query"])
+                ),
+                k=payload["k"],
+                scps={node: tuple(word) for node, word in payload.get("scps", [])},
+                pta_states=payload.get("pta_states", 0),
+                generalized_states=payload.get("generalized_states", 0),
+                positives_without_scp=frozenset(payload.get("positives_without_scp", ())),
+                selects_all_positives=payload.get("selects_all_positives", False),
+                hypothesis=(
+                    None
+                    if payload.get("hypothesis") is None
+                    else PathQuery.from_dict(payload["hypothesis"])
+                ),
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(f"malformed LearnerResult payload: {error}") from error
+
+
+def learn_path_query(
+    graph: GraphDB,
+    sample: Sample,
+    *,
+    k: int = DEFAULT_K,
+    engine: QueryEngine | None = None,
+) -> LearnerResult:
     """Run Algorithm 1 on the given graph and sample with a fixed bound ``k``.
 
     Returns a :class:`LearnerResult`; ``result.query`` is the learned
     :class:`~repro.queries.PathQuery` or None (the *null* abstention).
+
+    ``engine`` is the query engine used by the merge guard and the final
+    positives check; omitted, the process-wide default engine is used.
+
+    .. deprecated:: 1.1
+        Prefer :meth:`repro.api.Workspace.learn` with a
+        :class:`repro.api.LearnerConfig`, which owns the engine wiring; this
+        module-level function is kept as a thin compatibility shim.
     """
     if k < 0:
         raise LearningError("the path-length bound k must be non-negative")
     sample.check_against(graph)
+    started = time.perf_counter()
 
     if not sample.positives:
         # With no positive example every query selecting nothing is trivially
         # consistent, but none is informative; the learner abstains.
-        return LearnerResult(query=None, k=k)
+        return LearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
     scps = select_smallest_consistent_paths(graph, sample, k=k)
     positives_without_scp = frozenset(sample.positives - scps.keys())
     if not scps:
         return LearnerResult(
-            query=None, k=k, positives_without_scp=positives_without_scp
+            query=None,
+            k=k,
+            positives_without_scp=positives_without_scp,
+            elapsed=time.perf_counter() - started,
         )
 
     pta = prefix_tree_acceptor(graph.alphabet, scps.values())
 
     negatives = sample.negatives
-    engine = get_default_engine()
+    engine = engine or get_default_engine()
 
     def violates(candidate: DFA) -> bool:
         if not negatives:
@@ -127,7 +199,39 @@ def learn_path_query(graph: GraphDB, sample: Sample, *, k: int = DEFAULT_K) -> L
         positives_without_scp=positives_without_scp,
         selects_all_positives=selects_all,
         hypothesis=hypothesis,
+        elapsed=time.perf_counter() - started,
     )
+
+
+def dynamic_k_procedure(
+    learn,
+    graph: GraphDB,
+    sample,
+    *,
+    k_start: int = DEFAULT_K,
+    k_max: int = 6,
+    engine: QueryEngine | None = None,
+):
+    """The dynamic-``k`` procedure of Section 5.1 over any fixed-``k`` learner.
+
+    ``learn`` is any ``(graph, sample, *, k, engine)`` learner returning a
+    result with ``is_null`` and ``elapsed`` (Algorithm 1, 2, 3 or the SCP
+    baseline).  Start with ``k = k_start``; as long as the learner abstains,
+    increment ``k`` and retry, up to ``k_max``.  Returns the first
+    non-abstaining result, or the last (abstaining) result if ``k_max`` is
+    reached without success.  The returned ``elapsed`` covers the whole
+    procedure, not just the last attempt -- it is the learning time
+    Figure 12 plots.
+    """
+    if k_start < 0 or k_max < k_start:
+        raise LearningError("need 0 <= k_start <= k_max")
+    total_elapsed = 0.0
+    for k in range(k_start, k_max + 1):
+        result = learn(graph, sample, k=k, engine=engine)
+        total_elapsed += result.elapsed
+        if not result.is_null:
+            break
+    return replace(result, elapsed=total_elapsed)
 
 
 def learn_with_dynamic_k(
@@ -136,20 +240,15 @@ def learn_with_dynamic_k(
     *,
     k_start: int = DEFAULT_K,
     k_max: int = 6,
+    engine: QueryEngine | None = None,
 ) -> LearnerResult:
-    """The dynamic-``k`` procedure of Section 5.1.
+    """Algorithm 1 under the dynamic-``k`` procedure of Section 5.1.
 
-    Start with ``k = k_start``; as long as the learner abstains (the learned
-    query does not select every positive node with SCPs that short),
-    increment ``k`` and retry, up to ``k_max``.  Returns the first
-    non-abstaining result, or the last (abstaining) result if ``k_max`` is
-    reached without success.
+    .. deprecated:: 1.1
+        Prefer :meth:`repro.api.Workspace.learn` with a
+        :class:`repro.api.LearnerConfig` (``dynamic_k=True``, the default);
+        this module-level function is kept as a thin compatibility shim.
     """
-    if k_start < 0 or k_max < k_start:
-        raise LearningError("need 0 <= k_start <= k_max")
-    result = LearnerResult(query=None, k=k_start)
-    for k in range(k_start, k_max + 1):
-        result = learn_path_query(graph, sample, k=k)
-        if not result.is_null:
-            return result
-    return result
+    return dynamic_k_procedure(
+        learn_path_query, graph, sample, k_start=k_start, k_max=k_max, engine=engine
+    )

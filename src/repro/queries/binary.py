@@ -95,20 +95,38 @@ class BinaryPathQuery:
         """Whether the query selects the pair ``(origin, end)``."""
         return (engine or get_default_engine()).pair_selects(graph, self._dfa, origin, end)
 
-    def selectivity(self, graph: GraphDB) -> float:
+    def selectivity(self, graph: GraphDB, *, engine: QueryEngine | None = None) -> float:
         """The fraction of node pairs selected (0.0 - 1.0)."""
         total = graph.node_count() ** 2
         if total == 0:
             raise QueryError("selectivity is undefined on an empty graph")
-        return len(self.evaluate(graph)) / total
+        return len(self.evaluate(graph, engine=engine)) / total
 
     def is_consistent_with(
         self,
         graph: GraphDB,
         positives: Iterable[tuple[Node, Node]],
         negatives: Iterable[tuple[Node, Node]],
+        *,
+        engine: QueryEngine | None = None,
     ) -> bool:
         """Whether the query selects every positive pair and no negative pair."""
-        return all(self.selects(graph, *pair) for pair in positives) and not any(
-            self.selects(graph, *pair) for pair in negatives
+        return all(self.selects(graph, *pair, engine=engine) for pair in positives) and not any(
+            self.selects(graph, *pair, engine=engine) for pair in negatives
         )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation: the expression and its alphabet."""
+        return {
+            "expression": self.expression,
+            "alphabet": list(self.alphabet),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BinaryPathQuery":
+        """Rebuild a query from :meth:`to_dict` output (language-faithful)."""
+        if not isinstance(payload, dict) or "expression" not in payload:
+            raise QueryError("a serialized query needs an 'expression' entry")
+        return cls.parse(payload["expression"], payload.get("alphabet"))

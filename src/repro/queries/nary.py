@@ -9,7 +9,6 @@ learning one binary query per position.
 
 from __future__ import annotations
 
-import itertools
 from collections.abc import Iterable, Sequence
 
 from repro.automata.alphabet import Alphabet

@@ -159,32 +159,52 @@ class PathQuery:
         """Whether the query selects one given node of ``graph``."""
         return (engine or get_default_engine()).selects(graph, self._dfa, node)
 
-    def selectivity(self, graph: GraphDB) -> float:
+    def selectivity(self, graph: GraphDB, *, engine: QueryEngine | None = None) -> float:
         """The fraction of graph nodes selected by the query (0.0 - 1.0)."""
         if graph.node_count() == 0:
             raise QueryError("selectivity is undefined on an empty graph")
-        return len(self.evaluate(graph)) / graph.node_count()
+        return len(self.evaluate(graph, engine=engine)) / graph.node_count()
 
-    def equivalent_on(self, other: "PathQuery", graph: GraphDB) -> bool:
+    def equivalent_on(
+        self, other: "PathQuery", graph: GraphDB, *, engine: QueryEngine | None = None
+    ) -> bool:
         """Whether the two queries select the same node set on this graph.
 
         This is the "indistinguishable by the user" notion of Section 3.3:
         weaker than language equivalence, and the halt condition used by the
         interactive experiments.
         """
-        return self.evaluate(graph) == other.evaluate(graph)
+        return self.evaluate(graph, engine=engine) == other.evaluate(graph, engine=engine)
 
     def is_consistent_with(
         self,
         graph: GraphDB,
         positives: Iterable[Node],
         negatives: Iterable[Node],
+        *,
+        engine: QueryEngine | None = None,
     ) -> bool:
         """Whether the query selects every positive node and no negative node."""
-        return all(self.selects(graph, node) for node in positives) and not any(
-            self.selects(graph, node) for node in negatives
+        return all(self.selects(graph, node, engine=engine) for node in positives) and not any(
+            self.selects(graph, node, engine=engine) for node in negatives
         )
 
     def shortest_word(self) -> Word | None:
         """The canonically smallest word in the query language, if any."""
         return self._dfa.shortest_accepted_word()
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe representation: the expression and its alphabet."""
+        return {
+            "expression": self.expression,
+            "alphabet": list(self.alphabet),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PathQuery":
+        """Rebuild a query from :meth:`to_dict` output (language-faithful)."""
+        if not isinstance(payload, dict) or "expression" not in payload:
+            raise QueryError("a serialized query needs an 'expression' entry")
+        return cls.parse(payload["expression"], payload.get("alphabet"))

@@ -1,0 +1,89 @@
+"""Snapshot of the public surface: ``repro.__all__`` must not drift silently.
+
+If you intentionally add or remove a public name, update EXPECTED_ALL here in
+the same change -- that is the point of the test.
+"""
+
+from __future__ import annotations
+
+import repro
+
+EXPECTED_ALL = frozenset(
+    {
+        "__version__",
+        # errors
+        "ReproError",
+        "AlphabetError",
+        "AutomatonError",
+        "RegexSyntaxError",
+        "GraphError",
+        "QueryError",
+        "SampleError",
+        "LearningError",
+        "InteractionError",
+        "ConfigError",
+        "SerializationError",
+        # core types
+        "Alphabet",
+        "GraphDB",
+        "QueryEngine",
+        "EngineStats",
+        "get_default_engine",
+        "PathQuery",
+        "BinaryPathQuery",
+        "NaryPathQuery",
+        "Sample",
+        "BinarySample",
+        "NarySample",
+        # public API facade
+        "Workspace",
+        "EngineConfig",
+        "LearnerConfig",
+        "InteractiveConfig",
+        "ExperimentConfig",
+        "Result",
+        "QueryResult",
+        "result_from_dict",
+        "result_from_json",
+        "result_to_json",
+        # learning entry points (legacy shims)
+        "learn_path_query",
+        "learn_with_dynamic_k",
+        "learn_binary_query",
+        "learn_nary_query",
+        # interactive entry points (legacy shims)
+        "QueryOracle",
+        "make_strategy",
+        "InteractiveSession",
+        "run_interactive_learning",
+        # evaluation
+        "f1_score",
+        "score_query",
+    }
+)
+
+
+def test_public_api_snapshot():
+    assert set(repro.__all__) == EXPECTED_ALL
+
+
+def test_all_names_are_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is not importable"
+
+
+def test_no_duplicates_in_all():
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_engine_stats_reexport():
+    from repro.engine.engine import EngineStats
+
+    assert repro.EngineStats is EngineStats
+
+
+def test_api_subpackage_all_importable():
+    import repro.api
+
+    for name in repro.api.__all__:
+        assert hasattr(repro.api, name)

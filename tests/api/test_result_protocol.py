@@ -1,0 +1,137 @@
+"""The uniform Result protocol: JSON round-trips for every result type."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    InteractiveConfig,
+    LearnerConfig,
+    Result,
+    Workspace,
+    result_from_dict,
+    result_from_json,
+    result_to_json,
+)
+from repro.errors import SerializationError
+from repro.learning import BinarySample, NarySample, Sample
+
+
+@pytest.fixture
+def geo_workspace():
+    return Workspace.from_figure("geo")
+
+
+def roundtrip(result):
+    """to_dict -> JSON text -> from_dict, through the dispatching loader."""
+    payload = json.loads(result_to_json(result))
+    rebuilt = result_from_dict(payload)
+    assert type(rebuilt) is type(result)
+    return rebuilt
+
+
+def assert_protocol(result):
+    assert isinstance(result, Result)
+    assert isinstance(result.ok, bool)
+    assert isinstance(result.elapsed, float)
+    assert isinstance(result.to_dict(), dict)
+    assert result.to_dict()["type"] == type(result).__name__
+
+
+def test_learner_result_roundtrip(geo_workspace):
+    result = geo_workspace.learn(Sample(positives={"N2", "N6"}, negatives={"N5"}))
+    assert_protocol(result)
+    assert result.ok and result.elapsed > 0
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+    assert rebuilt.query.expression == result.query.expression
+    assert rebuilt.scps == result.scps
+
+
+def test_binary_learner_result_roundtrip(geo_workspace):
+    sample = BinarySample(positives={("N2", "N5")}, negatives={("N4", "N5")})
+    result = geo_workspace.learn(sample, LearnerConfig(semantics="binary", k=2))
+    assert_protocol(result)
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+    assert rebuilt.scps == result.scps
+
+
+def test_nary_learner_result_roundtrip(geo_workspace):
+    sample = NarySample(positives={("N2", "N5", "N3")}, negatives={("N4", "N5", "R1")})
+    result = geo_workspace.learn(sample, LearnerConfig(semantics="nary", k=2))
+    assert_protocol(result)
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+    assert rebuilt.is_null == result.is_null
+
+
+def test_interactive_result_roundtrip(geo_workspace):
+    result = geo_workspace.learn_interactive(
+        "(tram+bus)*.cinema", InteractiveConfig(max_interactions=30)
+    )
+    assert_protocol(result)
+    assert result.halted_by == "goal"
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+    assert rebuilt.interaction_count == result.interaction_count
+    assert rebuilt.sample == result.sample
+
+
+def test_static_experiment_result_roundtrip(geo_workspace):
+    result = geo_workspace.run_experiment(
+        ExperimentConfig(goal="(tram+bus)*.cinema", labeled_fractions=(0.3, 0.6))
+    )
+    assert_protocol(result)
+    assert result.ok and len(result.points) == 2
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+    assert rebuilt.f1_series() == result.f1_series()
+
+
+def test_interactive_experiment_result_roundtrip(geo_workspace):
+    result = geo_workspace.run_experiment(
+        ExperimentConfig(
+            goal="(tram+bus)*.cinema", scenario="interactive", max_interactions=30
+        )
+    )
+    assert_protocol(result)
+    assert result.final_f1 == 1.0
+    rebuilt = roundtrip(result)
+    assert rebuilt == result
+
+
+def test_query_result_roundtrip(geo_workspace):
+    result = geo_workspace.query("(tram+bus)*.cinema")
+    assert_protocol(result)
+    assert result.nodes() == ["N1", "N2", "N4", "N6"]
+    rebuilt = roundtrip(result)
+    assert rebuilt.selected == result.selected
+    binary = geo_workspace.query("tram", semantics="binary")
+    rebuilt_binary = roundtrip(binary)
+    assert rebuilt_binary.selected == binary.selected
+
+
+def test_result_from_json_dispatch(geo_workspace):
+    result = geo_workspace.learn(Sample(positives={"N2"}, negatives={"C1"}))
+    rebuilt = result_from_json(result_to_json(result))
+    assert rebuilt == result
+
+
+def test_unknown_type_tag_rejected():
+    with pytest.raises(SerializationError):
+        result_from_dict({"type": "NoSuchResult"})
+    with pytest.raises(SerializationError):
+        result_from_dict({"ok": True})
+    with pytest.raises(SerializationError):
+        result_from_json("not json at all {")
+
+
+def test_malformed_payload_rejected():
+    from repro.learning.learner import LearnerResult
+
+    with pytest.raises(SerializationError):
+        LearnerResult.from_dict({"type": "LearnerResult"})  # missing fields

@@ -15,7 +15,6 @@ from repro.engine import (
 )
 from repro.graphdb import GraphDB
 from repro.queries import PathQuery
-from repro.regex import compile_query
 
 
 class TestGraphIndex:

@@ -7,7 +7,6 @@ from repro.errors import LearningError
 from repro.learning import rpni
 from repro.learning.generalize import generalize_pta
 from repro.queries import PathQuery
-from repro.regex import compile_query
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import LearningError
 from repro.learning import Sample, learn_path_query, learn_with_dynamic_k
-from repro.queries import PathQuery
 
 
 class TestWorkedExample:

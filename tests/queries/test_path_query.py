@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.automata import Alphabet
 from repro.automata.nfa import NFA
 from repro.errors import QueryError, RegexSyntaxError
 from repro.queries import PathQuery

@@ -1,6 +1,5 @@
 """End-to-end integration tests replaying the paper's worked examples."""
 
-import pytest
 
 from repro import (
     GraphDB,
