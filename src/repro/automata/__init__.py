@@ -8,9 +8,16 @@ database layer and the learning algorithms are built on:
   the paper.
 * :class:`~repro.automata.nfa.NFA` and :class:`~repro.automata.dfa.DFA` --
   nondeterministic and deterministic finite word automata.
+* The int-coded kernel (:mod:`repro.automata.kernel`):
+  :class:`~repro.automata.kernel.TableDFA` (flat ``array('i')`` transition
+  table, bitmask finals, interned symbol ids) plus the kernel-native
+  algorithms every layer shares -- PTA construction, Hopcroft minimization,
+  subset determinization, products, batched membership and the union-find
+  :class:`~repro.automata.kernel.MergeFold` behind RPNI's merge-and-fold.
 * Determinization, Hopcroft minimization and the *canonical DFA*
   representation of a regular language (the paper represents every query by
-  its canonical DFA; the size of a query is its number of states).
+  its canonical DFA; the size of a query is its number of states) -- thin
+  wrappers over the kernel preserving the classic object API.
 * Boolean operations: product/intersection, union, complement, emptiness,
   language inclusion and equivalence.
 * The prefix tree acceptor (PTA) and state-merging quotients used by the
@@ -36,8 +43,20 @@ from repro.automata.operations import (
 from repro.automata.pta import prefix_tree_acceptor
 from repro.automata.merging import merge_states, deterministic_merge
 from repro.automata.prefix_free import is_prefix_free, prefix_free
+from repro.automata.kernel import (
+    MergeFold,
+    TableAutomaton,
+    TableDFA,
+    fold_generalize,
+    pta_table,
+)
 
 __all__ = [
+    "MergeFold",
+    "TableAutomaton",
+    "TableDFA",
+    "fold_generalize",
+    "pta_table",
     "Alphabet",
     "Word",
     "canonical_key",

@@ -18,8 +18,25 @@ from repro.errors import AutomatonError
 
 State = Hashable
 
-#: Name used for the rejecting sink state added by :meth:`DFA.completed`.
-SINK = "__sink__"
+
+class _SinkState:
+    """The unique rejecting sink state added by :meth:`DFA.completed`.
+
+    A dedicated sentinel *object* rather than a string: a user state
+    literally named ``"__sink__"`` must never collide with the sink that
+    completion introduces (it used to, silently corrupting the completed
+    automaton).  Identity is the only equality that matters here, so the
+    class carries no state.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<sink>"
+
+
+#: The rejecting sink state added by :meth:`DFA.completed`.
+SINK = _SinkState()
 
 
 class DFA:

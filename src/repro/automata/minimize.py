@@ -6,15 +6,18 @@ states (Figure 4: ``(a.b)*.c`` has size 3).  The canonical DFA used in the
 paper is partial (no rejecting sink state), so :func:`canonical_dfa`
 minimizes over the completed automaton and then trims the sink away.
 
-Minimization uses Moore's partition-refinement algorithm; on the automaton
-sizes handled here (tens of states) its simplicity beats Hopcroft's constant
-factors and it is straightforwardly correct.
+Minimization runs in the int-coded kernel: Hopcroft's ``O(m n log n)``
+partition refinement on the flat transition table
+(:meth:`repro.automata.kernel.TableDFA.minimized`).  The original Moore
+refinement over ``DFA`` objects is kept as :func:`reference_minimize`, the
+parity oracle for the kernel path.
 """
 
 from __future__ import annotations
 
 from repro.automata.dfa import DFA
 from repro.automata.determinize import determinize
+from repro.automata.kernel import TableDFA
 from repro.automata.nfa import NFA
 
 
@@ -23,7 +26,45 @@ def minimize(dfa: DFA) -> DFA:
 
     The result may include a rejecting sink state if the input language is
     not ``Sigma*``-total; use :func:`canonical_dfa` to obtain the paper's
-    trimmed canonical form.
+    trimmed canonical form.  States are ``0..k-1`` in BFS order from the
+    initial state.
+    """
+    table, _ = TableDFA.from_dfa(dfa.trim())
+    return table.minimized().to_dfa()
+
+
+def canonical_dfa(automaton: DFA | NFA | TableDFA) -> DFA:
+    """The canonical (minimal, trimmed, relabeled) DFA of the given automaton.
+
+    Accepts a DFA, an NFA or a kernel :class:`TableDFA`.  The result is the
+    paper's query representation: partial, with no unreachable or dead
+    states, and with states renamed 0..n-1 in breadth-first order so that
+    equal languages yield structurally identical automata.
+    """
+    return canonical_table(automaton).to_dfa()
+
+
+def canonical_table(automaton: DFA | NFA | TableDFA) -> TableDFA:
+    """The canonical DFA of the given automaton, in kernel table form."""
+    if isinstance(automaton, TableDFA):
+        table = automaton
+    elif isinstance(automaton, DFA):
+        table, _ = TableDFA.from_dfa(automaton)
+    else:
+        table, _ = TableDFA.from_nfa(automaton)
+    return table.canonical()
+
+
+def query_size(automaton: DFA | NFA | TableDFA) -> int:
+    """The size of a query: the number of states of its canonical DFA."""
+    return canonical_table(automaton).n
+
+
+def reference_minimize(dfa: DFA) -> DFA:
+    """The original Moore partition refinement over ``DFA`` objects.
+
+    Kept as the parity oracle for :meth:`TableDFA.minimized`; quadratic in
+    the number of states, so only suitable for small automata.
     """
     complete = dfa.trim().completed()
     states = list(complete.states)
@@ -80,18 +121,13 @@ def minimize(dfa: DFA) -> DFA:
     return minimal
 
 
-def canonical_dfa(automaton: DFA | NFA) -> DFA:
-    """The canonical (minimal, trimmed, relabeled) DFA of the given automaton.
+def reference_canonical_dfa(automaton: DFA | NFA) -> DFA:
+    """The pre-kernel canonical-DFA pipeline (Moore + trim + relabel).
 
-    Accepts either a DFA or an NFA.  The result is the paper's query
-    representation: partial, with no unreachable or dead states, and with
-    states renamed 0..n-1 in breadth-first order so that equal languages
-    yield structurally identical automata.
+    Used by the parity tests and the learner-speed benchmark to reproduce
+    the pre-refactor behaviour exactly.
     """
-    dfa = automaton if isinstance(automaton, DFA) else determinize(automaton)
-    return minimize(dfa).trim().relabeled()
+    from repro.automata.determinize import reference_determinize
 
-
-def query_size(automaton: DFA | NFA) -> int:
-    """The size of a query: the number of states of its canonical DFA."""
-    return len(canonical_dfa(automaton))
+    dfa = automaton if isinstance(automaton, DFA) else reference_determinize(automaton)
+    return reference_minimize(dfa).trim().relabeled()

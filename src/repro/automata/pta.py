@@ -4,6 +4,12 @@ Algorithm 1 (line 3) builds the PTA of the selected smallest consistent
 paths: a tree-shaped DFA whose states are exactly the prefixes of the input
 words and whose accepting states are the input words themselves.  This is
 the classical starting point of RPNI-style grammatical inference.
+
+The construction itself runs in the int-coded kernel
+(:func:`repro.automata.kernel.pta_table`), which numbers states in the
+canonical order of their prefixes; this module is the boundary wrapper that
+restores the classic "states are the word prefixes" view used by the tests
+and the worked examples of the paper.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.automata.alphabet import Alphabet, Word
 from repro.automata.dfa import DFA
+from repro.automata.kernel import pta_table
 
 
 def prefix_tree_acceptor(alphabet: Alphabet, words: Iterable[Sequence[str]]) -> DFA:
@@ -20,19 +27,11 @@ def prefix_tree_acceptor(alphabet: Alphabet, words: Iterable[Sequence[str]]) -> 
     The DFA's states are the word prefixes themselves (tuples of symbols),
     which keeps the structure easy to inspect in tests and mirrors the
     presentation in the paper (Figure 6(a) labels states ``eps, a, ab, abc, c``).
+    Learners that stay on the kernel path should call
+    :func:`repro.automata.kernel.pta_table` directly instead.
     """
-    accepted: list[Word] = [alphabet.check_word(word) for word in words]
-    root: Word = ()
-    pta = DFA(alphabet, initial=root)
-    for word in accepted:
-        current: Word = root
-        for symbol in word:
-            nxt = current + (symbol,)
-            if pta.delta(current, symbol) is None:
-                pta.add_transition(current, symbol, nxt)
-            current = nxt
-        pta.add_final(current)
-    return pta
+    table, prefixes = pta_table(alphabet, words, with_prefixes=True)
+    return table.to_dfa(states=prefixes)
 
 
 def pta_states_in_canonical_order(pta: DFA, alphabet: Alphabet) -> list[Word]:
@@ -40,6 +39,8 @@ def pta_states_in_canonical_order(pta: DFA, alphabet: Alphabet) -> list[Word]:
 
     RPNI and the learner's generalization phase consider candidate merges in
     this order, which is what makes the procedure deterministic and what the
-    characteristic-sample argument of Theorem 3.5 relies on.
+    characteristic-sample argument of Theorem 3.5 relies on.  (The kernel's
+    :func:`~repro.automata.kernel.pta_table` assigns state ids in exactly
+    this order, so on tables the sort is the identity.)
     """
     return sorted(pta.states, key=alphabet.word_key)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from weakref import WeakKeyDictionary
 
 from repro.automata.dfa import DFA
+from repro.automata.kernel import MergeFold, TableAutomaton
 from repro.automata.nfa import NFA
 from repro.engine.cache import PlanCache, ResultCache
 from repro.engine.executor import KernelStats
@@ -99,6 +100,10 @@ class QueryEngine:
     def plan_for(self, query: Query) -> CompiledPlan:
         """The (cached) compiled plan of a query or automaton."""
         automaton = self._coerce_automaton(query)
+        if isinstance(automaton, MergeFold):
+            # Materialize the quotient once; fingerprinting and compiling
+            # the fold separately would each build it.
+            automaton = automaton.to_table()
         fingerprint = automaton_fingerprint(automaton)
         plan = self.plan_cache.get(fingerprint)
         if plan is None:
@@ -108,15 +113,16 @@ class QueryEngine:
         return plan
 
     @staticmethod
-    def _coerce_automaton(query: Query) -> DFA | NFA:
-        if isinstance(query, (DFA, NFA)):
+    def _coerce_automaton(query: Query) -> DFA | NFA | TableAutomaton:
+        if isinstance(query, (DFA, NFA, TableAutomaton)):
             return query
         dfa = getattr(query, "dfa", None)
         if isinstance(dfa, DFA):
             return dfa
         raise QueryError(
-            f"cannot evaluate {type(query).__name__!r}: expected a DFA, an NFA "
-            "or an object with a 'dfa' attribute (PathQuery, BinaryPathQuery)"
+            f"cannot evaluate {type(query).__name__!r}: expected a DFA, an NFA, "
+            "a kernel TableDFA/MergeFold or an object with a 'dfa' attribute "
+            "(PathQuery, BinaryPathQuery)"
         )
 
     # -- monadic semantics ---------------------------------------------------
@@ -177,9 +183,19 @@ class QueryEngine:
         node_ids = index.node_ids
         if ephemeral:
             self.stats.evaluations += 1
+            automaton = self._coerce_automaton(query)
+            if isinstance(automaton, TableAutomaton):
+                # Kernel automata (TableDFA / in-place MergeFold hypotheses)
+                # take the all-int walk; no compilation, no object traversal.
+                return executor.table_any_selects(
+                    index,
+                    automaton,
+                    (node_ids[node] for node in start_nodes),
+                    self.stats.kernel,
+                )
             return executor.lazy_any_selects(
                 index,
-                self._coerce_automaton(query),
+                automaton,
                 (node_ids[node] for node in start_nodes),
                 self.stats.kernel,
             )
@@ -243,9 +259,18 @@ class QueryEngine:
         index = self.index_for(graph)
         if ephemeral:
             self.stats.evaluations += 1
+            automaton = self._coerce_automaton(query)
+            if isinstance(automaton, TableAutomaton):
+                return executor.table_pair_selects(
+                    index,
+                    automaton,
+                    index.node_ids[origin],
+                    index.node_ids[end],
+                    self.stats.kernel,
+                )
             return executor.lazy_pair_selects(
                 index,
-                self._coerce_automaton(query),
+                automaton,
                 index.node_ids[origin],
                 index.node_ids[end],
                 self.stats.kernel,

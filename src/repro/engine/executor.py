@@ -19,6 +19,7 @@ from collections import deque
 from collections.abc import Iterable
 
 from repro.automata.dfa import DFA
+from repro.automata.kernel import TableAutomaton
 from repro.automata.nfa import NFA
 from repro.engine.index import GraphIndex
 from repro.engine.plan import CompiledPlan
@@ -233,6 +234,134 @@ def lazy_any_selects(
                     if pair not in visited:
                         visited.add(pair)
                         queue.append(pair)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned
+
+
+def table_any_selects(
+    index: GraphIndex,
+    view: TableAutomaton,
+    node_ids: Iterable[int],
+    stats: KernelStats | None = None,
+) -> bool:
+    """:func:`lazy_any_selects` for kernel automata (all-int inner loop).
+
+    ``view`` is a :class:`~repro.automata.kernel.TableDFA` or an in-place
+    :class:`~repro.automata.kernel.MergeFold` hypothesis mid-merge: the
+    walk reads the flat transition array directly (``find`` canonicalizes
+    fold targets), the product pair ``(node, state)`` is one int code, and
+    symbol ids are bound to graph label ids once per call.  This is the
+    merge-guard hot path of the kernel-backed learner: no automaton object
+    is compiled, copied or even touched beyond its arrays.
+    """
+    trans, m, find, finals, initial = view.kernel_walk()
+    if not finals:
+        return False
+    starts = list(node_ids)
+    if not starts:
+        return False
+    if (finals >> initial) & 1:
+        return True
+    sym_labels = view.bind_labels(index.label_ids)
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+    span = len(trans) // m if m else 1
+
+    visited: set[int] = set()
+    queue: deque[int] = deque()
+    for node in starts:
+        code = node * span + initial
+        if code not in visited:
+            visited.add(code)
+            queue.append(code)
+
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            code = queue.popleft()
+            node, state = divmod(code, span)
+            expanded += 1
+            base = state * m
+            for position in range(m):
+                target_state = trans[base + position]
+                if target_state < 0:
+                    continue
+                label_id = sym_labels[position]
+                if label_id < 0:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                if find is not None:
+                    target_state = find(target_state)
+                if (finals >> target_state) & 1:
+                    return True
+                for target_node in fwd_targets[label_id][start:stop]:
+                    target_code = target_node * span + target_state
+                    if target_code not in visited:
+                        visited.add(target_code)
+                        queue.append(target_code)
+        return False
+    finally:
+        if stats is not None:
+            stats.states_expanded += expanded
+            stats.edges_scanned += scanned
+
+
+def table_pair_selects(
+    index: GraphIndex,
+    view: TableAutomaton,
+    origin_id: int,
+    end_id: int,
+    stats: KernelStats | None = None,
+) -> bool:
+    """:func:`lazy_pair_selects` for kernel automata (all-int inner loop)."""
+    trans, m, find, finals, initial = view.kernel_walk()
+    if not finals:
+        return False
+    if origin_id == end_id and (finals >> initial) & 1:
+        return True
+    sym_labels = view.bind_labels(index.label_ids)
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+    span = len(trans) // m if m else 1
+
+    visited: set[int] = {origin_id * span + initial}
+    queue: deque[int] = deque(visited)
+    expanded = 0
+    scanned = 0
+    try:
+        while queue:
+            code = queue.popleft()
+            node, state = divmod(code, span)
+            expanded += 1
+            base = state * m
+            for position in range(m):
+                target_state = trans[base + position]
+                if target_state < 0:
+                    continue
+                label_id = sym_labels[position]
+                if label_id < 0:
+                    continue
+                offsets = fwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                if find is not None:
+                    target_state = find(target_state)
+                is_final = (finals >> target_state) & 1
+                for target_node in fwd_targets[label_id][start:stop]:
+                    if is_final and target_node == end_id:
+                        return True
+                    target_code = target_node * span + target_state
+                    if target_code not in visited:
+                        visited.add(target_code)
+                        queue.append(target_code)
         return False
     finally:
         if stats is not None:

@@ -21,6 +21,11 @@ Plans also carry a structural :attr:`~CompiledPlan.fingerprint` (see
 :func:`automaton_fingerprint`): structurally identical automata -- in
 particular the canonical DFAs of one language, which are always BFS-renamed
 the same way -- share one plan-cache entry.
+
+Kernel automata (:class:`~repro.automata.kernel.TableDFA`) are already int
+tables, so compiling one is a cheap re-shaping of its flat transition array
+-- no state interning, no sorting -- and its fingerprint is computed
+directly from the kernel arrays (``trans.tobytes()`` + the finals bitmask).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.automata.dfa import DFA
+from repro.automata.kernel import MergeFold, TableDFA
 from repro.automata.nfa import NFA
 from repro.errors import GraphError
 
@@ -156,7 +162,7 @@ def _reverse(
     return tuple(reversed_tables)
 
 
-def automaton_fingerprint(automaton: DFA | NFA) -> Fingerprint:
+def automaton_fingerprint(automaton: DFA | NFA | TableDFA | MergeFold) -> Fingerprint:
     """A structural fingerprint of an automaton (raw state names).
 
     Two automata with identical states, initials, finals and transitions
@@ -167,7 +173,14 @@ def automaton_fingerprint(automaton: DFA | NFA) -> Fingerprint:
     the cache (and compile to an equivalent plan); deliberately no relabeling
     happens here, since fingerprinting sits on the merge-guard hot path where
     most automata are evaluated exactly once.
+
+    Kernel tables fingerprint from their raw arrays (bytes of the flat
+    transition table plus the finals bitmask) -- no per-transition hashing.
     """
+    if isinstance(automaton, MergeFold):
+        automaton = automaton.to_table()
+    if isinstance(automaton, TableDFA):
+        return automaton.fingerprint()
     transitions = frozenset(automaton.transitions())
     if isinstance(automaton, DFA):
         return (
@@ -188,13 +201,21 @@ def automaton_fingerprint(automaton: DFA | NFA) -> Fingerprint:
     )
 
 
-def compile_plan(automaton: DFA | NFA, *, fingerprint: Fingerprint | None = None) -> CompiledPlan:
+def compile_plan(
+    automaton: DFA | NFA | TableDFA | MergeFold, *, fingerprint: Fingerprint | None = None
+) -> CompiledPlan:
     """Flatten a query automaton into a :class:`CompiledPlan`.
 
     Raises :class:`~repro.errors.GraphError` on NFAs with epsilon
     transitions, matching the reference product construction's contract
-    (determinize first).
+    (determinize first).  Kernel tables skip the interning pass entirely:
+    their states are already ``0..n-1`` and their transitions are read
+    straight off the flat array.
     """
+    if isinstance(automaton, MergeFold):
+        automaton = automaton.to_table()
+    if isinstance(automaton, TableDFA):
+        return _compile_table(automaton, fingerprint)
     if isinstance(automaton, NFA):
         if automaton.has_epsilon_transitions:
             raise GraphError("query automata must be epsilon-free; determinize first")
@@ -231,4 +252,31 @@ def compile_plan(automaton: DFA | NFA, *, fingerprint: Fingerprint | None = None
         fingerprint=(
             automaton_fingerprint(automaton) if fingerprint is None else fingerprint
         ),
+    )
+
+
+def _compile_table(table: TableDFA, fingerprint: Fingerprint | None) -> CompiledPlan:
+    """Re-shape a kernel :class:`TableDFA` into a plan without interning."""
+    trans, m, n = table.trans, table.m, table.n
+    symbols = table.alphabet.symbols
+    used_positions = sorted(
+        {position for position in range(m) if any(trans[s * m + position] >= 0 for s in range(n))}
+    )
+    tables: list[dict[int, tuple[int, ...]]] = []
+    used_symbols: list[str] = []
+    for position in used_positions:
+        by_state: dict[int, tuple[int, ...]] = {}
+        for state in range(n):
+            target = trans[state * m + position]
+            if target >= 0:
+                by_state[state] = (target,)
+        tables.append(by_state)
+        used_symbols.append(symbols[position])
+    return CompiledPlan(
+        num_states=n,
+        initials=(table.initial,),
+        finals=frozenset(table.iter_finals()),
+        symbols=tuple(used_symbols),
+        delta=tuple(tables),
+        fingerprint=table.fingerprint() if fingerprint is None else fingerprint,
     )

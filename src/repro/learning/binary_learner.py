@@ -13,14 +13,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.automata.alphabet import Word
-from repro.automata.dfa import DFA
+from repro.automata.kernel import MergeFold, fold_generalize, pta_table
 from repro.automata.minimize import canonical_dfa
-from repro.automata.pta import prefix_tree_acceptor
 from repro.errors import LearningError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
 from repro.engine.engine import QueryEngine, get_default_engine
 from repro.graphdb.paths import enumerate_paths_between
-from repro.learning.generalize import generalize_pta
 from repro.learning.learner import DEFAULT_K
 from repro.learning.sample import BinarySample
 from repro.queries.binary import BinaryPathQuery
@@ -140,17 +138,19 @@ def learn_binary_query(
     if not scps:
         return BinaryLearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
-    pta = prefix_tree_acceptor(graph.alphabet, scps.values())
+    # As in Algorithm 1, the merge loop runs end-to-end on the kernel: one
+    # in-place MergeFold, pair-guard walked against the CSR index.
+    pta = pta_table(graph.alphabet, scps.values())
     engine = engine or get_default_engine()
 
-    def violates(candidate: DFA) -> bool:
+    def violates(candidate: MergeFold) -> bool:
         return any(
             engine.pair_selects(graph, candidate, origin, end, ephemeral=True)
             for origin, end in negatives
         )
 
-    generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
-    canonical = canonical_dfa(generalized)
+    fold = fold_generalize(pta, violates)
+    canonical = canonical_dfa(fold.to_table())
     selects_all = all(
         engine.pair_selects(graph, canonical, origin, end)
         for origin, end in sample.positives

@@ -4,7 +4,7 @@ Starting from the prefix tree acceptor of the selected SCPs, states are
 merged as long as the resulting automaton does not *select any negative
 node*, i.e. as long as ``L(A) & paths_G(S-)`` stays empty.  The paper keeps
 the hypothesis deterministic and follows RPNI's strategy, so the procedure
-here is the classical red-blue loop with merge-and-fold:
+is the classical red-blue loop with merge-and-fold:
 
 * *red* states form the consolidated part of the hypothesis (initially just
   the root);
@@ -13,9 +13,20 @@ here is the classical red-blue loop with merge-and-fold:
   (first red state, in canonical order, whose merge passes the guard) or
   promoted to red.
 
+The loop itself now lives in the int-coded kernel
+(:func:`repro.automata.kernel.fold_generalize`), where candidate merges are
+applied in place on a :class:`~repro.automata.kernel.MergeFold` and undone
+on rejection -- no per-candidate automaton copies.  This module keeps the
+classic DFA-in/DFA-out entry point as a boundary wrapper, plus the original
+object-level loop as :func:`reference_generalize_pta` (the parity oracle
+and the pre-kernel baseline of the learner-speed benchmark).
+
 The guard is injected as a callable so that the same engine serves the graph
 learner (guard = "selects a negative node"), the word-level RPNI
-implementation (guard = "accepts a negative word") and the tests.
+implementation (guard = "accepts a negative word") and the tests.  The
+candidate handed to the guard supports ``accepts(word)`` and the engine's
+ephemeral evaluation protocol; guards that only probe membership work
+unchanged on both the kernel and the reference paths.
 """
 
 from __future__ import annotations
@@ -24,8 +35,42 @@ from collections.abc import Callable
 
 from repro.automata.alphabet import Alphabet
 from repro.automata.dfa import DFA
-from repro.automata.merging import deterministic_merge
+from repro.automata.kernel import TableDFA, fold_generalize
+from repro.automata.merging import reference_deterministic_merge
 from repro.errors import LearningError
+
+
+def generalize_pta(
+    pta: DFA,
+    violates: Callable[[object], bool],
+    *,
+    alphabet: Alphabet | None = None,
+    max_merges: int | None = None,
+) -> DFA:
+    """Generalize a PTA by red-blue state merging under the given guard.
+
+    Parameters
+    ----------
+    pta:
+        The prefix tree acceptor (or any DFA) to generalize.
+    violates:
+        Guard predicate: ``violates(candidate)`` must return True when the
+        candidate automaton is unacceptable (e.g. it selects a negative
+        node).  A merge is kept only if the merged automaton does not
+        violate the guard.  The candidate is the kernel's in-place
+        hypothesis (a :class:`~repro.automata.kernel.MergeFold`); it
+        supports ``accepts(word)`` and can be handed to the query engine's
+        ephemeral evaluation directly.
+    alphabet:
+        Accepted for API compatibility; the kernel orders states by their
+        canonical PTA numbering, which realizes the same canonical order.
+    max_merges:
+        Optional safety cap on the number of accepted merges.
+    """
+    del alphabet  # ordering is the kernel's canonical state numbering
+    table, labels = TableDFA.from_dfa(pta)
+    fold = fold_generalize(table, violates, max_merges=max_merges)
+    return fold.to_dfa(labels)
 
 
 def _state_order_key(alphabet: Alphabet, state: object) -> tuple:
@@ -45,29 +90,18 @@ def _state_order_key(alphabet: Alphabet, state: object) -> tuple:
     return (1, repr(state))
 
 
-def generalize_pta(
+def reference_generalize_pta(
     pta: DFA,
     violates: Callable[[DFA], bool],
     *,
     alphabet: Alphabet | None = None,
     max_merges: int | None = None,
 ) -> DFA:
-    """Generalize a PTA by red-blue state merging under the given guard.
+    """The original object-level red-blue loop (copying merge-and-fold).
 
-    Parameters
-    ----------
-    pta:
-        The prefix tree acceptor (or any DFA) to generalize.
-    violates:
-        Guard predicate: ``violates(candidate)`` must return True when the
-        candidate automaton is unacceptable (e.g. it selects a negative
-        node).  A merge is kept only if the merged automaton does not
-        violate the guard.
-    alphabet:
-        Ordering alphabet for the canonical state order; defaults to the
-        PTA's own alphabet.
-    max_merges:
-        Optional safety cap on the number of accepted merges.
+    One fresh DFA is built per candidate merge; kept as the parity oracle
+    for :func:`repro.automata.kernel.fold_generalize` and as the pre-kernel
+    baseline the learner-speed benchmark measures against.
     """
     if violates(pta):
         raise LearningError("the initial automaton already violates the guard")
@@ -91,7 +125,7 @@ def generalize_pta(
         candidate_state = blue[0]
         merged_into_red = False
         for red_state in sorted(red, key=lambda s: _state_order_key(order_alphabet, s)):
-            candidate = deterministic_merge(current, red_state, candidate_state)
+            candidate = reference_deterministic_merge(current, red_state, candidate_state)
             if violates(candidate):
                 continue
             current = candidate

@@ -23,13 +23,11 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.automata.alphabet import Word
-from repro.automata.dfa import DFA
+from repro.automata.kernel import MergeFold, fold_generalize, pta_table
 from repro.automata.minimize import canonical_dfa
-from repro.automata.pta import prefix_tree_acceptor
 from repro.engine.engine import QueryEngine, get_default_engine
 from repro.errors import LearningError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
-from repro.learning.generalize import generalize_pta
 from repro.learning.sample import Sample
 from repro.learning.scp import select_smallest_consistent_paths
 from repro.queries.path_query import PathQuery
@@ -159,7 +157,8 @@ def learn_path_query(
         # consistent, but none is informative; the learner abstains.
         return LearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
-    scps = select_smallest_consistent_paths(graph, sample, k=k)
+    engine = engine or get_default_engine()
+    scps = select_smallest_consistent_paths(graph, sample, k=k, engine=engine)
     positives_without_scp = frozenset(sample.positives - scps.keys())
     if not scps:
         return LearnerResult(
@@ -169,12 +168,16 @@ def learn_path_query(
             elapsed=time.perf_counter() - started,
         )
 
-    pta = prefix_tree_acceptor(graph.alphabet, scps.values())
+    # The whole select/merge/check loop runs on the int-coded kernel: the
+    # PTA is built directly as a TableDFA from the interned SCPs, candidate
+    # merges mutate one MergeFold in place (undo log, no copies), and the
+    # guard walks the fold against the engine's CSR index without plan
+    # compilation.
+    pta = pta_table(graph.alphabet, scps.values())
 
     negatives = sample.negatives
-    engine = engine or get_default_engine()
 
-    def violates(candidate: DFA) -> bool:
+    def violates(candidate: MergeFold) -> bool:
         if not negatives:
             return False
         # Early-exit multi-source product BFS on the engine's CSR index; the
@@ -182,8 +185,8 @@ def learn_path_query(
         # candidate skips plan compilation entirely (ephemeral).
         return engine.any_selects(graph, candidate, negatives, ephemeral=True)
 
-    generalized = generalize_pta(pta, violates, alphabet=graph.alphabet)
-    canonical = canonical_dfa(generalized)
+    fold = fold_generalize(pta, violates)
+    canonical = canonical_dfa(fold.to_table())
 
     selects_all = all(
         engine.selects(graph, canonical, node) for node in sample.positives
@@ -194,7 +197,7 @@ def learn_path_query(
         query=query,
         k=k,
         scps=scps,
-        pta_states=len(pta),
+        pta_states=pta.n,
         generalized_states=len(canonical),
         positives_without_scp=positives_without_scp,
         selects_all_positives=selects_all,

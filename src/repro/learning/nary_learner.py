@@ -3,7 +3,10 @@
 An n-ary example labels a tuple of nodes; the algorithm projects the sample
 onto each pair of adjacent positions, learns a binary query per position
 with Algorithm 2, and combines the component queries.  If any component
-learner abstains, the n-ary learner abstains.
+learner abstains, the n-ary learner abstains.  Each component run inherits
+Algorithm 2's kernel path: the per-position merge loops execute on in-place
+:class:`~repro.automata.kernel.MergeFold` hypotheses, so the n-ary learner
+never copies an automaton either.
 """
 
 from __future__ import annotations

@@ -4,9 +4,14 @@ RPNI learns a regular language from positive and negative *word* examples:
 build the prefix tree acceptor of the positives, then merge states in
 canonical order as long as no negative word is accepted.  The paper's graph
 learner is built on the same generalization engine
-(:func:`repro.learning.generalize.generalize_pta`); RPNI is provided here
+(:func:`repro.automata.kernel.fold_generalize`); RPNI is provided here
 both as the reference word-level learner that the characteristic-sample
 construction of Theorem 3.5 leans on, and for direct use and testing.
+
+The whole run stays on the int-coded kernel: the PTA is a
+:class:`~repro.automata.kernel.TableDFA`, the negative words are interned
+to symbol-id tuples once, and the merge guard is batched membership on the
+in-place :class:`~repro.automata.kernel.MergeFold`.
 """
 
 from __future__ import annotations
@@ -15,10 +20,9 @@ from collections.abc import Iterable, Sequence
 
 from repro.automata.alphabet import Alphabet, Word
 from repro.automata.dfa import DFA
+from repro.automata.kernel import MergeFold, fold_generalize, pta_table
 from repro.automata.minimize import canonical_dfa
-from repro.automata.pta import prefix_tree_acceptor
 from repro.errors import LearningError
-from repro.learning.generalize import generalize_pta
 
 
 def rpni(
@@ -42,10 +46,11 @@ def rpni(
         # The empty language is consistent with any purely negative sample.
         return canonical_dfa(DFA(alphabet, initial=0))
 
-    pta = prefix_tree_acceptor(alphabet, positives)
+    pta = pta_table(alphabet, positives)
+    interned_negatives = [pta.encode(word) for word in negative_set]
 
-    def violates(candidate: DFA) -> bool:
-        return any(candidate.accepts(word) for word in negative_set)
+    def violates(candidate: MergeFold) -> bool:
+        return any(candidate.accepts_ids(word) for word in interned_negatives)
 
-    generalized = generalize_pta(pta, violates, alphabet=alphabet)
-    return canonical_dfa(generalized)
+    fold = fold_generalize(pta, violates)
+    return canonical_dfa(fold.to_table())

@@ -7,17 +7,69 @@ smallest word of ``paths_G(nu) \\ paths_G(S-)`` -- the smallest path of
 parameter ``k``; a positive node with no consistent path of length at most
 ``k`` simply contributes no SCP (the generalization step may still make the
 learned query select it, which line 6 of the algorithm verifies).
+
+The batch selection runs on the engine's CSR index: the negative example
+set is fixed for a whole selection, so the multi-source frontier of every
+candidate word is computed once on int node ids and shared across *all*
+positive nodes via a prefix-closed cache (:class:`NegativeCoverage`).  The
+object-level :func:`repro.graphdb.paths.covered_by` walk remains behind the
+single-node :func:`smallest_consistent_path` API.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.automata.alphabet import Word
 from repro.errors import LearningError
 from repro.graphdb.graph import GraphDB, Node
 from repro.graphdb.paths import covered_by, enumerate_paths
 from repro.learning.sample import Sample
+
+
+class NegativeCoverage:
+    """Memoized ``covered_by`` against a fixed node set on the CSR index.
+
+    ``covers(word)`` is True iff some node of the set has ``word`` in its
+    ``paths_G``.  Frontiers (as sets of int node ids) are cached per word
+    prefix, so checking the canonical enumeration of candidate paths for
+    many positive nodes expands every distinct prefix exactly once over the
+    index's per-label CSR slices -- the dict-adjacency walk this replaces
+    re-ran the full frontier from scratch for every (positive, candidate)
+    pair.
+    """
+
+    __slots__ = ("_index", "_frontiers")
+
+    def __init__(self, index, nodes: Iterable[Node]) -> None:
+        self._index = index
+        node_ids = index.node_ids
+        start = frozenset(node_ids[node] for node in nodes)
+        self._frontiers: dict[Word, frozenset[int]] = {(): start}
+
+    def frontier(self, word: Word) -> frozenset[int]:
+        """The int ids reachable from the node set along ``word``."""
+        cached = self._frontiers.get(word)
+        if cached is not None:
+            return cached
+        previous = self.frontier(word[:-1])
+        index = self._index
+        label_id = index.label_ids.get(word[-1])
+        if label_id is None or not previous:
+            result: frozenset[int] = frozenset()
+        else:
+            offsets = index.fwd_offsets[label_id]
+            targets = index.fwd_targets[label_id]
+            moved: set[int] = set()
+            for node in previous:
+                moved.update(targets[offsets[node] : offsets[node + 1]])
+            result = frozenset(moved)
+        self._frontiers[word] = result
+        return result
+
+    def covers(self, word: Sequence[str]) -> bool:
+        """Whether some node of the set covers ``word``."""
+        return bool(self.frontier(tuple(word)))
 
 
 def smallest_consistent_path(
@@ -45,17 +97,29 @@ def select_smallest_consistent_paths(
     sample: Sample,
     *,
     k: int,
+    engine=None,
 ) -> dict[Node, Word]:
     """The SCP of every positive node that has one (length <= k).
 
     The returned mapping may omit positive nodes (when their consistent
     paths are all longer than ``k``); Algorithm 1 tolerates this and checks
     at the end that the generalized query still selects them.
+
+    ``engine`` supplies the CSR index the shared negative-coverage cache
+    runs on; omitted, the process-wide default engine is used.
     """
+    if k < 0:
+        raise LearningError("the path-length bound k must be non-negative")
     sample.check_against(graph)
+    if engine is None:
+        from repro.engine.engine import get_default_engine
+
+        engine = get_default_engine()
+    coverage = NegativeCoverage(engine.index_for(graph), sample.negatives)
     scps: dict[Node, Word] = {}
     for node in sample.positives:
-        path = smallest_consistent_path(graph, node, sample.negatives, k=k)
-        if path is not None:
-            scps[node] = path
+        for path in enumerate_paths(graph, node, max_length=k):
+            if not coverage.covers(path):
+                scps[node] = path
+                break
     return scps

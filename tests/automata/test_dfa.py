@@ -85,6 +85,34 @@ class TestCompletionAndComplement:
         for word in [(), ("c",), ("a", "b"), ("a", "b", "c"), ("b",)]:
             assert complement.accepts(word) == (not dfa.accepts(word))
 
+    def test_user_state_named_sink_does_not_collide(self, abc):
+        # Regression: SINK used to be the string "__sink__", so a user state
+        # with that exact name collided with the completion sink -- the user
+        # state received the sink's self-loops and (via complement) its
+        # rejecting role.  SINK is now a dedicated sentinel object.
+        dfa = DFA(abc, initial=0)
+        dfa.add_transition(0, "a", "__sink__")
+        dfa.add_final("__sink__")
+        complete = dfa.completed()
+        assert SINK in complete.states
+        assert "__sink__" in complete.states
+        assert SINK != "__sink__"
+        # The accepting user state keeps its language role...
+        assert complete.accepts(("a",))
+        assert not complete.accepts(("a", "a"))
+        # ...and the real sink is a rejecting trap with self-loops.
+        assert not complete.is_final(SINK)
+        for symbol in abc:
+            assert complete.delta(SINK, symbol) is SINK
+
+    def test_complement_with_user_state_named_sink(self, abc):
+        dfa = DFA(abc, initial=0)
+        dfa.add_transition(0, "a", "__sink__")
+        dfa.add_final("__sink__")
+        complement = dfa.complement()
+        for word in [(), ("a",), ("a", "a"), ("b",)]:
+            assert complement.accepts(word) == (not dfa.accepts(word))
+
 
 class TestStructure:
     def test_trim_removes_dead_states(self, abc):

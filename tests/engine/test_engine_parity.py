@@ -188,6 +188,88 @@ class TestRandomizedParity:
                 )
 
 
+class TestTableAutomatonParity:
+    """Kernel automata through the engine: tables and folds must evaluate
+    exactly like the DFAs they encode, on every path (ephemeral walks and
+    compiled plans)."""
+
+    LABELS = ["a", "b", "c"]
+
+    def test_table_ephemeral_any_selects_matches_dfa(self, engine):
+        from repro.automata.kernel import TableDFA
+
+        rng = random.Random(23)
+        for _ in range(10):
+            graph = random_graph(rng, self.LABELS)
+            subset = sorted(graph.nodes)[:4]
+            for expression in EXPRESSIONS:
+                dfa = compile_query(expression, self.LABELS)
+                table, _ = TableDFA.from_dfa(dfa)
+                expected = engine.any_selects(graph, dfa, subset, ephemeral=True)
+                assert engine.any_selects(graph, table, subset, ephemeral=True) == expected
+
+    def test_table_ephemeral_pair_selects_matches_dfa(self, engine):
+        from repro.automata.kernel import TableDFA
+
+        rng = random.Random(29)
+        for _ in range(6):
+            graph = random_graph(rng, self.LABELS)
+            nodes = sorted(graph.nodes)[:4]
+            for expression in EXPRESSIONS:
+                dfa = compile_query(expression, self.LABELS)
+                table, _ = TableDFA.from_dfa(dfa)
+                for origin in nodes:
+                    for end in nodes:
+                        expected = engine.pair_selects(graph, dfa, origin, end, ephemeral=True)
+                        assert (
+                            engine.pair_selects(graph, table, origin, end, ephemeral=True)
+                            == expected
+                        )
+
+    def test_merge_fold_mid_merge_matches_materialized_dfa(self, engine):
+        from repro.automata.kernel import MergeFold, pta_table
+
+        rng = random.Random(31)
+        for _ in range(8):
+            graph = random_graph(rng, self.LABELS)
+            subset = sorted(graph.nodes)[:4]
+            words = [
+                tuple(rng.choice(self.LABELS) for _ in range(rng.randrange(1, 4)))
+                for _ in range(rng.randrange(1, 5))
+            ]
+            table = pta_table(GraphDB(self.LABELS).alphabet, words)
+            fold = MergeFold(table)
+            roots = fold.roots()
+            if len(roots) > 1:
+                keep, remove = rng.sample(roots, 2)
+                fold.merge(min(keep, remove), max(keep, remove))
+            materialized = fold.to_table().to_dfa()
+            expected = engine.any_selects(graph, materialized, subset, ephemeral=True)
+            assert engine.any_selects(graph, fold, subset, ephemeral=True) == expected
+
+    def test_compiled_table_plan_matches_dfa_plan(self, engine):
+        from repro.automata.kernel import TableDFA
+
+        rng = random.Random(37)
+        for _ in range(6):
+            graph = random_graph(rng, self.LABELS)
+            for expression in EXPRESSIONS:
+                dfa = compile_query(expression, self.LABELS)
+                table, _ = TableDFA.from_dfa(dfa)
+                assert engine.evaluate(graph, table) == engine.evaluate(graph, dfa)
+
+    def test_table_fingerprint_shares_plan_cache(self):
+        from repro.automata.kernel import TableDFA
+        from repro.engine.plan import automaton_fingerprint
+
+        dfa = compile_query("(a.b)*.c", self.LABELS)
+        left, _ = TableDFA.from_dfa(dfa)
+        right, _ = TableDFA.from_dfa(dfa)
+        assert automaton_fingerprint(left) == automaton_fingerprint(right)
+        engine = QueryEngine()
+        assert engine.plan_for(left) is engine.plan_for(right)
+
+
 class TestBatchEvaluation:
     def test_evaluate_many_matches_single_calls(self, g0):
         engine = QueryEngine()
