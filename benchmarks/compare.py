@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: diff a fresh pytest-benchmark JSON against a baseline.
+
+Usage (what CI's benchmark-smoke job runs)::
+
+    python benchmarks/compare.py --baseline benchmarks/baselines/learner-benchmark.json \
+        --fresh learner-benchmark.json [--tolerance 0.25]
+
+Comparison policy, per benchmark (matched by ``name``):
+
+* When both sides carry an ``extra_info.speedup`` (our speed benchmarks
+  record the measured ratio over their in-test legacy twin), the *relative*
+  metric is compared: the fresh speedup may not fall more than
+  ``tolerance`` below the baseline's.  Speedups are machine-independent, so
+  this is the hard gate for shared CI runners.
+* Otherwise the absolute ``stats.mean`` is compared: the fresh mean may not
+  exceed the baseline's by more than ``tolerance``.  Absolute wall-clock is
+  machine-dependent (a CI runner merely slower than the machine that wrote
+  the baseline would trip it), so out-of-tolerance means are *advisory* --
+  printed as warnings, failing the gate only under ``--strict-means``.
+
+A benchmark present in the baseline but missing from the fresh run fails
+the gate (a silently skipped benchmark is a regression of the harness);
+fresh-only benchmarks are reported but pass (they get a baseline when it is
+next regenerated with ``--write-baseline``).
+
+Exit code 0 when every comparison is within tolerance, 1 otherwise.  The
+default tolerance is 0.25 (fail on >25% slowdowns) and can also be set via
+the ``REPRO_BENCH_TOLERANCE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The verdict for one benchmark name.
+
+    ``advisory`` marks a machine-dependent comparison (absolute mean): its
+    failure is a warning by default and fails the gate only in strict mode.
+    """
+
+    name: str
+    metric: str  # "speedup", "mean", "missing" or "new"
+    baseline: float | None
+    fresh: float | None
+    ok: bool
+    advisory: bool = False
+
+    def render(self) -> str:
+        status = "ok  " if self.ok else ("warn" if self.advisory else "FAIL")
+        if self.metric == "missing":
+            return f"{status} {self.name}: present in baseline but missing from fresh run"
+        if self.metric == "new":
+            return f"{status} {self.name}: new benchmark (no baseline yet)"
+        direction = "x" if self.metric == "speedup" else "s"
+        return (
+            f"{status} {self.name}: {self.metric} baseline={self.baseline:.4f}{direction} "
+            f"fresh={self.fresh:.4f}{direction}"
+        )
+
+
+def _by_name(report: dict) -> dict[str, dict]:
+    benchmarks = report.get("benchmarks", [])
+    return {bench["name"]: bench for bench in benchmarks}
+
+
+def _speedup(bench: dict) -> float | None:
+    value = bench.get("extra_info", {}).get("speedup")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def compare_reports(
+    baseline: dict, fresh: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Comparison]:
+    """Compare two pytest-benchmark reports; one :class:`Comparison` per name."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    baseline_by_name = _by_name(baseline)
+    fresh_by_name = _by_name(fresh)
+    comparisons: list[Comparison] = []
+    for name, base in sorted(baseline_by_name.items()):
+        current = fresh_by_name.get(name)
+        if current is None:
+            comparisons.append(
+                Comparison(name=name, metric="missing", baseline=None, fresh=None, ok=False)
+            )
+            continue
+        base_speedup, fresh_speedup = _speedup(base), _speedup(current)
+        if base_speedup is not None and fresh_speedup is not None:
+            floor = base_speedup * (1.0 - tolerance)
+            comparisons.append(
+                Comparison(
+                    name=name,
+                    metric="speedup",
+                    baseline=base_speedup,
+                    fresh=fresh_speedup,
+                    ok=fresh_speedup >= floor,
+                )
+            )
+            continue
+        base_mean = float(base["stats"]["mean"])
+        fresh_mean = float(current["stats"]["mean"])
+        ceiling = base_mean * (1.0 + tolerance)
+        comparisons.append(
+            Comparison(
+                name=name,
+                metric="mean",
+                baseline=base_mean,
+                fresh=fresh_mean,
+                ok=fresh_mean <= ceiling,
+                advisory=True,
+            )
+        )
+    for name in sorted(set(fresh_by_name) - set(baseline_by_name)):
+        comparisons.append(
+            Comparison(name=name, metric="new", baseline=None, fresh=None, ok=True)
+        )
+    return comparisons
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, metavar="FILE", help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--fresh", required=True, metavar="FILE", help="freshly produced benchmark JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed relative slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--strict-means",
+        action="store_true",
+        help="fail on out-of-tolerance absolute means too (machine-dependent)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="copy the fresh report over the baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    if args.write_baseline:
+        # Committed baselines carry only what the gate reads: benchmark
+        # names, stats and extra_info -- not the producing machine's
+        # hardware inventory or commit metadata.
+        pruned = {
+            "datetime": fresh.get("datetime"),
+            "version": fresh.get("version"),
+            "benchmarks": [
+                {
+                    "name": bench["name"],
+                    "fullname": bench.get("fullname"),
+                    "stats": bench["stats"],
+                    "extra_info": bench.get("extra_info", {}),
+                }
+                for bench in fresh.get("benchmarks", [])
+            ],
+        }
+        Path(args.baseline).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.baseline).write_text(json.dumps(pruned, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    comparisons = compare_reports(baseline, fresh, tolerance=args.tolerance)
+    print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
+    for comparison in comparisons:
+        print("  " + comparison.render())
+    failed = [
+        comparison
+        for comparison in comparisons
+        if not comparison.ok and (args.strict_means or not comparison.advisory)
+    ]
+    warned = [
+        comparison
+        for comparison in comparisons
+        if not comparison.ok and comparison.advisory and not args.strict_means
+    ]
+    if warned:
+        print(
+            f"{len(warned)} machine-dependent mean(s) beyond tolerance (advisory; "
+            "gate with --strict-means)."
+        )
+    if failed:
+        print(f"{len(failed)} regression(s) beyond tolerance.")
+        return 1
+    print("gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,12 +66,14 @@ from repro.learning import (
     learn_with_dynamic_k,
 )
 from repro.interactive import (
+    InteractiveCheckpoint,
     InteractiveSession,
     QueryOracle,
+    SessionState,
     make_strategy,
     run_interactive_learning,
 )
-from repro.evaluation import f1_score, score_query
+from repro.evaluation import f1_score, run_interactive_grid, score_query
 from repro.api import (
     EngineConfig,
     ExperimentConfig,
@@ -85,7 +87,7 @@ from repro.api import (
     result_to_json,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -133,8 +135,11 @@ __all__ = [
     "QueryOracle",
     "make_strategy",
     "InteractiveSession",
+    "InteractiveCheckpoint",
+    "SessionState",
     "run_interactive_learning",
     # evaluation
     "f1_score",
     "score_query",
+    "run_interactive_grid",
 ]

@@ -17,10 +17,12 @@ and exit code 0, so scripts can tell a valid abstention from a failure.
 
 Subcommands
 -----------
-``learn``       learn a query from ``--positives``/``--negatives`` labels;
-``query``       evaluate a regular path query on the graph;
-``experiment``  run a Section 5 experiment (static sweep or interactive loop);
-``bench``       repeat query evaluations to exercise the engine's caches.
+``learn``        learn a query from ``--positives``/``--negatives`` labels;
+``query``        evaluate a regular path query on the graph;
+``experiment``   run a Section 5 experiment (static sweep or interactive loop);
+``interactive``  run one interactive session against a goal query, with
+                 optional ``--checkpoint FILE`` resume/save;
+``bench``        repeat query evaluations to exercise the engine's caches.
 
 Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
 :mod:`repro.graphdb.io`) or ``--figure {geo,g0}`` (the paper's figure
@@ -38,6 +40,7 @@ from repro.api.config import (
     STRATEGIES,
     EngineConfig,
     ExperimentConfig,
+    InteractiveConfig,
     LearnerConfig,
 )
 from repro.api.result import Result
@@ -168,6 +171,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="interactive scenario: halt threshold (1.0 = paper's strongest)",
     )
 
+    interactive = subparsers.add_parser(
+        "interactive",
+        help="run the Figure 9 interactive loop against a goal query",
+    )
+    add_graph_source(interactive)
+    interactive.add_argument("--goal", required=True, help="the goal query expression")
+    interactive.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="kR",
+        help="node-selection strategy (default kR)",
+    )
+    interactive.add_argument("--seed", type=int, default=0, help="random seed")
+    interactive.add_argument("--k-start", type=int, default=2, help="initial k")
+    interactive.add_argument("--k-max", type=int, default=6, help="maximal k")
+    interactive.add_argument(
+        "--max-interactions",
+        type=int,
+        default=None,
+        help="interaction budget (default: unbounded, halt on goal/exhaustion)",
+    )
+    interactive.add_argument(
+        "--pool-size",
+        type=int,
+        default=512,
+        help="candidate pool per round (0 = full scan; default 512)",
+    )
+    interactive.add_argument(
+        "--target-f1",
+        type=float,
+        default=1.0,
+        help="halt threshold (1.0 = paper's strongest condition)",
+    )
+    interactive.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help=(
+            "session checkpoint JSON: resumed from if the file exists, "
+            "written (updated) when the run stops"
+        ),
+    )
+    interactive.add_argument(
+        "--legacy-loop",
+        action="store_true",
+        help="disable the incremental kernel-backed session state (parity/debugging)",
+    )
+
     bench = subparsers.add_parser(
         "bench", help="repeat query evaluations to exercise the engine caches"
     )
@@ -256,6 +307,32 @@ def _cmd_experiment(args: argparse.Namespace, workspace: Workspace) -> Result:
     return workspace.run_experiment(ExperimentConfig(**kwargs))
 
 
+def _cmd_interactive(args: argparse.Namespace, workspace: Workspace) -> Result:
+    import os
+
+    config = InteractiveConfig(
+        strategy=args.strategy,
+        seed=args.seed,
+        k_start=args.k_start,
+        k_max=max(args.k_start, args.k_max),
+        max_interactions=args.max_interactions,
+        pool_size=args.pool_size if args.pool_size > 0 else None,
+        target_f1=args.target_f1,
+        incremental=not args.legacy_loop,
+    )
+    resume_from = (
+        args.checkpoint
+        if args.checkpoint is not None and os.path.exists(args.checkpoint)
+        else None
+    )
+    return workspace.learn_interactive(
+        args.goal,
+        config,
+        resume_from=resume_from,
+        checkpoint_to=args.checkpoint,
+    )
+
+
 def _cmd_bench(args: argparse.Namespace, workspace: Workspace) -> dict:
     if args.repeat < 1:
         raise ConfigError("--repeat must be at least 1")
@@ -297,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
             "learn": _cmd_learn,
             "query": _cmd_query,
             "experiment": _cmd_experiment,
+            "interactive": _cmd_interactive,
             "bench": _cmd_bench,
         }[args.command]
         outcome = handler(args, workspace)

@@ -128,7 +128,14 @@ class LearnerConfig(_BaseConfig):
 
 @dataclass(frozen=True)
 class InteractiveConfig(_BaseConfig):
-    """Parameters of one interactive session (the Figure 9 loop)."""
+    """Parameters of one interactive session (the Figure 9 loop).
+
+    ``incremental`` selects the kernel-backed session state (batched
+    k-informativeness, carried coverage cache, hypothesis reuse -- the
+    default) or the legacy per-node recomputation path; the two produce
+    identical transcripts, so the flag only exists for parity testing and
+    benchmarking.
+    """
 
     strategy: str = "kR"
     k_start: int = 2
@@ -138,8 +145,13 @@ class InteractiveConfig(_BaseConfig):
     pool_size: int | None = 512
     seed: int = 0
     target_f1: float = 1.0
+    incremental: bool = True
 
     def __post_init__(self) -> None:
+        _require(
+            isinstance(self.incremental, bool),
+            f"incremental must be a bool, got {self.incremental!r}",
+        )
         _require(
             self.strategy in STRATEGIES,
             f"strategy must be one of {STRATEGIES}, got {self.strategy!r}",
@@ -195,8 +207,13 @@ class ExperimentConfig(_BaseConfig):
     max_interactions: int | None = None
     pool_size: int | None = 512
     target_f1: float = 1.0
+    incremental: bool = True
 
     def __post_init__(self) -> None:
+        _require(
+            isinstance(self.incremental, bool),
+            f"incremental must be a bool, got {self.incremental!r}",
+        )
         _require(isinstance(self.goal, str), f"goal must be an expression string, got {self.goal!r}")
         _require(
             self.name is None or isinstance(self.name, str),

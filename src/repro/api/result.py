@@ -25,7 +25,7 @@ from typing import Any, Protocol, runtime_checkable
 from repro.errors import SerializationError
 from repro.evaluation.interactive import InteractiveExperimentResult
 from repro.evaluation.static import StaticExperimentResult
-from repro.interactive.scenario import InteractiveResult
+from repro.interactive.scenario import InteractiveCheckpoint, InteractiveResult
 from repro.learning.binary_learner import BinaryLearnerResult
 from repro.learning.learner import LearnerResult
 from repro.learning.nary_learner import NaryLearnerResult
@@ -137,6 +137,7 @@ RESULT_TYPES: dict[str, type] = {
     "BinaryLearnerResult": BinaryLearnerResult,
     "NaryLearnerResult": NaryLearnerResult,
     "InteractiveResult": InteractiveResult,
+    "InteractiveCheckpoint": InteractiveCheckpoint,
     "StaticExperimentResult": StaticExperimentResult,
     "InteractiveExperimentResult": InteractiveExperimentResult,
 }

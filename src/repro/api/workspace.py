@@ -20,6 +20,7 @@ traffic -- nothing silently falls back to the process-wide default engine.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -33,7 +34,11 @@ from repro.evaluation.workloads import Workload
 from repro.graphdb.graph import GraphDB
 from repro.graphdb.io import load_graph, save_graph
 from repro.interactive.oracle import Oracle, QueryOracle
-from repro.interactive.scenario import InteractiveResult, InteractiveSession
+from repro.interactive.scenario import (
+    InteractiveCheckpoint,
+    InteractiveResult,
+    InteractiveSession,
+)
 from repro.interactive.strategies import make_strategy
 from repro.learning.baselines import learn_scp_disjunction
 from repro.learning.binary_learner import BinaryLearnerResult, learn_binary_query
@@ -193,12 +198,28 @@ class Workspace:
         self,
         target: str | PathQuery | Oracle,
         config: InteractiveConfig | None = None,
+        *,
+        resume_from: "InteractiveCheckpoint | dict | str | Path | None" = None,
+        checkpoint_to: str | Path | None = None,
     ) -> InteractiveResult:
         """Run the Figure 9 interactive loop against a goal query or oracle.
 
         ``target`` is the goal query (an expression string or
         :class:`PathQuery`) labeled by a simulated perfect user, or any
         :class:`~repro.interactive.Oracle` for custom labeling behaviour.
+
+        ``resume_from`` continues a paused session from an
+        :class:`~repro.interactive.InteractiveCheckpoint` (the object, its
+        ``to_dict`` payload, or a path to a JSON file of it); the snapshot's
+        strategy, RNG position, sample and grown ``k`` win over the matching
+        ``config`` fields, so the resumed run continues exactly where an
+        uninterrupted one would be.  The run *budget* stays with ``config``
+        -- resuming is how a paused session gets a fresh budget:
+        ``config.max_interactions`` buys that many *new* interactions on top
+        of the checkpointed ones (``target_f1`` and ``neighborhood_radius``
+        also come from ``config``).  ``checkpoint_to`` writes the session's final checkpoint
+        JSON to the given path, resumable later even when the run stopped on
+        ``max_interactions``.
         """
         config = config or InteractiveConfig()
         if isinstance(target, Oracle):
@@ -212,17 +233,59 @@ class Workspace:
             oracle = QueryOracle(
                 goal, satisfaction_threshold=config.target_f1, engine=self._engine
             )
-        session = InteractiveSession(
-            self._graph,
-            oracle,
-            make_strategy(config.strategy, seed=config.seed, pool_size=config.pool_size),
-            k_start=config.k_start,
-            k_max=config.k_max,
-            max_interactions=config.max_interactions,
-            neighborhood_radius=config.neighborhood_radius,
-            engine=self._engine,
+        if resume_from is not None:
+            checkpoint = self._load_checkpoint(resume_from)
+            session = InteractiveSession.resume(
+                checkpoint,
+                self._graph,
+                oracle,
+                engine=self._engine,
+                incremental=config.incremental,
+            )
+            # The checkpoint owns the session's past; the config owns the
+            # budget of the run being started now.  The session-level budget
+            # counts *total* interactions (that is what makes a resumed run
+            # replay an uninterrupted one), so the fresh per-run budget is
+            # offset by the interactions already on the log -- otherwise
+            # resuming with the same config would halt without progress.
+            session.max_interactions = (
+                None
+                if config.max_interactions is None
+                else config.max_interactions + len(session.interactions)
+            )
+            session.neighborhood_radius = config.neighborhood_radius
+        else:
+            session = InteractiveSession(
+                self._graph,
+                oracle,
+                make_strategy(config.strategy, seed=config.seed, pool_size=config.pool_size),
+                k_start=config.k_start,
+                k_max=config.k_max,
+                max_interactions=config.max_interactions,
+                neighborhood_radius=config.neighborhood_radius,
+                engine=self._engine,
+                incremental=config.incremental,
+            )
+        result = session.run()
+        if checkpoint_to is not None:
+            payload = session.checkpoint().to_dict()
+            Path(checkpoint_to).write_text(json.dumps(payload, indent=2))
+        return result
+
+    @staticmethod
+    def _load_checkpoint(
+        source: "InteractiveCheckpoint | dict | str | Path",
+    ) -> InteractiveCheckpoint:
+        if isinstance(source, InteractiveCheckpoint):
+            return source
+        if isinstance(source, dict):
+            return InteractiveCheckpoint.from_dict(source)
+        if isinstance(source, (str, Path)):
+            return InteractiveCheckpoint.from_dict(json.loads(Path(source).read_text()))
+        raise ConfigError(
+            "resume_from must be an InteractiveCheckpoint, its to_dict payload "
+            f"or a path to its JSON file, got {type(source).__name__}"
         )
-        return session.run()
 
     def run_experiment(
         self, config: ExperimentConfig

@@ -127,8 +127,42 @@ class QueryEngine:
 
     # -- monadic semantics ---------------------------------------------------
 
-    def evaluate(self, graph: GraphDB, query: Query) -> frozenset[Node]:
-        """The set of nodes selected on ``graph`` (monadic semantics)."""
+    def evaluate(
+        self,
+        graph: GraphDB,
+        query: Query,
+        *,
+        ephemeral: bool = False,
+        max_depth: int | None = None,
+    ) -> frozenset[Node]:
+        """The set of nodes selected on ``graph`` (monadic semantics).
+
+        Pass ``ephemeral=True`` for throwaway kernel automata that will never
+        be evaluated again (e.g. the interactive layer's per-round
+        uncovered-words automaton): the engine skips fingerprinting, plan
+        compilation and both caches and runs one backward table walk on the
+        CSR index.  ``max_depth`` (ephemeral only) bounds the accepted word
+        length, which is how batched k-informativeness cuts the product at
+        ``k`` symbols.
+        """
+        if ephemeral:
+            automaton = self._coerce_automaton(query)
+            if not isinstance(automaton, TableAutomaton):
+                raise QueryError(
+                    "ephemeral whole-graph evaluation needs a kernel TableDFA/MergeFold, "
+                    f"got {type(query).__name__}"
+                )
+            if isinstance(automaton, MergeFold):
+                automaton = automaton.to_table()
+            index = self.index_for(graph)
+            self.stats.evaluations += 1
+            selected_ids = executor.table_evaluate_all(
+                index, automaton, self.stats.kernel, max_depth=max_depth
+            )
+            nodes_by_id = index.nodes_by_id
+            return frozenset(nodes_by_id[node_id] for node_id in selected_ids)
+        if max_depth is not None:
+            raise QueryError("max_depth is only supported with ephemeral=True")
         plan = self.plan_for(query)
         key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
         cached = self.result_cache.get(key)
@@ -163,6 +197,7 @@ class QueryEngine:
         nodes: Iterable[Node],
         *,
         ephemeral: bool = False,
+        max_depth: int | None = None,
     ) -> bool:
         """Whether the query selects at least one of the given nodes.
 
@@ -171,7 +206,9 @@ class QueryEngine:
         Pass ``ephemeral=True`` for throwaway automata that will never be
         evaluated again (e.g. merge candidates): the engine then skips
         fingerprinting, plan compilation and both caches and runs the lazy
-        kernel directly on the CSR index.
+        kernel directly on the CSR index.  ``max_depth`` (ephemeral kernel
+        automata only) bounds the witness word's length -- the interactive
+        layer's per-candidate k-informativeness check.
         """
         start_nodes = list(nodes)
         for node in start_nodes:
@@ -192,6 +229,11 @@ class QueryEngine:
                     automaton,
                     (node_ids[node] for node in start_nodes),
                     self.stats.kernel,
+                    max_depth=max_depth,
+                )
+            if max_depth is not None:
+                raise QueryError(
+                    "max_depth needs a kernel TableDFA/MergeFold query"
                 )
             return executor.lazy_any_selects(
                 index,
@@ -199,6 +241,8 @@ class QueryEngine:
                 (node_ids[node] for node in start_nodes),
                 self.stats.kernel,
             )
+        if max_depth is not None:
+            raise QueryError("max_depth is only supported with ephemeral=True")
         plan = self.plan_for(query)
         key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
         cached = self.result_cache.get(key)

@@ -246,6 +246,8 @@ def table_any_selects(
     view: TableAutomaton,
     node_ids: Iterable[int],
     stats: KernelStats | None = None,
+    *,
+    max_depth: int | None = None,
 ) -> bool:
     """:func:`lazy_any_selects` for kernel automata (all-int inner loop).
 
@@ -256,6 +258,12 @@ def table_any_selects(
     symbol ids are bound to graph label ids once per call.  This is the
     merge-guard hot path of the kernel-backed learner: no automaton object
     is compiled, copied or even touched beyond its arrays.
+
+    ``max_depth`` bounds the accepted word's length: the BFS runs in
+    word-length layers (first visit = shortest witness, so the pair dedup
+    stays sound) and stops after ``max_depth`` of them.  This is how the
+    interactive layer asks "does this candidate have an uncovered path of
+    at most k symbols?" against the round's uncovered-words automaton.
     """
     trans, m, find, finals, initial = view.kernel_walk()
     if not finals:
@@ -270,47 +278,135 @@ def table_any_selects(
     span = len(trans) // m if m else 1
 
     visited: set[int] = set()
-    queue: deque[int] = deque()
+    level: list[int] = []
     for node in starts:
         code = node * span + initial
         if code not in visited:
             visited.add(code)
-            queue.append(code)
+            level.append(code)
 
     expanded = 0
     scanned = 0
+    depth = 0
     try:
-        while queue:
-            code = queue.popleft()
-            node, state = divmod(code, span)
-            expanded += 1
-            base = state * m
-            for position in range(m):
-                target_state = trans[base + position]
-                if target_state < 0:
-                    continue
-                label_id = sym_labels[position]
-                if label_id < 0:
-                    continue
-                offsets = fwd_offsets[label_id]
-                start, stop = offsets[node], offsets[node + 1]
-                if start == stop:
-                    continue
-                scanned += stop - start
-                if find is not None:
-                    target_state = find(target_state)
-                if (finals >> target_state) & 1:
-                    return True
-                for target_node in fwd_targets[label_id][start:stop]:
-                    target_code = target_node * span + target_state
-                    if target_code not in visited:
-                        visited.add(target_code)
-                        queue.append(target_code)
+        while level and (max_depth is None or depth < max_depth):
+            depth += 1
+            next_level: list[int] = []
+            for code in level:
+                node, state = divmod(code, span)
+                expanded += 1
+                base = state * m
+                for position in range(m):
+                    target_state = trans[base + position]
+                    if target_state < 0:
+                        continue
+                    label_id = sym_labels[position]
+                    if label_id < 0:
+                        continue
+                    offsets = fwd_offsets[label_id]
+                    start, stop = offsets[node], offsets[node + 1]
+                    if start == stop:
+                        continue
+                    scanned += stop - start
+                    if find is not None:
+                        target_state = find(target_state)
+                    if (finals >> target_state) & 1:
+                        return True
+                    for target_node in fwd_targets[label_id][start:stop]:
+                        target_code = target_node * span + target_state
+                        if target_code not in visited:
+                            visited.add(target_code)
+                            next_level.append(target_code)
+            level = next_level
         return False
     finally:
         if stats is not None:
             stats.states_expanded += expanded
             stats.edges_scanned += scanned
+
+
+def table_evaluate_all(
+    index: GraphIndex,
+    view: TableAutomaton,
+    stats: KernelStats | None = None,
+    *,
+    max_depth: int | None = None,
+) -> frozenset[int]:
+    """:func:`evaluate_all` for kernel automata (no plan compilation).
+
+    One *backward* product BFS from every accepting pair computes, for all
+    nodes at once, whether the node realizes an accepted word -- the batched
+    counterpart of running :func:`table_any_selects` per node.  ``max_depth``
+    bounds the accepted word length (BFS layers run in word-length order),
+    which is how the interactive layer's one-walk-per-round batched
+    k-informativeness check cuts the product at ``k`` symbols.
+    """
+    trans, m, find, finals, initial = view.kernel_walk()
+    if find is not None:
+        raise GraphError(
+            "table_evaluate_all needs a committed table; call MergeFold.to_table() first"
+        )
+    if not finals:
+        return frozenset()
+    n = index.num_nodes
+    span = len(trans) // m if m else 1
+    if (finals >> initial) & 1:
+        # Every node trivially matches via the empty path.
+        return frozenset(range(n))
+    sym_labels = view.bind_labels(index.label_ids)
+    bwd_offsets, bwd_targets = index.bwd_offsets, index.bwd_targets
+
+    # Reverse automaton adjacency: state -> [(symbol position, [pred states])].
+    rmoves: list[dict[int, list[int]]] = [{} for _ in range(span)]
+    for state in range(span):
+        base = state * m
+        for position in range(m):
+            target = trans[base + position]
+            if target >= 0 and sym_labels[position] >= 0:
+                rmoves[target].setdefault(position, []).append(state)
+    rstate_moves = [list(moves.items()) for moves in rmoves]
+
+    visited = bytearray(n * span)
+    frontier: list[int] = []
+    for final_state in range(span):
+        if not (finals >> final_state) & 1:
+            continue
+        for node in range(n):
+            code = node * span + final_state
+            visited[code] = 1
+            frontier.append(code)
+
+    depth = 0
+    expanded = 0
+    scanned = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        next_frontier: list[int] = []
+        for code in frontier:
+            node, state = divmod(code, span)
+            expanded += 1
+            for position, pred_states in rstate_moves[state]:
+                label_id = sym_labels[position]
+                offsets = bwd_offsets[label_id]
+                start, stop = offsets[node], offsets[node + 1]
+                if start == stop:
+                    continue
+                scanned += stop - start
+                for pred_node in bwd_targets[label_id][start:stop]:
+                    base = pred_node * span
+                    for pred_state in pred_states:
+                        pred_code = base + pred_state
+                        if not visited[pred_code]:
+                            visited[pred_code] = 1
+                            next_frontier.append(pred_code)
+        frontier = next_frontier
+    if stats is not None:
+        stats.states_expanded += expanded
+        stats.edges_scanned += scanned
+
+    return frozenset(
+        node for node in range(n) if visited[node * span + initial]
+    )
 
 
 def table_pair_selects(

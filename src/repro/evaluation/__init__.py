@@ -24,7 +24,9 @@ from repro.evaluation.workloads import (
 from repro.evaluation.static import StaticExperimentResult, StaticPoint, run_static_experiment
 from repro.evaluation.interactive import (
     InteractiveExperimentResult,
+    SimulationTask,
     run_interactive_experiment,
+    run_interactive_grid,
 )
 from repro.evaluation.reporting import (
     render_figure11,
@@ -46,7 +48,9 @@ __all__ = [
     "StaticExperimentResult",
     "run_static_experiment",
     "InteractiveExperimentResult",
+    "SimulationTask",
     "run_interactive_experiment",
+    "run_interactive_grid",
     "render_table1",
     "render_table2",
     "render_figure11",

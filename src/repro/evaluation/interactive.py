@@ -15,8 +15,12 @@ static driver (:func:`repro.evaluation.static.run_static_experiment`).
 
 from __future__ import annotations
 
+import os
 import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import product
 from typing import TYPE_CHECKING
 
 from repro.engine.engine import QueryEngine, get_default_engine
@@ -119,6 +123,7 @@ def run_interactive_experiment(
     max_interactions: int | None = None,
     pool_size: int | None = 512,
     target_f1: float = 1.0,
+    incremental: bool = True,
     engine: QueryEngine | None = None,
     config: "ExperimentConfig | None" = None,
 ) -> InteractiveExperimentResult:
@@ -149,6 +154,7 @@ def run_interactive_experiment(
         max_interactions = config.max_interactions
         pool_size = config.pool_size
         target_f1 = config.target_f1
+        incremental = config.incremental
     engine = engine or get_default_engine()
     graph, goal = workload.graph, workload.query
     engine.index_for(graph)
@@ -167,6 +173,7 @@ def run_interactive_experiment(
         k_max=k_max,
         max_interactions=max_interactions,
         engine=engine,
+        incremental=incremental,
     )
     final_f1 = f1_score(outcome.query, goal, graph, engine=engine)
     return InteractiveExperimentResult(
@@ -181,3 +188,94 @@ def run_interactive_experiment(
         learned_expression=None if outcome.query is None else outcome.query.expression,
         elapsed=time.perf_counter() - started,
     )
+
+
+# -- the multi-session simulation grid -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One cell of the strategy x seed x workload simulation grid.
+
+    Self-contained and picklable: a worker process receives the task, builds
+    its own :class:`~repro.engine.QueryEngine` (engines and their caches are
+    per-process by design) and runs one full interactive session.
+    """
+
+    workload: Workload
+    strategy: str
+    seed: int
+    k_start: int = 2
+    k_max: int = 4
+    max_interactions: int | None = None
+    pool_size: int | None = 512
+    target_f1: float = 1.0
+    incremental: bool = True
+
+
+def _run_simulation_task(task: SimulationTask) -> InteractiveExperimentResult:
+    """Worker entry point: one grid cell, one fresh engine (module-level so
+    it pickles under the spawn start method)."""
+    return run_interactive_experiment(
+        task.workload,
+        strategy=task.strategy,
+        seed=task.seed,
+        k_start=task.k_start,
+        k_max=task.k_max,
+        max_interactions=task.max_interactions,
+        pool_size=task.pool_size,
+        target_f1=task.target_f1,
+        incremental=task.incremental,
+        engine=QueryEngine(),
+    )
+
+
+def run_interactive_grid(
+    workloads: Sequence[Workload],
+    *,
+    strategies: Sequence[str] = ("kR", "kS"),
+    seeds: Sequence[int] = (0,),
+    k_start: int = 2,
+    k_max: int = 4,
+    max_interactions: int | None = None,
+    pool_size: int | None = 512,
+    target_f1: float = 1.0,
+    incremental: bool = True,
+    max_workers: int | None = None,
+) -> list[InteractiveExperimentResult]:
+    """Simulate a whole grid of interactive sessions, optionally in parallel.
+
+    The grid is the cartesian product workload x strategy x seed -- the
+    shape of Table 2 plus repetition seeds.  Sessions are independent (each
+    one owns a fresh engine), so with ``max_workers > 1`` they run in a
+    process pool; ``max_workers=1`` runs them inline in this process (the
+    deterministic mode tests use), and ``max_workers=None`` picks
+    ``min(cpu_count, number of tasks)``.  Results come back in grid order
+    (workloads outermost, then strategies, then seeds) regardless of worker
+    scheduling.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise LearningError("max_workers must be None or >= 1")
+    tasks = [
+        SimulationTask(
+            workload=workload,
+            strategy=strategy,
+            seed=seed,
+            k_start=k_start,
+            k_max=k_max,
+            max_interactions=max_interactions,
+            pool_size=pool_size,
+            target_f1=target_f1,
+            incremental=incremental,
+        )
+        for workload, strategy, seed in product(workloads, strategies, seeds)
+    ]
+    if not tasks:
+        return []
+    workers = max_workers
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(tasks))
+    if workers <= 1 or len(tasks) == 1:
+        return [_run_simulation_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_simulation_task, tasks, chunksize=1))

@@ -43,7 +43,12 @@ class GraphDB:
         else:
             self._alphabet = Alphabet(alphabet)
             self._fixed_alphabet = True
-        self._nodes: set[Node] = set()
+        # Insertion-ordered node registry (dict keys): iteration order is the
+        # *stable node order* -- deterministic across processes and hash
+        # seeds, unlike set iteration or repr-sorting (a default object repr
+        # embeds the memory address).
+        self._nodes: dict[Node, None] = {}
+        self._node_order: tuple[Node, ...] | None = None  # cache; dropped on insertion
         self._edges: set[Edge] = set()
         # adjacency: origin -> label -> set of ends
         self._forward: dict[Node, dict[str, set[Node]]] = {}
@@ -60,7 +65,8 @@ class GraphDB:
         if node is None:
             raise GraphError("None is not a valid node identifier")
         if node not in self._nodes:
-            self._nodes.add(node)
+            self._nodes[node] = None
+            self._node_order = None
             self._version += 1
         return node
 
@@ -130,6 +136,19 @@ class GraphDB:
     def nodes(self) -> frozenset[Node]:
         """The set of nodes."""
         return frozenset(self._nodes)
+
+    @property
+    def node_order(self) -> tuple[Node, ...]:
+        """The nodes in their stable (insertion) order.
+
+        Deterministic for a fixed construction sequence regardless of the
+        process's hash seed, which makes it the canonical tie-breaking order
+        for anything user-visible (e.g. the interactive strategies' random
+        draws).
+        """
+        if self._node_order is None:
+            self._node_order = tuple(self._nodes)
+        return self._node_order
 
     @property
     def edges(self) -> frozenset[Edge]:
@@ -276,11 +295,13 @@ class GraphDB:
     def subgraph(self, nodes: Iterable[Node]) -> "GraphDB":
         """The subgraph induced by the given nodes."""
         keep = set(nodes)
-        missing = keep - self._nodes
+        missing = keep - self._nodes.keys()
         if missing:
             raise GraphError(f"nodes not in graph: {sorted(missing, key=repr)[:5]!r}")
         sub = GraphDB(self._alphabet if self._fixed_alphabet else None)
-        sub.add_nodes(keep)
+        # Insert in the parent's stable order so the subgraph's own stable
+        # node order does not depend on the hash-seed-driven set iteration.
+        sub.add_nodes(node for node in self._nodes if node in keep)
         for origin, label, end in self._edges:
             if origin in keep and end in keep:
                 sub.add_edge(origin, label, end)

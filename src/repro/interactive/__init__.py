@@ -23,7 +23,15 @@ from repro.interactive.informativeness import (
     is_informative,
     is_k_informative,
     k_informative_nodes,
+    reference_is_certain_negative,
+    reference_is_certain_positive,
     uncovered_k_paths,
+)
+from repro.interactive.state import (
+    SessionState,
+    count_uncovered_k_paths,
+    k_informative_set,
+    uncovered_words_table,
 )
 from repro.interactive.strategies import (
     KInformativeRandomStrategy,
@@ -31,26 +39,40 @@ from repro.interactive.strategies import (
     RandomStrategy,
     Strategy,
     make_strategy,
+    strategy_from_dict,
 )
 from repro.interactive.oracle import Oracle, QueryOracle
-from repro.interactive.scenario import InteractiveResult, InteractiveSession, run_interactive_learning
+from repro.interactive.scenario import (
+    InteractiveCheckpoint,
+    InteractiveResult,
+    InteractiveSession,
+    run_interactive_learning,
+)
 
 __all__ = [
     "is_certain",
     "is_informative",
     "is_k_informative",
     "k_informative_nodes",
+    "k_informative_set",
     "uncovered_k_paths",
+    "uncovered_words_table",
+    "count_uncovered_k_paths",
     "certain_positive_nodes",
     "certain_negative_nodes",
+    "reference_is_certain_positive",
+    "reference_is_certain_negative",
+    "SessionState",
     "Strategy",
     "RandomStrategy",
     "KInformativeRandomStrategy",
     "KInformativeSmallestStrategy",
     "make_strategy",
+    "strategy_from_dict",
     "Oracle",
     "QueryOracle",
     "InteractiveSession",
+    "InteractiveCheckpoint",
     "InteractiveResult",
     "run_interactive_learning",
 ]

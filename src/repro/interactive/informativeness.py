@@ -20,14 +20,54 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from repro.automata.kernel import TableDFA, language_included_tables
 from repro.automata.operations import language_included, union
 from repro.graphdb.graph import GraphDB, Node
 from repro.graphdb.paths import covered_by, enumerate_paths, paths_nfa
 from repro.learning.sample import Sample
 
 
+def _paths_table(graph: GraphDB, start_nodes: Iterable[Node] | Node) -> TableDFA:
+    """``paths_G(X)`` determinized straight into the int-coded kernel."""
+    table, _subsets = TableDFA.from_nfa(paths_nfa(graph, start_nodes))
+    return table
+
+
 def is_certain_positive(graph: GraphDB, sample: Sample, node: Node) -> bool:
-    """Exact certain-positive check (Lemma 4.1, item 1)."""
+    """Exact certain-positive check (Lemma 4.1, item 1).
+
+    Runs on the kernel: both path languages are determinized into
+    :class:`~repro.automata.kernel.TableDFA` form and compared with the
+    linear product-inclusion walk (no complementation).  The covering
+    language ``paths(S-) | paths(node)`` is one multi-initial NFA -- the
+    graph with the negatives *and* the node as start states -- rather than
+    an explicit union automaton.  :func:`reference_is_certain_positive` is
+    the retained legacy oracle the parity suite pins this against.
+    """
+    if not sample.positives:
+        return False
+    cover = _paths_table(graph, set(sample.negatives) | {node})
+    for positive in sample.positives:
+        if language_included_tables(_paths_table(graph, positive), cover):
+            return True
+    return False
+
+
+def is_certain_negative(graph: GraphDB, sample: Sample, node: Node) -> bool:
+    """Exact certain-negative check (Lemma 4.1, item 2).
+
+    Kernel-backed like :func:`is_certain_positive`;
+    :func:`reference_is_certain_negative` is the legacy oracle.
+    """
+    if not sample.negatives:
+        return False
+    return language_included_tables(
+        _paths_table(graph, node), _paths_table(graph, sample.negatives)
+    )
+
+
+def reference_is_certain_positive(graph: GraphDB, sample: Sample, node: Node) -> bool:
+    """The pre-kernel certain-positive check (object automata; parity oracle)."""
     if not sample.positives:
         return False
     node_paths = paths_nfa(graph, node)
@@ -41,8 +81,8 @@ def is_certain_positive(graph: GraphDB, sample: Sample, node: Node) -> bool:
     return False
 
 
-def is_certain_negative(graph: GraphDB, sample: Sample, node: Node) -> bool:
-    """Exact certain-negative check (Lemma 4.1, item 2)."""
+def reference_is_certain_negative(graph: GraphDB, sample: Sample, node: Node) -> bool:
+    """The pre-kernel certain-negative check (object automata; parity oracle)."""
     if not sample.negatives:
         return False
     return language_included(

@@ -27,7 +27,8 @@ from repro.engine.engine import QueryEngine
 from repro.errors import InteractionError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
 from repro.interactive.oracle import Oracle
-from repro.interactive.strategies import Strategy
+from repro.interactive.state import SessionState
+from repro.interactive.strategies import Strategy, strategy_from_dict
 from repro.learning.learner import DEFAULT_K, LearnerResult, learn_path_query
 from repro.learning.sample import Sample
 from repro.queries.path_query import PathQuery
@@ -156,6 +157,15 @@ class InteractiveSession:
 
     Drives the Figure 9 loop step by step; :func:`run_interactive_learning`
     is the convenience wrapper that runs it to completion.
+
+    With ``incremental=True`` (the default) the session carries a
+    :class:`~repro.interactive.state.SessionState` across rounds: batched
+    k-informativeness (one CSR product walk per round), a shared
+    negatives-coverage cache for the learner's SCP selection, and hypothesis
+    reuse when a new positive label provably cannot change the learned
+    query.  ``incremental=False`` runs the legacy per-node path -- same
+    proposals, same labels, same learned queries (the speed benchmark pins
+    the two transcripts against each other), just slower.
     """
 
     def __init__(
@@ -169,12 +179,14 @@ class InteractiveSession:
         max_interactions: int | None = None,
         neighborhood_radius: int | None = None,
         engine: QueryEngine | None = None,
+        incremental: bool = True,
     ) -> None:
         if k_start < 0 or k_max < k_start:
             raise InteractionError("need 0 <= k_start <= k_max")
         self.graph = graph
         self.oracle = oracle
         self.strategy = strategy
+        self.k_start = k_start
         self.k = k_start
         self.k_max = k_max
         self.max_interactions = max_interactions
@@ -183,18 +195,28 @@ class InteractiveSession:
         self.sample = Sample()
         self.interactions: list[Interaction] = []
         self.last_result: LearnerResult | None = None
+        self.state = (
+            SessionState(graph, k=k_start, engine=engine) if incremental else None
+        )
+        #: Wall-clock seconds accumulated by earlier runs of a resumed
+        #: session; the final result and checkpoints add it back in.
+        self.prior_seconds = 0.0
 
     # -- steps of the Figure 9 loop -------------------------------------------
 
     def propose_node(self) -> Node | None:
         """Step 3: pick the next node, growing ``k`` while none is available."""
         while True:
-            node = self.strategy.propose(self.graph, self.sample, k=self.k)
+            node = self.strategy.propose(
+                self.graph, self.sample, k=self.k, state=self.state
+            )
             if node is not None:
                 return node
             if self.k >= self.k_max:
                 return None
             self.k += 1
+            if self.state is not None:
+                self.state.set_k(self.k)
 
     def neighborhood_of(self, node: Node) -> GraphDB:
         """Step 4: the fragment of the graph shown to the user for this node."""
@@ -204,6 +226,8 @@ class InteractiveSession:
     def record_label(self, node: Node, label: str) -> None:
         """Step 5: add the user's label to the sample."""
         self.sample = self.sample.with_example(node, label)
+        if self.state is not None:
+            self.state.observe(node, label, self.sample)
 
     def learn(self) -> LearnerResult:
         """Step 6: run the learner on all labels collected so far.
@@ -213,7 +237,17 @@ class InteractiveSession:
         raised up to ``k_max`` for this learning call, mirroring the dynamic
         procedure of Section 5.1.  The strategy keeps using the session's
         ``k``, which only grows when no k-informative node remains.
+
+        Incremental sessions delegate to
+        :meth:`~repro.interactive.state.SessionState.learn`, which runs the
+        same procedure but shares the negatives-coverage cache across rounds
+        and skips the re-learn entirely when the new labels provably cannot
+        change the hypothesis.
         """
+        if self.state is not None:
+            result = self.state.learn(self.k, self.k_max)
+            self.last_result = result
+            return result
         result = learn_path_query(self.graph, self.sample, k=self.k, engine=self.engine)
         learn_k = self.k
         while result.is_null and result.positives_without_scp and learn_k < self.k_max:
@@ -279,15 +313,164 @@ class InteractiveSession:
                     else "no_informative_node"
                 )
                 break
-        total = time.perf_counter() - started
+        self.prior_seconds += time.perf_counter() - started
         query = None if self.last_result is None else self.last_result.best_effort_query
         return InteractiveResult(
             query=query,
             sample=self.sample,
             interactions=self.interactions,
             halted_by=halted_by,
-            total_seconds=total,
+            total_seconds=self.prior_seconds,
         )
+
+    # -- checkpoint / resume ----------------------------------------------------
+
+    def checkpoint(self) -> "InteractiveCheckpoint":
+        """Snapshot the session so it can be resumed in another process.
+
+        The snapshot captures everything the loop's determinism depends on
+        -- the sample, the grown ``k``, the interaction log and the
+        strategy's RNG state -- so a resumed session continues exactly where
+        an uninterrupted one would be.  The graph, oracle and engine are
+        *not* captured; the resuming caller supplies them.
+        """
+        return InteractiveCheckpoint(
+            k=self.k,
+            k_start=self.k_start,
+            k_max=self.k_max,
+            max_interactions=self.max_interactions,
+            neighborhood_radius=self.neighborhood_radius,
+            positives=sorted(self.sample.positives, key=repr),
+            negatives=sorted(self.sample.negatives, key=repr),
+            interactions=list(self.interactions),
+            strategy=self.strategy.config_dict(),
+            elapsed=self.prior_seconds,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: "InteractiveCheckpoint",
+        graph: GraphDB,
+        oracle: Oracle,
+        *,
+        engine: QueryEngine | None = None,
+        incremental: bool = True,
+    ) -> "InteractiveSession":
+        """Rebuild a session from a :class:`InteractiveCheckpoint`.
+
+        The strategy (including its RNG position), the sample, the grown
+        ``k`` and the interaction log are restored from the snapshot; the
+        learner is re-run once on the restored sample so the halt condition
+        sees the same hypothesis an uninterrupted session would have.
+        """
+        session = cls(
+            graph,
+            oracle,
+            strategy_from_dict(checkpoint.strategy),
+            k_start=checkpoint.k_start,
+            k_max=checkpoint.k_max,
+            max_interactions=checkpoint.max_interactions,
+            neighborhood_radius=checkpoint.neighborhood_radius,
+            engine=engine,
+            incremental=incremental,
+        )
+        session.prior_seconds = checkpoint.elapsed
+        session.interactions = list(checkpoint.interactions)
+        sample = Sample(checkpoint.positives, checkpoint.negatives)
+        sample.check_against(graph)
+        session.sample = sample
+        if session.state is not None:
+            session.state.sample = sample
+        session.k = checkpoint.k
+        if session.state is not None:
+            session.state.set_k(checkpoint.k)
+        if sample.positives or sample.negatives:
+            session.learn()
+        return session
+
+
+@dataclass(frozen=True)
+class InteractiveCheckpoint:
+    """A JSON-safe snapshot of a paused interactive session.
+
+    Produced by :meth:`InteractiveSession.checkpoint`, consumed by
+    :meth:`InteractiveSession.resume`; participates in the uniform result
+    serialization machinery (``to_dict``/``from_dict`` with a ``"type"``
+    tag, registered in :data:`repro.api.result.RESULT_TYPES`), which is what
+    the ``repro interactive --checkpoint`` CLI round-trips through.
+    """
+
+    k: int
+    k_start: int
+    k_max: int
+    max_interactions: int | None
+    neighborhood_radius: int | None
+    positives: list
+    negatives: list
+    interactions: list[Interaction]
+    strategy: dict
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: a checkpoint always represents a resumable session."""
+        return True
+
+    @property
+    def query(self) -> str | None:
+        """Result protocol: the latest learned expression, if any."""
+        for interaction in reversed(self.interactions):
+            if interaction.learned_expression is not None:
+                return interaction.learned_expression
+        return None
+
+    @property
+    def interaction_count(self) -> int:
+        """The number of labels collected before the pause."""
+        return len(self.interactions)
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "InteractiveCheckpoint",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "query": self.query,
+            "k": self.k,
+            "k_start": self.k_start,
+            "k_max": self.k_max,
+            "max_interactions": self.max_interactions,
+            "neighborhood_radius": self.neighborhood_radius,
+            "sample": {"positives": list(self.positives), "negatives": list(self.negatives)},
+            "interactions": [interaction.to_dict() for interaction in self.interactions],
+            "strategy": self.strategy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InteractiveCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        try:
+            sample = payload.get("sample", {})
+            return cls(
+                k=payload["k"],
+                k_start=payload["k_start"],
+                k_max=payload["k_max"],
+                max_interactions=payload.get("max_interactions"),
+                neighborhood_radius=payload.get("neighborhood_radius"),
+                positives=list(sample.get("positives", ())),
+                negatives=list(sample.get("negatives", ())),
+                interactions=[
+                    Interaction.from_dict(entry)
+                    for entry in payload.get("interactions", [])
+                ],
+                strategy=payload["strategy"],
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError) as error:
+            raise SerializationError(
+                f"malformed InteractiveCheckpoint payload: {error}"
+            ) from error
 
 
 def run_interactive_learning(
@@ -299,6 +482,7 @@ def run_interactive_learning(
     k_max: int = 6,
     max_interactions: int | None = None,
     engine: QueryEngine | None = None,
+    incremental: bool = True,
 ) -> InteractiveResult:
     """Run a full interactive session and return its result.
 
@@ -319,5 +503,6 @@ def run_interactive_learning(
         k_max=k_max,
         max_interactions=max_interactions,
         engine=engine,
+        incremental=incremental,
     )
     return session.run()

@@ -133,6 +133,7 @@ def learn_path_query(
     *,
     k: int = DEFAULT_K,
     engine: QueryEngine | None = None,
+    coverage=None,
 ) -> LearnerResult:
     """Run Algorithm 1 on the given graph and sample with a fixed bound ``k``.
 
@@ -141,6 +142,10 @@ def learn_path_query(
 
     ``engine`` is the query engine used by the merge guard and the final
     positives check; omitted, the process-wide default engine is used.
+    ``coverage`` is an optional prebuilt
+    :class:`~repro.learning.scp.NegativeCoverage` for the sample's negatives,
+    forwarded to the SCP selection (the interactive session reuses one across
+    rounds while the negative set is unchanged).
 
     .. deprecated:: 1.1
         Prefer :meth:`repro.api.Workspace.learn` with a
@@ -158,7 +163,9 @@ def learn_path_query(
         return LearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
     engine = engine or get_default_engine()
-    scps = select_smallest_consistent_paths(graph, sample, k=k, engine=engine)
+    scps = select_smallest_consistent_paths(
+        graph, sample, k=k, engine=engine, coverage=coverage
+    )
     positives_without_scp = frozenset(sample.positives - scps.keys())
     if not scps:
         return LearnerResult(

@@ -39,13 +39,25 @@ class NegativeCoverage:
     pair.
     """
 
-    __slots__ = ("_index", "_frontiers")
+    __slots__ = ("_index", "_frontiers", "nodes")
 
     def __init__(self, index, nodes: Iterable[Node]) -> None:
         self._index = index
+        #: The covering node set this cache was built for (validated when a
+        #: caller hands a prebuilt cache to the batch selection).
+        self.nodes = frozenset(nodes)
         node_ids = index.node_ids
-        start = frozenset(node_ids[node] for node in nodes)
+        start = frozenset(node_ids[node] for node in self.nodes)
         self._frontiers: dict[Word, frozenset[int]] = {(): start}
+
+    def is_current(self, graph: GraphDB, nodes: Iterable[Node]) -> bool:
+        """Whether this cache still matches the graph snapshot and node set.
+
+        The interactive session keeps one cache alive across rounds and
+        revalidates it here: a new negative label or a graph mutation makes
+        it stale, a new positive label does not.
+        """
+        return self.nodes == frozenset(nodes) and self._index.is_current(graph)
 
     def frontier(self, word: Word) -> frozenset[int]:
         """The int ids reachable from the node set along ``word``."""
@@ -98,6 +110,7 @@ def select_smallest_consistent_paths(
     *,
     k: int,
     engine=None,
+    coverage: NegativeCoverage | None = None,
 ) -> dict[Node, Word]:
     """The SCP of every positive node that has one (length <= k).
 
@@ -106,7 +119,10 @@ def select_smallest_consistent_paths(
     at the end that the generalized query still selects them.
 
     ``engine`` supplies the CSR index the shared negative-coverage cache
-    runs on; omitted, the process-wide default engine is used.
+    runs on; omitted, the process-wide default engine is used.  ``coverage``
+    lets a caller that learns repeatedly against the *same* negative set
+    (the interactive session) reuse one prefix cache across calls; a stale
+    or mismatched cache raises :class:`~repro.errors.LearningError`.
     """
     if k < 0:
         raise LearningError("the path-length bound k must be non-negative")
@@ -115,7 +131,13 @@ def select_smallest_consistent_paths(
         from repro.engine.engine import get_default_engine
 
         engine = get_default_engine()
-    coverage = NegativeCoverage(engine.index_for(graph), sample.negatives)
+    if coverage is None:
+        coverage = NegativeCoverage(engine.index_for(graph), sample.negatives)
+    elif not coverage.is_current(graph, sample.negatives):
+        raise LearningError(
+            "the prebuilt NegativeCoverage does not match the sample's negatives "
+            "(or the graph changed); rebuild it"
+        )
     scps: dict[Node, Word] = {}
     for node in sample.positives:
         for path in enumerate_paths(graph, node, max_length=k):

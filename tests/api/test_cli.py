@@ -190,3 +190,82 @@ def test_python_dash_m_entry_point(module_args):
     envelope = json.loads(process.stdout)
     assert envelope["ok"] is True
     assert envelope["result"]["type"] == "LearnerResult"
+
+
+def test_interactive_runs_to_goal(capsys):
+    code, envelope = run_cli(
+        capsys,
+        "interactive",
+        "--figure",
+        "geo",
+        "--goal",
+        "(tram+bus)*.cinema",
+        "--strategy",
+        "kR",
+    )
+    assert code == 0
+    assert envelope["ok"] is True
+    assert envelope["command"] == "interactive"
+    assert envelope["result"]["type"] == "InteractiveResult"
+    assert envelope["result"]["halted_by"] == "goal"
+    rebuilt = result_from_dict(envelope["result"])
+    assert rebuilt.ok
+
+
+def test_interactive_checkpoint_resume(capsys, tmp_path):
+    checkpoint = tmp_path / "session.json"
+    code, first = run_cli(
+        capsys,
+        "interactive",
+        "--figure",
+        "geo",
+        "--goal",
+        "(tram+bus)*.cinema",
+        "--max-interactions",
+        "2",
+        "--checkpoint",
+        str(checkpoint),
+    )
+    assert code == 0
+    assert first["result"]["halted_by"] == "max_interactions"
+    payload = json.loads(checkpoint.read_text())
+    assert payload["type"] == "InteractiveCheckpoint"
+    assert len(payload["interactions"]) == 2
+    # Second invocation resumes from the file and finishes the session.
+    code, second = run_cli(
+        capsys,
+        "interactive",
+        "--figure",
+        "geo",
+        "--goal",
+        "(tram+bus)*.cinema",
+        "--checkpoint",
+        str(checkpoint),
+    )
+    assert code == 0
+    assert second["result"]["halted_by"] == "goal"
+    assert len(second["result"]["interactions"]) >= 2
+    # The checkpoint file was updated in place with the finished session.
+    updated = json.loads(checkpoint.read_text())
+    assert len(updated["interactions"]) >= 2
+
+
+def test_interactive_legacy_loop_matches_default(capsys):
+    def run(*extra):
+        code, envelope = run_cli(
+            capsys,
+            "interactive",
+            "--figure",
+            "geo",
+            "--goal",
+            "(tram+bus)*.cinema",
+            "--seed",
+            "5",
+            *extra,
+        )
+        assert code == 0
+        return [
+            (i["node"], i["label"]) for i in envelope["result"]["interactions"]
+        ]
+
+    assert run() == run("--legacy-loop")

@@ -55,10 +55,13 @@ EXPECTED_ALL = frozenset(
         "QueryOracle",
         "make_strategy",
         "InteractiveSession",
+        "InteractiveCheckpoint",
+        "SessionState",
         "run_interactive_learning",
         # evaluation
         "f1_score",
         "score_query",
+        "run_interactive_grid",
     }
 )
 

@@ -11,6 +11,7 @@ from repro.evaluation import (
     render_table1,
     render_table2,
     run_interactive_experiment,
+    run_interactive_grid,
     run_static_experiment,
 )
 from repro.evaluation.static import draw_sample
@@ -137,3 +138,61 @@ class TestReporting:
         table2 = render_table2([interactive], {"tiny": 0.07})
         assert "kR" in table2
         assert "7.00%" in table2
+
+
+class TestInteractiveGrid:
+    def test_grid_shape_and_order(self, small_workload):
+        results = run_interactive_grid(
+            [small_workload],
+            strategies=("kR", "kS"),
+            seeds=(0, 1),
+            max_interactions=5,
+            pool_size=16,
+            max_workers=1,
+        )
+        assert [(r.workload_name, r.strategy) for r in results] == [
+            ("tiny", "kR"),
+            ("tiny", "kR"),
+            ("tiny", "kS"),
+            ("tiny", "kS"),
+        ]
+        assert all(r.interactions <= 5 for r in results)
+
+    def test_grid_matches_single_runs(self, small_workload):
+        grid = run_interactive_grid(
+            [small_workload],
+            strategies=("kR",),
+            seeds=(3,),
+            max_interactions=6,
+            pool_size=16,
+            max_workers=1,
+        )
+        single = run_interactive_experiment(
+            small_workload, strategy="kR", seed=3, max_interactions=6, pool_size=16
+        )
+        assert grid[0].interactions == single.interactions
+        assert grid[0].final_f1 == single.final_f1
+        assert grid[0].halted_by == single.halted_by
+
+    def test_empty_grid(self):
+        assert run_interactive_grid([], max_workers=1) == []
+
+    def test_invalid_workers_raise(self, small_workload):
+        with pytest.raises(LearningError):
+            run_interactive_grid([small_workload], max_workers=0)
+
+    def test_process_pool_matches_inline(self, small_workload):
+        kwargs = dict(
+            strategies=("kR",),
+            seeds=(0, 1),
+            max_interactions=4,
+            pool_size=16,
+        )
+        inline = run_interactive_grid([small_workload], max_workers=1, **kwargs)
+        try:
+            pooled = run_interactive_grid([small_workload], max_workers=2, **kwargs)
+        except (OSError, PermissionError) as error:  # pragma: no cover
+            pytest.skip(f"process pools unavailable in this sandbox: {error}")
+        assert [(r.strategy, r.interactions, r.final_f1) for r in pooled] == [
+            (r.strategy, r.interactions, r.final_f1) for r in inline
+        ]

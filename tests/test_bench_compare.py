@@ -1,0 +1,129 @@
+"""Unit tests for the benchmark-regression comparator (benchmarks/compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+)
+compare = importlib.util.module_from_spec(_SPEC)
+sys.modules["bench_compare"] = compare  # dataclass introspection needs the registration
+_SPEC.loader.exec_module(compare)
+
+
+def report(**benches) -> dict:
+    """A minimal pytest-benchmark JSON: name -> (mean, speedup-or-None)."""
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": {} if speedup is None else {"speedup": speedup},
+            }
+            for name, (mean, speedup) in benches.items()
+        ]
+    }
+
+
+class TestCompareReports:
+    def test_mean_within_tolerance_passes(self):
+        outcome = compare.compare_reports(
+            report(t=(1.0, None)), report(t=(1.2, None)), tolerance=0.25
+        )
+        assert [c.ok for c in outcome] == [True]
+        assert outcome[0].metric == "mean"
+
+    def test_mean_beyond_tolerance_fails_as_advisory(self):
+        outcome = compare.compare_reports(
+            report(t=(1.0, None)), report(t=(1.3, None)), tolerance=0.25
+        )
+        assert [c.ok for c in outcome] == [False]
+        assert outcome[0].advisory  # machine-dependent: warning unless strict
+        assert "warn" in outcome[0].render()
+
+    def test_speedup_metric_wins_over_mean(self):
+        # Fresh run is absolutely slower (different machine) but the relative
+        # speedup held: the machine-independent metric must be the one used.
+        outcome = compare.compare_reports(
+            report(t=(1.0, 3.0)), report(t=(5.0, 2.9)), tolerance=0.25
+        )
+        assert outcome[0].metric == "speedup"
+        assert outcome[0].ok
+
+    def test_speedup_collapse_fails(self):
+        outcome = compare.compare_reports(
+            report(t=(1.0, 3.0)), report(t=(1.0, 1.5)), tolerance=0.25
+        )
+        assert not outcome[0].ok
+        assert not outcome[0].advisory  # relative metric: a hard failure
+
+    def test_missing_benchmark_fails_and_new_one_passes(self):
+        outcome = compare.compare_reports(
+            report(old=(1.0, None)), report(new=(1.0, None)), tolerance=0.25
+        )
+        by_name = {c.name: c for c in outcome}
+        assert not by_name["old"].ok and by_name["old"].metric == "missing"
+        assert by_name["new"].ok and by_name["new"].metric == "new"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare.compare_reports(report(), report(), tolerance=-0.1)
+
+
+class TestMain:
+    def _write(self, path: Path, payload: dict) -> Path:
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_gate_passes_and_fails_via_exit_code(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", report(t=(1.0, 3.0)))
+        good = self._write(tmp_path / "good.json", report(t=(1.1, 2.9)))
+        bad = self._write(tmp_path / "bad.json", report(t=(2.0, 1.0)))
+        assert compare.main(["--baseline", str(baseline), "--fresh", str(good)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+        assert compare.main(["--baseline", str(baseline), "--fresh", str(bad)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_mean_regressions_warn_by_default_and_fail_in_strict_mode(
+        self, tmp_path, capsys
+    ):
+        baseline = self._write(tmp_path / "base.json", report(t=(1.0, None)))
+        slow = self._write(tmp_path / "slow.json", report(t=(2.0, None)))
+        assert compare.main(["--baseline", str(baseline), "--fresh", str(slow)]) == 0
+        assert "advisory" in capsys.readouterr().out
+        assert (
+            compare.main(
+                ["--baseline", str(baseline), "--fresh", str(slow), "--strict-means"]
+            )
+            == 1
+        )
+
+    def test_write_baseline_round_trips(self, tmp_path, capsys):
+        fresh = self._write(tmp_path / "fresh.json", report(t=(1.0, 2.5)))
+        baseline = tmp_path / "baselines" / "t.json"
+        assert (
+            compare.main(
+                ["--baseline", str(baseline), "--fresh", str(fresh), "--write-baseline"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert compare.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
+    def test_tolerance_flag(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", report(t=(1.0, 3.0)))
+        fresh = self._write(tmp_path / "fresh.json", report(t=(1.0, 2.0)))
+        assert (
+            compare.main(
+                ["--baseline", str(baseline), "--fresh", str(fresh), "--tolerance", "0.5"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert compare.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
