@@ -1,0 +1,76 @@
+"""Bulk ingestion and binary snapshots: the storage layer end to end.
+
+A synthetic edge-list file is streamed into an interned CSR index
+(:func:`repro.storage.ingest_edge_list` -- O(E), no Python edge tuples),
+saved as a ``.rgz`` binary snapshot, registered in a
+:class:`repro.DatasetCatalog`, and reopened zero-copy through
+``Workspace.open_snapshot`` -- where the query engine adopts the mapped
+index without rebuilding anything.  The same flow is available from the
+shell as ``python -m repro ingest`` / ``repro info``.
+
+Run with:  PYTHONPATH=src python examples/bulk_ingest.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DatasetCatalog, StorageConfig, Workspace
+from repro.datasets import scale_free_graph
+from repro.graphdb.io import graph_to_edge_list
+from repro.storage import ingest_edge_list, snapshot_info
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-storage-"))
+
+    # 0. Fake an "external dataset": a 5k-node scale-free graph as a TSV
+    #    edge list (in real use this file comes from somewhere else).
+    graph = scale_free_graph(5_000, alphabet_size=20, seed=29)
+    source = workdir / "crawl.tsv"
+    source.write_text(graph_to_edge_list(graph), encoding="utf-8")
+    print(f"source file: {source} ({source.stat().st_size / 1e6:.1f} MB)")
+
+    # 1. Stream it into an interned CSR index; progress callbacks and
+    #    malformed-line policies ('raise'/'skip') are available.
+    started = time.perf_counter()
+    ingestion = ingest_edge_list(
+        source,
+        progress=lambda lines, edges: print(f"  ... {lines} lines, {edges} edges"),
+        progress_every=8_000,
+    )
+    print(
+        f"ingested {ingestion.report.edges_added} edges / "
+        f"{ingestion.report.nodes_added} nodes in {time.perf_counter() - started:.2f}s"
+    )
+
+    # 2. Save it as a binary snapshot and register it in a catalog.
+    catalog = DatasetCatalog(workdir / "snapshots")
+    snapshot_path = catalog.root / "crawl.rgz"
+    ingestion.save(snapshot_path)
+    catalog.register("crawl", snapshot_path)
+    info = snapshot_info(snapshot_path)
+    print(f"snapshot: {info['file_bytes'] / 1e6:.1f} MB, sections: {sorted(info['sections'])}")
+
+    # 3. Reopen it zero-copy: the CSR arrays are mmap views, the engine
+    #    adopts them, and no index build happens.
+    started = time.perf_counter()
+    ws = Workspace.open_snapshot(
+        "crawl", storage=StorageConfig(catalog_root=str(catalog.root))
+    )
+    print(f"snapshot open: {time.perf_counter() - started:.3f}s -> {ws}")
+
+    result = ws.query("l00.l01*")
+    print(f"query 'l00.l01*' selects {result.count} nodes in {result.elapsed:.3f}s")
+    print("engine stats:", {k: ws.stats()[k] for k in ("index_builds", "evaluations")})
+
+    # 4. The snapshot workspace is frozen; thaw for a mutable copy.
+    thawed = ws.graph.thaw()
+    thawed.add_edge("n0000", "l00", "brand-new-node")
+    print("thawed copy:", Workspace(thawed).query("l00.l01*").count, "nodes selected")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ Subpackages
 ``repro.regex``        regular expressions: parser, Thompson construction, display.
 ``repro.graphdb``      the graph database, path semantics and query evaluation.
 ``repro.engine``       the indexed query engine: CSR index, compiled plans, caches.
+``repro.storage``      durable storage: binary snapshots, mmap indexes, bulk ingest, catalog.
 ``repro.datasets``     paper figure graphs, synthetic/AliBaba-like generators.
 ``repro.queries``      monadic, binary and n-ary path query semantics.
 ``repro.learning``     Algorithm 1/2/3, RPNI, characteristic samples (Theorem 3.5).
@@ -51,6 +52,7 @@ from repro.errors import (
     ReproError,
     SampleError,
     SerializationError,
+    StorageError,
 )
 from repro.automata import Alphabet
 from repro.engine import EngineStats, QueryEngine, get_default_engine
@@ -81,13 +83,21 @@ from repro.api import (
     LearnerConfig,
     QueryResult,
     Result,
+    StorageConfig,
     Workspace,
     result_from_dict,
     result_from_json,
     result_to_json,
 )
+from repro.storage import (
+    DatasetCatalog,
+    GraphView,
+    MappedGraphIndex,
+    open_snapshot,
+    write_snapshot,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -103,6 +113,7 @@ __all__ = [
     "InteractionError",
     "ConfigError",
     "SerializationError",
+    "StorageError",
     # core types
     "Alphabet",
     "GraphDB",
@@ -121,11 +132,18 @@ __all__ = [
     "LearnerConfig",
     "InteractiveConfig",
     "ExperimentConfig",
+    "StorageConfig",
     "Result",
     "QueryResult",
     "result_from_dict",
     "result_from_json",
     "result_to_json",
+    # storage layer
+    "DatasetCatalog",
+    "GraphView",
+    "MappedGraphIndex",
+    "open_snapshot",
+    "write_snapshot",
     # learning entry points (legacy shims; prefer Workspace.learn)
     "learn_path_query",
     "learn_with_dynamic_k",

@@ -20,6 +20,7 @@ from repro.api.config import (
     ExperimentConfig,
     InteractiveConfig,
     LearnerConfig,
+    StorageConfig,
 )
 from repro.api.result import (
     RESULT_TYPES,
@@ -39,6 +40,7 @@ __all__ = [
     "LearnerConfig",
     "InteractiveConfig",
     "ExperimentConfig",
+    "StorageConfig",
     "SEMANTICS",
     "SCENARIOS",
     "STRATEGIES",

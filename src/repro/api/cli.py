@@ -22,11 +22,16 @@ Subcommands
 ``experiment``   run a Section 5 experiment (static sweep or interactive loop);
 ``interactive``  run one interactive session against a goal query, with
                  optional ``--checkpoint FILE`` resume/save;
-``bench``        repeat query evaluations to exercise the engine's caches.
+``bench``        repeat query evaluations to exercise the engine's caches;
+``ingest``       bulk-load an edge file into a binary ``.rgz`` snapshot
+                 (and/or register it in a catalog);
+``info``         describe a snapshot's header/sections or list a catalog.
 
 Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
-:mod:`repro.graphdb.io`) or ``--figure {geo,g0}`` (the paper's figure
-graphs).  Failures print ``{"ok": false, "error": {...}}`` and exit 1.
+:mod:`repro.graphdb.io`), ``--figure {geo,g0}`` (the paper's figure
+graphs) or ``--snapshot FILE`` (a binary ``.rgz`` snapshot opened
+zero-copy through the storage layer).  Failures print
+``{"ok": false, "error": {...}}`` and exit 1.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro.api.config import (
     STRATEGIES,
@@ -75,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--figure",
             choices=FIGURE_GRAPHS,
             help="one of the paper's figure graphs instead of a file",
+        )
+        source.add_argument(
+            "--snapshot",
+            metavar="FILE",
+            help="binary .rgz snapshot (opened zero-copy, no graph rebuild)",
         )
         sub.add_argument(
             "--plan-cache-size", type=int, default=256, help="engine plan cache capacity"
@@ -233,6 +244,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=100, help="evaluations per expression (default 100)"
     )
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="bulk-load an edge file into a binary .rgz snapshot (storage layer)",
+    )
+    ingest.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
+    ingest.add_argument(
+        "--input",
+        required=True,
+        metavar="FILE",
+        help="edge file (.tsv/.jsonl/.csv, '.gz' decompressed on the fly)",
+    )
+    ingest.add_argument(
+        "--format",
+        choices=("auto", "edge-list", "jsonl", "csv"),
+        default="auto",
+        help="input format (default: guessed from the suffix)",
+    )
+    ingest.add_argument(
+        "--output", metavar="FILE", default=None, help="snapshot file to write (.rgz)"
+    )
+    ingest.add_argument(
+        "--catalog", metavar="DIR", default=None, help="register the snapshot here"
+    )
+    ingest.add_argument(
+        "--name", default=None, help="catalog name (default: the input file's stem)"
+    )
+    ingest.add_argument(
+        "--on-error",
+        choices=("raise", "skip"),
+        default="raise",
+        help="malformed-line policy (default raise)",
+    )
+    ingest.add_argument(
+        "--max-errors",
+        type=int,
+        default=None,
+        help="with --on-error skip: abort after this many malformed lines",
+    )
+
+    info = subparsers.add_parser(
+        "info",
+        help="inspect a .rgz snapshot header or list a snapshot catalog",
+    )
+    info.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
+    info_source = info.add_mutually_exclusive_group(required=True)
+    info_source.add_argument("--snapshot", metavar="FILE", help="snapshot file to describe")
+    info_source.add_argument("--catalog", metavar="DIR", help="catalog directory to describe")
+    info.add_argument("--name", default=None, help="with --catalog: describe one named snapshot")
+
     return parser
 
 
@@ -240,6 +300,8 @@ def _make_workspace(args: argparse.Namespace) -> Workspace:
     engine_config = EngineConfig(
         plan_cache_size=args.plan_cache_size, result_cache_size=args.result_cache_size
     )
+    if getattr(args, "snapshot", None) is not None:
+        return Workspace.open_snapshot(args.snapshot, engine_config=engine_config)
     if args.graph is not None:
         return Workspace.from_file(args.graph, engine_config=engine_config)
     return Workspace.from_figure(args.figure, engine_config=engine_config)
@@ -362,6 +424,53 @@ def _cmd_bench(args: argparse.Namespace, workspace: Workspace) -> dict:
     return {"type": "BenchReport", "ok": True, "runs": runs}
 
 
+def _cmd_ingest(args: argparse.Namespace) -> dict:
+    from repro.storage.catalog import DatasetCatalog
+    from repro.storage.ingest import ingest_file
+
+    if args.output is None and args.catalog is None:
+        raise ConfigError("ingest needs --output FILE and/or --catalog DIR")
+    ingestion = ingest_file(
+        args.input,
+        format=args.format,
+        on_error=args.on_error,
+        max_errors=args.max_errors,
+    )
+    payload: dict = {
+        "type": "IngestReport",
+        "ok": True,
+        "report": ingestion.report.as_dict(),
+    }
+    meta = {"source_file": str(args.input)}
+    if args.output is not None:
+        payload["snapshot"] = ingestion.save(args.output, meta=meta)
+    if args.catalog is not None:
+        catalog = DatasetCatalog(args.catalog)
+        name = args.name or Path(args.input).name.split(".")[0]
+        if args.output is not None:
+            catalog.register(name, args.output)
+        else:
+            catalog.save(name, ingestion.index, meta=meta)
+        payload["catalog"] = {"root": str(catalog.root), "name": name}
+    return payload
+
+
+def _cmd_info(args: argparse.Namespace) -> dict:
+    from repro.storage.catalog import DatasetCatalog
+    from repro.storage.snapshot import snapshot_info
+
+    if args.snapshot is not None:
+        return {"type": "SnapshotInfo", "ok": True, "snapshot": snapshot_info(args.snapshot)}
+    catalog = DatasetCatalog(args.catalog)
+    if args.name is not None:
+        return {"type": "SnapshotInfo", "ok": True, "snapshot": catalog.info(args.name)}
+    return {
+        "type": "CatalogInfo",
+        "ok": True,
+        "catalog": {"root": str(catalog.root), "snapshots": catalog.entries()},
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -369,23 +478,30 @@ def main(argv: list[str] | None = None) -> int:
     indent = args.indent if args.indent and args.indent > 0 else None
     started = time.perf_counter()
     try:
-        workspace = _make_workspace(args)
-        handler = {
-            "learn": _cmd_learn,
-            "query": _cmd_query,
-            "experiment": _cmd_experiment,
-            "interactive": _cmd_interactive,
-            "bench": _cmd_bench,
-        }[args.command]
-        outcome = handler(args, workspace)
+        # The storage commands work on files/catalogs, not on a workspace.
+        if args.command == "ingest":
+            outcome = _cmd_ingest(args)
+        elif args.command == "info":
+            outcome = _cmd_info(args)
+        else:
+            workspace = _make_workspace(args)
+            handler = {
+                "learn": _cmd_learn,
+                "query": _cmd_query,
+                "experiment": _cmd_experiment,
+                "interactive": _cmd_interactive,
+                "bench": _cmd_bench,
+            }[args.command]
+            outcome = handler(args, workspace)
         payload = outcome if isinstance(outcome, dict) else outcome.to_dict()
         envelope = {
             "ok": True,
             "command": args.command,
             "elapsed": time.perf_counter() - started,
             "result": payload,
-            "engine_stats": workspace.stats(),
         }
+        if args.command not in ("ingest", "info"):
+            envelope["engine_stats"] = workspace.stats()
     except (ReproError, OSError) as error:
         envelope = {
             "ok": False,

@@ -8,7 +8,8 @@ scattered keyword arguments of the legacy module-level entry points:
 * :class:`EngineConfig`       -- cache sizing of a :class:`~repro.engine.QueryEngine`;
 * :class:`LearnerConfig`      -- Algorithm 1/2/3 parameters (``k``, semantics, ...);
 * :class:`InteractiveConfig`  -- the Figure 9 loop (strategy, budgets, halt);
-* :class:`ExperimentConfig`   -- the Section 5 experiment drivers.
+* :class:`ExperimentConfig`   -- the Section 5 experiment drivers;
+* :class:`StorageConfig`      -- the storage layer (snapshots, catalog, mmap).
 """
 
 from __future__ import annotations
@@ -67,10 +68,18 @@ def _require(condition: bool, message: str) -> None:
 
 @dataclass(frozen=True)
 class EngineConfig(_BaseConfig):
-    """Cache sizing of a per-workspace :class:`~repro.engine.QueryEngine`."""
+    """Cache sizing and index-maintenance policy of a per-workspace
+    :class:`~repro.engine.QueryEngine`.
+
+    ``incremental_refresh`` lets a stale CSR index be refreshed from the
+    graph's mutation delta log instead of rebuilt; ``refresh_ratio`` is the
+    delta-to-index size ratio beyond which refresh falls back to a rebuild.
+    """
 
     plan_cache_size: int = 256
     result_cache_size: int = 1024
+    incremental_refresh: bool = True
+    refresh_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         _require(
@@ -81,6 +90,14 @@ class EngineConfig(_BaseConfig):
             isinstance(self.result_cache_size, int) and self.result_cache_size >= 1,
             f"result_cache_size must be a positive int, got {self.result_cache_size!r}",
         )
+        _require(
+            isinstance(self.incremental_refresh, bool),
+            f"incremental_refresh must be a bool, got {self.incremental_refresh!r}",
+        )
+        _require(
+            isinstance(self.refresh_ratio, (int, float)) and self.refresh_ratio >= 0,
+            f"refresh_ratio must be a non-negative number, got {self.refresh_ratio!r}",
+        )
 
     def build(self):
         """A fresh :class:`~repro.engine.QueryEngine` with this sizing."""
@@ -89,7 +106,46 @@ class EngineConfig(_BaseConfig):
         return QueryEngine(
             plan_cache_size=self.plan_cache_size,
             result_cache_size=self.result_cache_size,
+            incremental_refresh=self.incremental_refresh,
+            refresh_ratio=float(self.refresh_ratio),
         )
+
+
+@dataclass(frozen=True)
+class StorageConfig(_BaseConfig):
+    """Parameters of the storage layer (snapshots, bulk ingestion, catalog).
+
+    ``verify_checksum`` makes every snapshot open check the payload CRC32
+    (touching every page -- off by default so large snapshots open lazily);
+    ``use_mmap`` selects the zero-copy mapped load over a heap copy;
+    ``catalog_root`` is where :meth:`DatasetCatalog <repro.storage.DatasetCatalog>`
+    keeps named snapshots (None: ``.repro/snapshots`` under the working
+    directory).
+    """
+
+    verify_checksum: bool = False
+    use_mmap: bool = True
+    catalog_root: str | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.verify_checksum, bool),
+            f"verify_checksum must be a bool, got {self.verify_checksum!r}",
+        )
+        _require(
+            isinstance(self.use_mmap, bool),
+            f"use_mmap must be a bool, got {self.use_mmap!r}",
+        )
+        _require(
+            self.catalog_root is None or isinstance(self.catalog_root, str),
+            f"catalog_root must be None or a path string, got {self.catalog_root!r}",
+        )
+
+    def catalog(self):
+        """A :class:`~repro.storage.DatasetCatalog` at this config's root."""
+        from repro.storage.catalog import DEFAULT_CATALOG_ROOT, DatasetCatalog
+
+        return DatasetCatalog(self.catalog_root or DEFAULT_CATALOG_ROOT)
 
 
 @dataclass(frozen=True)

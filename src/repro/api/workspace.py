@@ -24,10 +24,16 @@ import json
 import time
 from pathlib import Path
 
-from repro.api.config import EngineConfig, ExperimentConfig, InteractiveConfig, LearnerConfig
+from repro.api.config import (
+    EngineConfig,
+    ExperimentConfig,
+    InteractiveConfig,
+    LearnerConfig,
+    StorageConfig,
+)
 from repro.api.result import QueryResult
 from repro.engine.engine import QueryEngine
-from repro.errors import ConfigError, QueryError
+from repro.errors import ConfigError, QueryError, SerializationError
 from repro.evaluation.interactive import InteractiveExperimentResult, run_interactive_experiment
 from repro.evaluation.static import StaticExperimentResult, run_static_experiment
 from repro.evaluation.workloads import Workload
@@ -85,7 +91,12 @@ class Workspace:
 
     @classmethod
     def from_file(cls, path: str | Path, **kwargs) -> "Workspace":
-        """A workspace over a graph file (edge-list ``.tsv`` or ``.json``)."""
+        """A workspace over a graph file (edge-list ``.tsv`` or ``.json``).
+
+        A binary ``.rgz`` snapshot is routed to :meth:`open_snapshot`.
+        """
+        if Path(path).suffix == ".rgz":
+            return cls.open_snapshot(path, **kwargs)
         workspace = cls(load_graph(path), **kwargs)
         workspace.name = kwargs.get("name", Path(path).stem)
         return workspace
@@ -96,6 +107,63 @@ class Workspace:
         workspace = cls(_figure_graph(name), **kwargs)
         workspace.name = kwargs.get("name", name)
         return workspace
+
+    @classmethod
+    def open_snapshot(
+        cls,
+        source: str | Path,
+        *,
+        storage: StorageConfig | None = None,
+        **kwargs,
+    ) -> "Workspace":
+        """A workspace over a binary ``.rgz`` snapshot, opened zero-copy.
+
+        ``source`` is a snapshot file path, or -- when it names no existing
+        file and looks like a bare name -- a snapshot registered in the
+        configured catalog.  The workspace's graph is a *frozen*
+        :class:`~repro.storage.GraphView` whose prebuilt CSR index the
+        engine adopts directly, so no edge-by-edge rebuild happens; mutate
+        via ``Workspace(ws.graph.thaw())`` when needed.
+        """
+        from repro.storage.snapshot import open_snapshot
+        from repro.storage.view import GraphView
+
+        storage = storage or StorageConfig()
+        path = Path(source)
+        # Only a bare name (no suffix, no path separators) falls back to the
+        # catalog; a missing *file* path stays a missing-file error.
+        looks_like_name = path.suffix == "" and path.name == str(source)
+        if path.exists() or not looks_like_name:
+            index = open_snapshot(
+                path, verify=storage.verify_checksum, use_mmap=storage.use_mmap
+            )
+        else:
+            index = storage.catalog().open(
+                str(source), verify=storage.verify_checksum, use_mmap=storage.use_mmap
+            )
+        workspace = cls(GraphView(index), **kwargs)
+        workspace.name = kwargs.get("name", Path(str(source)).stem)
+        return workspace
+
+    def save_snapshot(self, path: str | Path, *, meta: dict | None = None) -> dict:
+        """Write the workspace graph (with its CSR index) as a ``.rgz`` snapshot.
+
+        The index is resolved through the workspace engine -- already
+        current for a queried workspace, refreshed or built otherwise --
+        and serialized together with the node/label tables, so reopening
+        via :meth:`open_snapshot` needs no rebuild.  Returns the written
+        snapshot's info dict.
+        """
+        from repro.storage.snapshot import write_snapshot
+
+        payload = dict(meta or {})
+        payload.setdefault("workspace", self.name)
+        # A declared alphabet constrains which queries parse; persist it so
+        # the reopened workspace answers exactly the same query set.
+        if getattr(self._graph, "has_fixed_alphabet", False):
+            payload.setdefault("alphabet", sorted(self._graph.alphabet))
+        index = self._engine.index_for(self._graph)
+        return write_snapshot(index, path, meta=payload)
 
     # -- accessors ------------------------------------------------------------
 
@@ -281,7 +349,13 @@ class Workspace:
         if isinstance(source, dict):
             return InteractiveCheckpoint.from_dict(source)
         if isinstance(source, (str, Path)):
-            return InteractiveCheckpoint.from_dict(json.loads(Path(source).read_text()))
+            try:
+                payload = json.loads(Path(source).read_text())
+            except json.JSONDecodeError as error:
+                raise SerializationError(
+                    f"checkpoint file {source} is not valid JSON: {error}"
+                ) from error
+            return InteractiveCheckpoint.from_dict(payload)
         raise ConfigError(
             "resume_from must be an InteractiveCheckpoint, its to_dict payload "
             f"or a path to its JSON file, got {type(source).__name__}"

@@ -44,6 +44,7 @@ class EngineStats:
 
     evaluations: int = 0
     index_builds: int = 0
+    index_refreshes: int = 0
     plan_compilations: int = 0
     kernel: KernelStats = field(default_factory=KernelStats)
 
@@ -62,6 +63,7 @@ class EngineStats:
         return {
             "evaluations": self.evaluations,
             "index_builds": self.index_builds,
+            "index_refreshes": self.index_refreshes,
             "plan_compilations": self.plan_compilations,
             "states_expanded": self.states_expanded,
             "edges_scanned": self.edges_scanned,
@@ -77,11 +79,28 @@ class QueryEngine:
         Capacity of the fingerprint -> :class:`CompiledPlan` LRU cache.
     result_cache_size:
         Capacity of the versioned whole-graph result cache.
+    incremental_refresh:
+        When a cached index goes stale, merge the graph's mutation delta
+        log into it (:meth:`GraphIndex.refresh`) instead of rebuilding from
+        scratch.  On by default; refresh falls back to a full build by
+        itself when the delta is unavailable or too large.
+    refresh_ratio:
+        The delta-to-index size ratio above which refresh gives up and the
+        engine rebuilds (per-row merging stops paying off around there).
     """
 
-    def __init__(self, *, plan_cache_size: int = 256, result_cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        *,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        incremental_refresh: bool = True,
+        refresh_ratio: float = 0.25,
+    ) -> None:
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
+        self.incremental_refresh = incremental_refresh
+        self.refresh_ratio = refresh_ratio
         self.stats = EngineStats()
         # Strongly holds each live graph's index; dies with the graph.
         self._indexes: WeakKeyDictionary[GraphDB, GraphIndex] = WeakKeyDictionary()
@@ -89,13 +108,42 @@ class QueryEngine:
     # -- resolution ----------------------------------------------------------
 
     def index_for(self, graph: GraphDB) -> GraphIndex:
-        """The (cached) CSR index of ``graph``, rebuilt when stale."""
+        """The (cached) CSR index of ``graph``, refreshed or rebuilt when stale.
+
+        A graph-like object may carry a ``prebuilt_index`` attribute (the
+        storage layer's snapshot-backed :class:`GraphView` does): if that
+        index is current, the engine adopts it instead of building one --
+        this is how an mmap-loaded snapshot is consumed with zero rebuild.
+        """
         index = self._indexes.get(graph)
-        if index is None or not index.is_current(graph):
-            index = GraphIndex.build(graph)
-            self._indexes[graph] = index
-            self.stats.index_builds += 1
+        if index is not None:
+            if index.is_current(graph):
+                return index
+            if self.incremental_refresh:
+                refreshed = index.refresh(graph, max_ratio=self.refresh_ratio)
+                if refreshed is not None:
+                    self._indexes[graph] = refreshed
+                    self.stats.index_refreshes += 1
+                    return refreshed
+        else:
+            prebuilt = getattr(graph, "prebuilt_index", None)
+            if prebuilt is not None and prebuilt.is_current(graph):
+                self._indexes[graph] = prebuilt
+                return prebuilt
+        index = GraphIndex.build(graph)
+        self._indexes[graph] = index
+        self.stats.index_builds += 1
         return index
+
+    def adopt_index(self, graph: GraphDB, index: GraphIndex) -> None:
+        """Install a ready-made index for ``graph`` (must be current)."""
+        if not index.is_current(graph):
+            raise GraphError(
+                "cannot adopt a stale index: it was built for "
+                f"(uid={index.graph_uid}, version={index.graph_version}), the graph "
+                f"is at (uid={graph.uid}, version={graph.version})"
+            )
+        self._indexes[graph] = index
 
     def plan_for(self, query: Query) -> CompiledPlan:
         """The (cached) compiled plan of a query or automaton."""

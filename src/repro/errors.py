@@ -50,6 +50,11 @@ class InteractionError(ReproError):
     """The interactive scenario was driven into an invalid state."""
 
 
+class StorageError(ReproError):
+    """A storage-layer operation failed (corrupt snapshot, bad ingest input,
+    unknown catalog entry, ...)."""
+
+
 class ConfigError(ReproError):
     """A typed configuration object (:mod:`repro.api.config`) is invalid."""
 

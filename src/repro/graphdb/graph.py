@@ -21,6 +21,19 @@ Edge = tuple[Node, str, Node]
 #: Process-wide source of unique graph identifiers (see :attr:`GraphDB.uid`).
 _GRAPH_UIDS = itertools.count()
 
+#: How many recent mutations a graph's delta log retains.  The log exists so
+#: the engine can *refresh* a CSR index incrementally instead of rebuilding
+#: it (see :meth:`repro.engine.index.GraphIndex.refresh`); once a consumer
+#: falls further behind than this, it has to rebuild anyway, so older
+#: entries are dropped to bound memory.
+DELTA_LOG_CAP = 65536
+
+
+def mint_graph_uid() -> int:
+    """A fresh process-wide graph uid (for graph-like objects that are not
+    :class:`GraphDB` instances, e.g. snapshot-backed views)."""
+    return next(_GRAPH_UIDS)
+
 
 class GraphDB:
     """A finite, directed, edge-labeled graph database.
@@ -49,14 +62,25 @@ class GraphDB:
         # embeds the memory address).
         self._nodes: dict[Node, None] = {}
         self._node_order: tuple[Node, ...] | None = None  # cache; dropped on insertion
-        self._edges: set[Edge] = set()
+        # Insertion-ordered edge registry (dict keys), like nodes and labels:
+        # replaying it (copy, subgraph) preserves the stable node/label
+        # orders, so derived artifacts (CSR indexes, edge-list renderings,
+        # snapshots) are hash-seed independent.
+        self._edges: dict[Edge, None] = {}
         # adjacency: origin -> label -> set of ends
         self._forward: dict[Node, dict[str, set[Node]]] = {}
         # reverse adjacency: end -> label -> set of origins
         self._backward: dict[Node, dict[str, set[Node]]] = {}
-        self._labels: set[str] = set()
+        # Insertion-ordered label registry (dict keys), mirroring the node
+        # registry: iteration order is the *stable label order*.
+        self._labels: dict[str, None] = {}
         self._uid: int = next(_GRAPH_UIDS)
         self._version: int = 0
+        # Mutation delta log: one event per version increment, so the event
+        # for version v sits at index v - 1 - _delta_base.  Capped at
+        # DELTA_LOG_CAP (oldest entries dropped, _delta_base advanced).
+        self._delta: list[tuple] = []
+        self._delta_base: int = 0
 
     # -- construction --------------------------------------------------------
 
@@ -68,6 +92,7 @@ class GraphDB:
             self._nodes[node] = None
             self._node_order = None
             self._version += 1
+            self._log_mutation(("node", node))
         return node
 
     def add_nodes(self, nodes: Iterable[Node]) -> None:
@@ -85,12 +110,13 @@ class GraphDB:
         self.add_node(end)
         edge = (origin, label, end)
         if edge not in self._edges:
-            self._edges.add(edge)
+            self._edges[edge] = None
             self._version += 1
+            self._log_mutation(("edge", origin, label, end))
             self._forward.setdefault(origin, {}).setdefault(label, set()).add(end)
             self._backward.setdefault(end, {}).setdefault(label, set()).add(origin)
             if label not in self._labels:
-                self._labels.add(label)
+                self._labels[label] = None
                 if not self._fixed_alphabet:
                     self._alphabet = None  # invalidate the cached derived alphabet
         return edge
@@ -110,6 +136,15 @@ class GraphDB:
                 raise GraphError("the graph has no labels and no declared alphabet")
             self._alphabet = Alphabet(self._labels)
         return self._alphabet
+
+    @property
+    def has_fixed_alphabet(self) -> bool:
+        """Whether the alphabet was declared up front (vs. derived from edges).
+
+        A fixed alphabet is part of the graph's semantics -- it constrains
+        which queries parse -- so durable artifacts (snapshots) persist it.
+        """
+        return self._fixed_alphabet
 
     @property
     def uid(self) -> int:
@@ -191,6 +226,41 @@ class GraphDB:
     def labels(self) -> frozenset[str]:
         """The set of labels actually used by edges."""
         return frozenset(self._labels)
+
+    @property
+    def label_order(self) -> tuple[str, ...]:
+        """The edge labels in their stable (first-use) order.
+
+        Like :attr:`node_order`, deterministic for a fixed construction
+        sequence regardless of the hash seed; it is the canonical label
+        numbering of the engine's CSR indexes, chosen so that labels first
+        used by later mutations are *appended* -- which is what lets an
+        incremental index refresh extend the label tables in place.
+        """
+        return tuple(self._labels)
+
+    # -- mutation delta log ---------------------------------------------------
+
+    def _log_mutation(self, event: tuple) -> None:
+        self._delta.append(event)
+        overflow = len(self._delta) - DELTA_LOG_CAP
+        if overflow > 0:
+            del self._delta[:overflow]
+            self._delta_base = self._version - DELTA_LOG_CAP
+
+    def delta_since(self, version: int) -> list[tuple] | None:
+        """The mutation events applied after ``version``, oldest first.
+
+        Events are ``("node", node)`` and ``("edge", origin, label, end)``
+        tuples, one per version increment, in application order (so an
+        edge's endpoint-node events always precede the edge event).  Returns
+        ``None`` when the log no longer reaches back to ``version`` (the cap
+        dropped older entries) or ``version`` is from this graph's future --
+        the caller must then fall back to a full rebuild.
+        """
+        if version < self._delta_base or version > self._version:
+            return None
+        return self._delta[version - self._delta_base :]
 
     # -- adjacency -----------------------------------------------------------
 

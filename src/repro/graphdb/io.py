@@ -7,7 +7,17 @@ Two plain-text formats are supported:
   isolated nodes;
 * *JSON* -- a dictionary ``{"nodes": [...], "edges": [[origin, label, end], ...]}``.
 
-Both round-trip exactly (node identifiers are kept as strings).
+Both round-trip exactly (node identifiers are kept as strings).  Edge-list
+fields are backslash-escaped so that names containing tabs, newlines,
+carriage returns or backslashes -- and names that would collide with the
+``#`` comment or ``%node`` directive syntax -- survive the round-trip
+instead of silently corrupting it.  Output order is the graph's stable
+node/label order (insertion order), so rendering the same construction
+sequence yields the same document on any machine and hash seed.
+
+For large graphs, the storage layer's binary snapshots
+(:mod:`repro.storage`) load orders of magnitude faster than re-parsing
+these text formats; they remain the interchange and fixture formats.
 """
 
 from __future__ import annotations
@@ -18,17 +28,63 @@ from pathlib import Path
 from repro.errors import GraphError
 from repro.graphdb.graph import GraphDB
 
+#: Escapes applied to every edge-list field (order matters: backslash first).
+_FIELD_ESCAPES = (("\\", "\\\\"), ("\t", "\\t"), ("\n", "\\n"), ("\r", "\\r"))
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r", "#": "#", "%": "%"}
+
+
+def escape_field(text: str) -> str:
+    for raw, escaped in _FIELD_ESCAPES:
+        text = text.replace(raw, escaped)
+    # A leading '#' would read back as a comment line, a leading '%' as a
+    # directive; escape the first character so the field stays a field.
+    if text[:1] in ("#", "%"):
+        text = "\\" + text
+    return text
+
+
+def unescape_field(text: str, line_number: int) -> str:
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise GraphError(f"dangling escape at end of field on line {line_number}")
+        replacement = _UNESCAPES.get(text[i + 1])
+        if replacement is None:
+            raise GraphError(
+                f"unknown escape '\\{text[i + 1]}' on line {line_number}"
+            )
+        out.append(replacement)
+        i += 2
+    return "".join(out)
+
 
 def graph_to_edge_list(graph: GraphDB) -> str:
-    """Render the graph as an edge-list document."""
+    """Render the graph as an edge-list document (stable order, escaped fields)."""
     lines = ["# repro graph database edge list"]
+    node_pos = {node: position for position, node in enumerate(graph.node_order)}
+    label_pos = {label: position for position, label in enumerate(graph.label_order)}
     connected = set()
-    for origin, label, end in sorted(graph.edges, key=repr):
+    ordered = sorted(
+        graph.edges,
+        key=lambda edge: (node_pos[edge[0]], label_pos[edge[1]], node_pos[edge[2]]),
+    )
+    for origin, label, end in ordered:
         connected.add(origin)
         connected.add(end)
-        lines.append(f"{origin}\t{label}\t{end}")
-    for node in sorted(graph.nodes - connected, key=repr):
-        lines.append(f"%node\t{node}")
+        lines.append(
+            f"{escape_field(str(origin))}\t{escape_field(label)}\t{escape_field(str(end))}"
+        )
+    for node in graph.node_order:
+        if node not in connected:
+            lines.append(f"%node\t{escape_field(str(node))}")
     return "\n".join(lines) + "\n"
 
 
@@ -43,11 +99,11 @@ def graph_from_edge_list(text: str) -> GraphDB:
         if parts[0] == "%node":
             if len(parts) != 2:
                 raise GraphError(f"malformed node directive on line {line_number}")
-            graph.add_node(parts[1])
+            graph.add_node(unescape_field(parts[1], line_number))
             continue
         if len(parts) != 3:
             raise GraphError(f"malformed edge on line {line_number}: {raw_line!r}")
-        origin, label, end = parts
+        origin, label, end = (unescape_field(part, line_number) for part in parts)
         graph.add_edge(origin, label, end)
     return graph
 

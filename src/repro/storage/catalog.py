@@ -1,0 +1,247 @@
+"""The on-disk snapshot catalog: named datasets behind one directory.
+
+A :class:`DatasetCatalog` owns a directory of ``.rgz`` snapshots plus a
+``catalog.json`` manifest mapping names to files and provenance.  It is the
+piece that turns "the 10k synthetic grid from the paper" or "last night's
+ingested crawl" into a name that :meth:`Workspace.open_snapshot
+<repro.api.workspace.Workspace.open_snapshot>` and the ``repro`` CLI can
+resolve without the caller tracking paths.
+
+Built-in dataset builders (:data:`BUILTIN_DATASETS`) cover the paper's
+figure graphs and the synthetic generator at a few scales;
+:meth:`DatasetCatalog.ensure` materializes one on first use and serves the
+cached snapshot afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine.index import GraphIndex
+from repro.errors import StorageError
+from repro.graphdb.graph import GraphDB
+from repro.storage.snapshot import (
+    SNAPSHOT_SUFFIX,
+    MappedGraphIndex,
+    open_snapshot,
+    snapshot_info,
+    write_snapshot,
+)
+from repro.storage.view import GraphView
+
+#: Default catalog location (relative to the working directory).
+DEFAULT_CATALOG_ROOT = ".repro/snapshots"
+
+_MANIFEST = "catalog.json"
+
+
+def _builtin_geo() -> GraphDB:
+    from repro.datasets.figures import geo_graph
+
+    return geo_graph()
+
+
+def _builtin_g0() -> GraphDB:
+    from repro.datasets.figures import example_graph_g0
+
+    return example_graph_g0()
+
+
+def _builtin_synthetic(node_count: int):
+    def build() -> GraphDB:
+        from repro.datasets.synthetic import scale_free_graph
+
+        return scale_free_graph(node_count, alphabet_size=20, zipf_exponent=1.0, seed=29)
+
+    return build
+
+
+#: Named dataset builders :meth:`DatasetCatalog.ensure` can materialize.
+BUILTIN_DATASETS = {
+    "geo": _builtin_geo,
+    "g0": _builtin_g0,
+    "synthetic-1k": _builtin_synthetic(1_000),
+    "synthetic-10k": _builtin_synthetic(10_000),
+}
+
+
+class DatasetCatalog:
+    """Named ``.rgz`` snapshots under one root directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_CATALOG_ROOT) -> None:
+        self.root = Path(root)
+        self._manifest_path = self.root / _MANIFEST
+
+    def _ensure_root(self) -> None:
+        # Created lazily by write operations only, so read-only lookups
+        # (info, a failed open) leave no directory behind.
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest ------------------------------------------------------------
+
+    def entries(self) -> dict[str, dict]:
+        """The manifest: name -> entry dict (file, counts, provenance)."""
+        if not self._manifest_path.exists():
+            return {}
+        try:
+            manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise StorageError(f"unreadable catalog manifest {self._manifest_path}: {error}")
+        if not isinstance(manifest, dict) or not isinstance(manifest.get("snapshots"), dict):
+            raise StorageError(f"malformed catalog manifest {self._manifest_path}")
+        return manifest["snapshots"]
+
+    def names(self) -> list[str]:
+        """The registered snapshot names, sorted."""
+        return sorted(self.entries())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries()
+
+    def _write_manifest(self, snapshots: dict[str, dict]) -> None:
+        self._ensure_root()
+        payload = json.dumps({"version": 1, "snapshots": snapshots}, indent=2, sort_keys=True)
+        temp = self._manifest_path.with_suffix(".json.tmp")
+        temp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(temp, self._manifest_path)
+
+    # -- registration ---------------------------------------------------------
+
+    def path_for(self, name: str) -> Path:
+        """The file a snapshot named ``name`` lives in (whether or not it exists)."""
+        entry = self.entries().get(name)
+        if entry is not None:
+            return self.root / entry["file"]
+        return self.root / f"{name}{SNAPSHOT_SUFFIX}"
+
+    def save(
+        self,
+        name: str,
+        source: GraphIndex | GraphDB | GraphView,
+        *,
+        meta: dict | None = None,
+    ) -> Path:
+        """Write ``source`` as the catalog snapshot ``name`` (replacing it)."""
+        _validate_name(name)
+        if isinstance(source, GraphView):
+            index = source.prebuilt_index
+        elif isinstance(source, GraphIndex):
+            index = source
+        elif isinstance(source, GraphDB):
+            index = GraphIndex.build(source)
+        else:
+            raise StorageError(
+                f"cannot snapshot a {type(source).__name__}; expected a GraphDB, "
+                "GraphIndex or GraphView"
+            )
+        self._ensure_root()
+        destination = self.root / f"{name}{SNAPSHOT_SUFFIX}"
+        payload = dict(meta or {})
+        payload.setdefault("catalog_name", name)
+        if getattr(source, "has_fixed_alphabet", False):
+            payload.setdefault("alphabet", sorted(source.alphabet))
+        info = write_snapshot(index, destination, meta=payload)
+        self._record(name, destination, info)
+        return destination
+
+    def register(self, name: str, path: str | Path, *, move: bool = False) -> Path:
+        """Adopt an existing snapshot file under ``name``.
+
+        With ``move`` the file is moved into the catalog root; otherwise an
+        absolute reference is recorded in place.
+        """
+        _validate_name(name)
+        source = Path(path)
+        info = snapshot_info(source)  # validates the header
+        if move:
+            self._ensure_root()
+            destination = self.root / f"{name}{SNAPSHOT_SUFFIX}"
+            os.replace(source, destination)
+            info = snapshot_info(destination)
+        else:
+            destination = source
+        self._record(name, destination, info)
+        return destination
+
+    def _record(self, name: str, path: Path, info: dict) -> None:
+        snapshots = dict(self.entries())
+        try:
+            file_ref = str(path.relative_to(self.root))
+        except ValueError:
+            file_ref = str(path.resolve())
+        snapshots[name] = {
+            "file": file_ref,
+            "nodes": info["nodes"],
+            "edges": info["edges"],
+            "labels": info["labels"],
+            "file_bytes": info["file_bytes"],
+            "registered_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "meta": info.get("meta", {}),
+        }
+        self._write_manifest(snapshots)
+
+    def remove(self, name: str, *, delete_file: bool = False) -> None:
+        """Drop ``name`` from the manifest (optionally deleting its file)."""
+        snapshots = dict(self.entries())
+        entry = snapshots.pop(name, None)
+        if entry is None:
+            raise StorageError(f"no catalog snapshot named {name!r}")
+        if delete_file:
+            target = self.root / entry["file"]
+            if target.exists():
+                target.unlink()
+        self._write_manifest(snapshots)
+
+    # -- access ---------------------------------------------------------------
+
+    def open(self, name: str, *, verify: bool = False, use_mmap: bool = True) -> MappedGraphIndex:
+        """Open the named snapshot as a :class:`MappedGraphIndex`."""
+        entry = self.entries().get(name)
+        if entry is None:
+            raise StorageError(
+                f"no catalog snapshot named {name!r} "
+                f"(known: {', '.join(self.names()) or 'none'})"
+            )
+        return open_snapshot(self.root / entry["file"], verify=verify, use_mmap=use_mmap)
+
+    def open_view(self, name: str, **options) -> GraphView:
+        """Open the named snapshot as a frozen :class:`GraphView`."""
+        return GraphView(self.open(name, **options))
+
+    def info(self, name: str) -> dict:
+        """Full :func:`snapshot_info` of the named snapshot."""
+        entry = self.entries().get(name)
+        if entry is None:
+            raise StorageError(f"no catalog snapshot named {name!r}")
+        return snapshot_info(self.root / entry["file"])
+
+    def ensure(self, name: str, builder=None, *, meta: dict | None = None) -> Path:
+        """The path of snapshot ``name``, materializing it on first use.
+
+        ``builder`` is a zero-argument callable returning a
+        :class:`GraphDB` (or index/view); omitted, the :data:`BUILTIN_DATASETS`
+        registry is consulted.
+        """
+        entry = self.entries().get(name)
+        if entry is not None:
+            path = self.root / entry["file"]
+            if path.exists():
+                return path
+        if builder is None:
+            builder = BUILTIN_DATASETS.get(name)
+        if builder is None:
+            raise StorageError(
+                f"no catalog snapshot named {name!r} and no builder for it "
+                f"(built-ins: {', '.join(sorted(BUILTIN_DATASETS))})"
+            )
+        payload = dict(meta or {})
+        payload.setdefault("source", "builder")
+        return self.save(name, builder(), meta=payload)
+
+
+def _validate_name(name: str) -> None:
+    if not name or any(sep in name for sep in ("/", "\\", "\x00")) or name.startswith("."):
+        raise StorageError(f"invalid catalog snapshot name: {name!r}")

@@ -1,0 +1,251 @@
+"""The ``.rgz`` binary snapshot format (layout, header, checksums).
+
+A snapshot file serializes a graph *together with* its prebuilt per-label
+CSR index as flat little-endian ``int64`` sections, so that opening it is a
+handful of ``mmap`` slice casts instead of an edge-by-edge rebuild::
+
+    +--------------------------------------------------------------+
+    | header (56 bytes, crc-protected, see HEADER)                 |
+    | section table (section_count x 32-byte entries)              |
+    | sections, each 8-byte aligned:                               |
+    |   node_offs   (n+1) i64   offsets into node_blob             |
+    |   node_blob   utf-8 node names, concatenated                 |
+    |   label_offs  (m+1) i64   offsets into label_blob            |
+    |   label_blob  utf-8 edge labels, concatenated                |
+    |   fwd_offs    m rows of (n+1) i64  per-label CSR offsets     |
+    |   fwd_tgts    E i64   per-label CSR targets, concatenated    |
+    |   bwd_offs    m rows of (n+1) i64  (reverse adjacency)       |
+    |   bwd_tgts    E i64                                          |
+    |   meta        UTF-8 JSON (free-form, tool/provenance info)   |
+    +--------------------------------------------------------------+
+
+The header carries a CRC32 of itself plus the section table (always
+verified on open) and a CRC32 of the payload (verified only on request:
+a zero-copy open should not have to fault in every page).  All integers in
+the payload are little-endian 8-byte signed; the header flags record this
+so a big-endian reader knows it must byteswap (and therefore copy).
+
+This module is deliberately dumb: it knows bytes, offsets and checksums.
+:mod:`repro.storage.snapshot` maps the sections onto
+:class:`~repro.engine.index.GraphIndex` semantics.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+#: File magic: "RGZ" + format generation marker.
+MAGIC = b"RGZSNAP1"
+
+#: Bump when the layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Header flag bit: payload integers are little-endian (always set today).
+FLAG_LITTLE_ENDIAN = 1
+
+#: magic, format_version, flags, num_nodes, num_labels, edge_count,
+#: section_count, payload_crc32, reserved, header_crc32
+HEADER = struct.Struct("<8sIIQQQIIII")
+
+#: name (NUL-padded), absolute offset, length
+SECTION_ENTRY = struct.Struct("<16sQQ")
+
+#: The sections every version-1 snapshot must carry, in file order.
+SECTION_NAMES = (
+    "node_offs",
+    "node_blob",
+    "label_offs",
+    "label_blob",
+    "fwd_offs",
+    "fwd_tgts",
+    "bwd_offs",
+    "bwd_tgts",
+    "meta",
+)
+
+_ALIGNMENT = 8
+
+
+def align(offset: int) -> int:
+    """``offset`` rounded up to the section alignment."""
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def i64_bytes(values) -> bytes:
+    """The values as little-endian ``int64`` bytes.
+
+    Accepts any iterable of ints, including :mod:`array` arrays of a
+    different item size -- the writer normalizes, so snapshot files do not
+    depend on the platform's C ``long`` width.
+    """
+    if isinstance(values, array) and values.itemsize == 8:
+        data = values.tobytes()
+        return data if sys.byteorder == "little" else _byteswapped(values).tobytes()
+    normalized = array("q", values)
+    if sys.byteorder != "little":
+        normalized = _byteswapped(normalized)
+    return normalized.tobytes()
+
+
+def _byteswapped(values: array) -> array:
+    swapped = array(values.typecode, values)
+    swapped.byteswap()
+    return swapped
+
+
+def cast_i64(view: memoryview) -> memoryview:
+    """A little-endian ``int64`` element view of raw snapshot bytes.
+
+    Only valid on little-endian hosts (the caller checks the header flags
+    and falls back to a copying load elsewhere).
+    """
+    return view.cast("q")
+
+
+def copy_i64(data: bytes | memoryview) -> array:
+    """A heap :mod:`array` of the little-endian ``int64`` payload bytes."""
+    values = array("q")
+    values.frombytes(bytes(data))
+    if sys.byteorder != "little":
+        values.byteswap()
+    return values
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """The parsed, checksum-verified head of a snapshot file."""
+
+    format_version: int
+    flags: int
+    num_nodes: int
+    num_labels: int
+    edge_count: int
+    payload_crc32: int
+    sections: dict[str, tuple[int, int]]  # name -> (offset, length)
+
+    @property
+    def little_endian(self) -> bool:
+        return bool(self.flags & FLAG_LITTLE_ENDIAN)
+
+    def section(self, name: str) -> tuple[int, int]:
+        entry = self.sections.get(name)
+        if entry is None:
+            raise StorageError(f"snapshot is missing the {name!r} section")
+        return entry
+
+
+def pack_head(
+    *,
+    num_nodes: int,
+    num_labels: int,
+    edge_count: int,
+    sections: list[tuple[str, int, int]],
+    payload_crc32: int,
+) -> bytes:
+    """The header plus section table, with the header CRC filled in."""
+    table = b"".join(
+        SECTION_ENTRY.pack(name.encode("ascii"), offset, length)
+        for name, offset, length in sections
+    )
+    unsigned = HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        FLAG_LITTLE_ENDIAN,
+        num_nodes,
+        num_labels,
+        edge_count,
+        len(sections),
+        payload_crc32,
+        0,
+        0,  # header_crc32 placeholder
+    )
+    crc = zlib.crc32(unsigned + table)
+    signed = unsigned[: HEADER.size - 4] + struct.pack("<I", crc)
+    return signed + table
+
+
+def head_size(section_count: int) -> int:
+    """Bytes taken by the header plus a ``section_count``-entry table."""
+    return HEADER.size + SECTION_ENTRY.size * section_count
+
+
+def read_head(buffer, total_size: int | None = None) -> SnapshotHeader:
+    """Parse and verify the header + section table of ``buffer``.
+
+    ``buffer`` is anything sliceable to bytes (an ``mmap``, ``bytes``, or
+    ``memoryview``) covering at least the head of the file; pass
+    ``total_size`` when it does not cover the whole file, so section
+    extents can still be bounds-checked.  Raises
+    :class:`~repro.errors.StorageError` on any structural problem: wrong
+    magic, unsupported version, truncation, or checksum mismatch.
+    """
+    if total_size is None:
+        total_size = len(buffer)
+    if len(buffer) < HEADER.size:
+        raise StorageError(
+            f"not a snapshot: file is {len(buffer)} bytes, the header alone is {HEADER.size}"
+        )
+    (
+        magic,
+        format_version,
+        flags,
+        num_nodes,
+        num_labels,
+        edge_count,
+        section_count,
+        payload_crc32,
+        _reserved,
+        header_crc32,
+    ) = HEADER.unpack(bytes(buffer[: HEADER.size]))
+    if magic != MAGIC:
+        raise StorageError(f"not a snapshot: bad magic {magic!r} (expected {MAGIC!r})")
+    if format_version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported snapshot format version {format_version} "
+            f"(this reader understands version {FORMAT_VERSION})"
+        )
+    table_end = head_size(section_count)
+    if len(buffer) < table_end:
+        raise StorageError("truncated snapshot: section table cut short")
+    table = bytes(buffer[HEADER.size : table_end])
+    unsigned = bytes(buffer[: HEADER.size - 4]) + b"\x00\x00\x00\x00"
+    if zlib.crc32(unsigned + table) != header_crc32:
+        raise StorageError("corrupt snapshot: header checksum mismatch")
+
+    sections: dict[str, tuple[int, int]] = {}
+    for position in range(section_count):
+        raw_name, offset, length = SECTION_ENTRY.unpack_from(
+            table, position * SECTION_ENTRY.size
+        )
+        name = raw_name.rstrip(b"\x00").decode("ascii")
+        if offset + length > total_size:
+            raise StorageError(
+                f"truncated snapshot: section {name!r} claims bytes "
+                f"[{offset}, {offset + length}) but the file has {total_size}"
+            )
+        sections[name] = (offset, length)
+    for name in SECTION_NAMES:
+        if name not in sections:
+            raise StorageError(f"snapshot is missing the {name!r} section")
+    return SnapshotHeader(
+        format_version=format_version,
+        flags=flags,
+        num_nodes=num_nodes,
+        num_labels=num_labels,
+        edge_count=edge_count,
+        payload_crc32=payload_crc32,
+        sections=sections,
+    )
+
+
+def verify_payload(buffer, header: SnapshotHeader) -> None:
+    """Check the payload CRC (touches every page; opt-in for that reason)."""
+    payload_start = head_size(len(header.sections))
+    if zlib.crc32(bytes(buffer[payload_start:])) != header.payload_crc32:
+        raise StorageError("corrupt snapshot: payload checksum mismatch")

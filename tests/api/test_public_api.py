@@ -23,6 +23,7 @@ EXPECTED_ALL = frozenset(
         "InteractionError",
         "ConfigError",
         "SerializationError",
+        "StorageError",
         # core types
         "Alphabet",
         "GraphDB",
@@ -41,11 +42,18 @@ EXPECTED_ALL = frozenset(
         "LearnerConfig",
         "InteractiveConfig",
         "ExperimentConfig",
+        "StorageConfig",
         "Result",
         "QueryResult",
         "result_from_dict",
         "result_from_json",
         "result_to_json",
+        # storage layer
+        "DatasetCatalog",
+        "GraphView",
+        "MappedGraphIndex",
+        "open_snapshot",
+        "write_snapshot",
         # learning entry points (legacy shims)
         "learn_path_query",
         "learn_with_dynamic_k",

@@ -179,9 +179,11 @@ class TestEngineCaching:
         query = PathQuery.parse("a.a", ["a"])
         assert engine.evaluate(graph, query) == frozenset()
         graph.add_edge("y", "a", "z")
-        # The version bump must invalidate the cached empty result.
+        # The version bump must invalidate the cached empty result; the
+        # stale index is refreshed from the mutation delta, not rebuilt.
         assert engine.evaluate(graph, query) == {"x"}
-        assert engine.stats.index_builds == 2
+        assert engine.stats.index_builds == 1
+        assert engine.stats.index_refreshes == 1
 
     def test_selects_answers_from_cached_evaluation(self, g0):
         engine = QueryEngine()

@@ -42,6 +42,61 @@ class TestEdgeList:
         with pytest.raises(GraphError):
             graph_from_edge_list("%node\tx\textra\n")
 
+    def test_tabs_and_newlines_in_names_roundtrip(self):
+        graph = GraphDB()
+        graph.add_edge("has\ttab", "label\nwith\nnewlines", "back\\slash")
+        graph.add_edge("cr\rname", "l", "plain")
+        graph.add_node("iso\tlated")
+        restored = graph_from_edge_list(graph_to_edge_list(graph))
+        assert restored.nodes == graph.nodes
+        assert restored.edges == graph.edges
+
+    def test_comment_and_directive_lookalike_names_roundtrip(self):
+        graph = GraphDB()
+        graph.add_edge("#not-a-comment", "a", "%node")
+        graph.add_node("%node")  # already present as an edge endpoint
+        graph.add_node("#iso")
+        restored = graph_from_edge_list(graph_to_edge_list(graph))
+        assert restored.nodes == graph.nodes
+        assert restored.edges == graph.edges
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list("a\\q\tl\tb\n")
+
+    def test_dangling_escape_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_edge_list("a\tl\tb\\\n")
+
+    def test_output_is_node_order_stable(self):
+        graph = GraphDB()
+        graph.add_edge("zeta", "later", "alpha")
+        graph.add_edge("alpha", "early", "mid")
+        graph.add_node("lonely")
+        expected = (
+            "# repro graph database edge list\n"
+            "zeta\tlater\talpha\n"
+            "alpha\tearly\tmid\n"
+            "%node\tlonely\n"
+        )
+        # Edges come out keyed by (origin, label, end) positions in the
+        # stable node/label orders, isolated nodes in insertion order --
+        # no repr-sorting, no hash-seed dependence.
+        assert graph_to_edge_list(graph) == expected
+        assert graph_to_edge_list(graph) == graph_to_edge_list(graph.copy())
+
+    def test_copy_and_subgraph_preserve_label_order(self):
+        # Regression: copy()/subgraph() used to replay a *set* of edges, so
+        # the copy's label first-use order (the canonical CSR numbering and
+        # edge-list output order) depended on the hash seed.  Two edges from
+        # the same origin make any instability visible.
+        graph = GraphDB()
+        graph.add_edge("a", "xlabel", "b")
+        graph.add_edge("a", "ylabel", "c")
+        assert graph.copy().label_order == graph.label_order
+        assert graph.subgraph(graph.nodes).label_order == graph.label_order
+        assert graph_to_edge_list(graph.copy()) == graph_to_edge_list(graph)
+
 
 class TestJson:
     def test_roundtrip(self, sample_graph):

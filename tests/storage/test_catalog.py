@@ -1,0 +1,115 @@
+"""DatasetCatalog: registration, persistence, built-in materialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import geo_graph
+from repro.engine import GraphIndex, QueryEngine
+from repro.errors import StorageError
+from repro.queries import PathQuery
+from repro.storage import BUILTIN_DATASETS, DatasetCatalog, GraphView, write_snapshot
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    return DatasetCatalog(tmp_path / "snapshots")
+
+
+class TestSaveAndOpen:
+    def test_save_graph_and_open_view(self, catalog):
+        geo = geo_graph()
+        path = catalog.save("geo", geo, meta={"origin": "figure 1"})
+        assert path.exists()
+        view = catalog.open_view("geo")
+        assert view.edges == geo.edges
+        assert catalog.info("geo")["meta"]["origin"] == "figure 1"
+
+    def test_save_accepts_index_and_view(self, catalog):
+        geo = geo_graph()
+        index = GraphIndex.build(geo)
+        catalog.save("from-index", index)
+        catalog.save("from-view", GraphView(index))
+        assert catalog.names() == ["from-index", "from-view"]
+        assert catalog.open_view("from-view").edges == geo.edges
+
+    def test_save_rejects_other_types(self, catalog):
+        with pytest.raises(StorageError, match="cannot snapshot"):
+            catalog.save("nope", {"not": "a graph"})
+
+    def test_open_unknown_name(self, catalog):
+        with pytest.raises(StorageError, match="no catalog snapshot named"):
+            catalog.open("missing")
+
+    def test_invalid_names_rejected(self, catalog):
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(StorageError, match="invalid catalog snapshot name"):
+                catalog.save(bad, geo_graph())
+
+
+class TestManifest:
+    def test_entries_persist_across_instances(self, catalog):
+        catalog.save("geo", geo_graph())
+        reopened = DatasetCatalog(catalog.root)
+        assert "geo" in reopened
+        assert reopened.entries()["geo"]["edges"] == 13
+
+    def test_register_external_file(self, catalog, tmp_path):
+        snap = tmp_path / "ext.rgz"
+        write_snapshot(GraphIndex.build(geo_graph()), snap)
+        catalog.register("external", snap)
+        assert catalog.open_view("external").edge_count() == 13
+
+    def test_register_move_pulls_file_in(self, catalog, tmp_path):
+        snap = tmp_path / "ext.rgz"
+        write_snapshot(GraphIndex.build(geo_graph()), snap)
+        destination = catalog.register("moved", snap, move=True)
+        assert not snap.exists()
+        assert destination.parent == catalog.root
+        assert catalog.open_view("moved").edge_count() == 13
+
+    def test_remove(self, catalog):
+        catalog.save("geo", geo_graph())
+        path = catalog.path_for("geo")
+        catalog.remove("geo")
+        assert "geo" not in catalog
+        assert path.exists()  # manifest drop keeps the file by default
+        catalog.save("geo", geo_graph())
+        catalog.remove("geo", delete_file=True)
+        assert not path.exists()
+        with pytest.raises(StorageError):
+            catalog.remove("geo")
+
+    def test_corrupt_manifest_surfaces_as_storage_error(self, catalog):
+        catalog.root.mkdir(parents=True, exist_ok=True)
+        (catalog.root / "catalog.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(StorageError, match="manifest"):
+            catalog.entries()
+        (catalog.root / "catalog.json").write_text(json.dumps({"wrong": 1}))
+        with pytest.raises(StorageError, match="malformed"):
+            catalog.entries()
+
+
+class TestEnsure:
+    def test_builtin_materialized_once(self, catalog):
+        path = catalog.ensure("geo")
+        assert path.exists()
+        first_bytes = path.read_bytes()
+        assert catalog.ensure("geo") == path
+        assert path.read_bytes() == first_bytes
+
+    def test_builtin_registry_names(self):
+        assert {"geo", "g0", "synthetic-1k", "synthetic-10k"} <= set(BUILTIN_DATASETS)
+
+    def test_custom_builder(self, catalog):
+        catalog.ensure("custom", builder=geo_graph)
+        engine = QueryEngine()
+        view = catalog.open_view("custom")
+        query = PathQuery.parse("(tram+bus)*.cinema", view.alphabet)
+        assert engine.evaluate(view, query) == engine.evaluate(geo_graph(), query)
+
+    def test_unknown_without_builder(self, catalog):
+        with pytest.raises(StorageError, match="no builder"):
+            catalog.ensure("not-a-dataset")

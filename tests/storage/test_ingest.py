@@ -1,0 +1,215 @@
+"""Streaming bulk-ingestion: format parity, error policies, progress, gzip."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.datasets import geo_graph, scale_free_graph
+from repro.engine import GraphIndex, QueryEngine
+from repro.errors import StorageError
+from repro.graphdb.io import graph_from_edge_list, graph_to_edge_list
+from repro.queries import PathQuery
+from repro.storage import (
+    ingest_csv,
+    ingest_edge_list,
+    ingest_file,
+    ingest_jsonl,
+)
+
+
+@pytest.fixture
+def geo():
+    return geo_graph()
+
+
+@pytest.fixture
+def geo_tsv(geo, tmp_path):
+    path = tmp_path / "geo.tsv"
+    path.write_text(graph_to_edge_list(geo), encoding="utf-8")
+    return path
+
+
+class TestEdgeList:
+    def test_parity_with_text_loader(self, geo, geo_tsv):
+        ingestion = ingest_edge_list(geo_tsv)
+        view = ingestion.view()
+        assert view.nodes == geo.nodes
+        assert view.edges == geo.edges
+        assert ingestion.report.edges_added == geo.edge_count()
+        assert ingestion.report.malformed_lines == 0
+
+    def test_csr_byte_identical_to_graphdb_build(self, geo_tsv):
+        # The streaming builder interns names in file order -- exactly the
+        # order graph_from_edge_list inserts them -- so the CSR arrays must
+        # be byte-identical to a built index of the parsed graph.
+        ingestion = ingest_edge_list(geo_tsv)
+        built = GraphIndex.build(graph_from_edge_list(geo_tsv.read_text()))
+        assert ingestion.index.nodes_by_id == built.nodes_by_id
+        assert ingestion.index.labels_by_id == built.labels_by_id
+        for lid in range(built.num_labels):
+            assert ingestion.index.fwd_offsets[lid].tobytes() == built.fwd_offsets[lid].tobytes()
+            assert ingestion.index.fwd_targets[lid].tobytes() == built.fwd_targets[lid].tobytes()
+            assert ingestion.index.bwd_offsets[lid].tobytes() == built.bwd_offsets[lid].tobytes()
+            assert ingestion.index.bwd_targets[lid].tobytes() == built.bwd_targets[lid].tobytes()
+
+    def test_gzip_transparent(self, geo, geo_tsv, tmp_path):
+        gz = tmp_path / "geo.tsv.gz"
+        gz.write_bytes(gzip.compress(geo_tsv.read_bytes()))
+        assert ingest_edge_list(gz).view().edges == geo.edges
+
+    def test_comments_directives_and_escapes(self):
+        lines = [
+            "# a comment",
+            "",
+            "a\tl\tb",
+            "%node\tlonely",
+            "with\\ttab\tl\tb",
+        ]
+        view = ingest_edge_list(lines).view()
+        assert view.nodes == {"a", "b", "lonely", "with\ttab"}
+        assert ("with\ttab", "l", "b") in view.edges
+
+    def test_duplicate_edges_deduped(self):
+        lines = ["a\tl\tb", "a\tl\tb", "a\tl\tc"]
+        ingestion = ingest_edge_list(lines)
+        assert ingestion.report.edges_added == 2
+        assert ingestion.report.duplicate_edges == 1
+        assert ingestion.index.edge_count == 2
+
+    def test_dedupe_disabled_keeps_duplicates_out_of_sets(self):
+        # dedupe=False is the trusted-input fast path: duplicates end up as
+        # repeated CSR entries (the caller promised there are none).
+        lines = ["a\tl\tb", "a\tl\tc"]
+        ingestion = ingest_edge_list(lines, dedupe=False)
+        assert ingestion.index.edge_count == 2
+
+    def test_malformed_raises_with_line_number(self):
+        with pytest.raises(StorageError, match="line 2"):
+            ingest_edge_list(["a\tl\tb", "only\ttwo"])
+
+    def test_malformed_skip_policy_counts(self):
+        lines = ["a\tl\tb", "only\ttwo", "bad\\q\tl\tb", "c\tl\td"]
+        ingestion = ingest_edge_list(lines, on_error="skip")
+        assert ingestion.report.malformed_lines == 2
+        assert len(ingestion.report.error_samples) == 2
+        assert ingestion.report.edges_added == 2
+
+    def test_max_errors_aborts(self):
+        lines = ["bad"] * 10
+        with pytest.raises(StorageError, match="more than 3"):
+            ingest_edge_list(lines, on_error="skip", max_errors=3)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(StorageError, match="on_error"):
+            ingest_edge_list([], on_error="ignore")
+
+    def test_progress_callback(self):
+        lines = [f"n{i}\tl\tn{i + 1}" for i in range(25)]
+        ticks = []
+        ingest_edge_list(lines, progress=lambda l, e: ticks.append((l, e)), progress_every=10)
+        assert ticks == [(10, 10), (20, 20), (25, 25)]
+
+    def test_empty_source(self):
+        ingestion = ingest_edge_list([])
+        assert ingestion.index.num_nodes == 0
+        assert ingestion.index.edge_count == 0
+
+
+class TestJsonl:
+    def test_arrays_and_objects(self):
+        lines = [
+            json.dumps(["a", "l", "b"]),
+            json.dumps({"origin": "b", "label": "m", "end": "c"}),
+            json.dumps({"node": "lonely"}),
+            "",
+        ]
+        view = ingest_jsonl(lines).view()
+        assert view.edges == {("a", "l", "b"), ("b", "m", "c")}
+        assert "lonely" in view.nodes
+
+    def test_numeric_ids_coerced_to_strings(self):
+        view = ingest_jsonl([json.dumps([1, "l", 2])]).view()
+        assert view.edges == {("1", "l", "2")}
+
+    def test_malformed_json_respects_policy(self):
+        lines = ["not json", json.dumps(["a", "l", "b"]), json.dumps({"wrong": 1})]
+        with pytest.raises(StorageError, match="line 1"):
+            ingest_jsonl(lines)
+        ingestion = ingest_jsonl(lines, on_error="skip")
+        assert ingestion.report.malformed_lines == 2
+        assert ingestion.report.edges_added == 1
+
+
+class TestCsv:
+    def test_basic_rows(self):
+        view = ingest_csv(["a,l,b", "b,m,c"]).view()
+        assert view.edges == {("a", "l", "b"), ("b", "m", "c")}
+
+    def test_header_auto_detected(self):
+        view = ingest_csv(["origin,label,end", "a,l,b"]).view()
+        assert view.edges == {("a", "l", "b")}
+
+    def test_header_skip_always_drops_first_row(self):
+        view = ingest_csv(["a,l,b", "c,l,d"], header="skip").view()
+        assert view.edges == {("c", "l", "d")}
+
+    def test_quoted_fields_and_custom_delimiter(self):
+        view = ingest_csv(['"has,comma";l;b'], delimiter=";").view()
+        assert view.edges == {("has,comma", "l", "b")}
+
+    def test_malformed_column_count(self):
+        with pytest.raises(StorageError, match="3 columns"):
+            ingest_csv(["a,b"])
+
+
+class TestIngestFile:
+    def test_format_guessing(self, tmp_path, geo, geo_tsv):
+        jsonl = tmp_path / "geo.jsonl"
+        jsonl.write_text(
+            "\n".join(json.dumps(list(edge)) for edge in sorted(geo.edges)) + "\n"
+        )
+        csv_path = tmp_path / "geo.csv"
+        csv_path.write_text(
+            "origin,label,end\n"
+            + "\n".join(",".join(edge) for edge in sorted(geo.edges))
+            + "\n"
+        )
+        assert ingest_file(geo_tsv).view().edges == geo.edges
+        assert ingest_file(jsonl).view().edges == geo.edges
+        assert ingest_file(csv_path).view().edges == geo.edges
+
+    def test_unknown_format_rejected(self, geo_tsv):
+        with pytest.raises(StorageError, match="unknown ingest format"):
+            ingest_file(geo_tsv, format="parquet")
+
+    def test_save_then_requery(self, tmp_path, geo, geo_tsv):
+        ingestion = ingest_file(geo_tsv)
+        snap = tmp_path / "geo.rgz"
+        info = ingestion.save(snap)
+        assert info["meta"]["ingest"]["edges_added"] == geo.edge_count()
+        from repro.storage import open_snapshot, GraphView
+
+        engine = QueryEngine()
+        view = GraphView(open_snapshot(snap))
+        query = PathQuery.parse("(tram+bus)*.cinema", geo.alphabet)
+        assert engine.evaluate(view, query) == engine.evaluate(geo, query)
+
+
+def test_synthetic_roundtrip_through_every_stage(tmp_path):
+    """edge file -> ingest -> snapshot -> mmap view: queries match in-memory."""
+    graph = scale_free_graph(300, alphabet_size=6, seed=13)
+    source = tmp_path / "syn.tsv"
+    source.write_text(graph_to_edge_list(graph), encoding="utf-8")
+    snap = tmp_path / "syn.rgz"
+    ingest_file(source).save(snap)
+    from repro.storage import open_snapshot, GraphView
+
+    view = GraphView(open_snapshot(snap, verify=True))
+    engine = QueryEngine()
+    labels = sorted(graph.labels())
+    for expr in (f"{labels[0]}*", f"({labels[0]}+{labels[1]}).{labels[2]}"):
+        query = PathQuery.parse(expr, graph.alphabet)
+        assert engine.evaluate(view, query) == engine.evaluate(graph, query)
