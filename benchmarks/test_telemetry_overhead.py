@@ -1,0 +1,89 @@
+"""Telemetry overhead: the disabled fast path vs. full tracing + profiling.
+
+The observability contract is that telemetry costs nothing unless asked for:
+with the default (disabled) ``Telemetry`` the engine takes the exact pre-PR
+code path, and even with a JSONL trace sink plus per-query profiling the
+steady-state warm workload should slow down only modestly.  This benchmark
+measures both modes on the same warm workload, asserts result identity, and
+records ``extra_info["speedup"] = enabled/disabled`` seconds per round --
+the machine-independent overhead factor ``benchmarks/compare.py`` gates
+against the committed baseline (a drop means the disabled path picked up
+per-call cost, which is exactly the regression this file exists to catch).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.datasets.synthetic import scale_free_graph
+from repro.engine import QueryEngine
+from repro.evaluation.workloads import synthetic_queries
+from repro.telemetry import Telemetry
+
+NODE_COUNT = 2_000
+ALPHABET_SIZE = 12
+#: Warm rounds measured per mode (round 0 is cold and excluded).  The warm
+#: workload runs in microseconds, so both modes average over many rounds and
+#: the disabled side gates on its median to shed GC/scheduler outliers.
+ROUNDS = 30
+ITERATIONS = 5
+
+
+def _workload():
+    graph = scale_free_graph(NODE_COUNT, alphabet_size=ALPHABET_SIZE, seed=17)
+    queries = list(synthetic_queries(graph, alphabet_size=ALPHABET_SIZE).values())
+    return graph, queries
+
+
+def _run(engine, graph, queries):
+    return [engine.evaluate(graph, query) for query in queries]
+
+
+def test_disabled_telemetry_overhead(benchmark, tmp_path):
+    graph, queries = _workload()
+
+    disabled = QueryEngine()
+    enabled = QueryEngine(
+        telemetry=Telemetry(trace_path=tmp_path / "bench-trace.jsonl", profile=True)
+    )
+
+    # Cold round warms both engines (index + plans + result cache) and pins
+    # the observability contract: both modes compute identical answers.
+    assert _run(disabled, graph, queries) == _run(enabled, graph, queries)
+
+    total = ROUNDS * ITERATIONS
+    started = perf_counter()
+    for _ in range(total):
+        _run(enabled, graph, queries)
+    enabled_per_round = (perf_counter() - started) / total
+
+    benchmark.pedantic(
+        _run, args=(disabled, graph, queries), rounds=ROUNDS, iterations=ITERATIONS
+    )
+    disabled_per_round = benchmark.stats.stats.median
+
+    overhead = enabled_per_round / disabled_per_round if disabled_per_round else 1.0
+    benchmark.extra_info["enabled_seconds_per_round"] = enabled_per_round
+    benchmark.extra_info["disabled_seconds_per_round"] = disabled_per_round
+    # The gated metric: how much slower full tracing+profiling is than the
+    # disabled fast path.  A *drop* vs. the baseline means the disabled path
+    # gained overhead -- the regression this benchmark is the gate for.
+    benchmark.extra_info["speedup"] = overhead
+
+    # The traced engine really did trace: spans in the ring, records on disk.
+    enabled.telemetry.flush()
+    trace_lines = (tmp_path / "bench-trace.jsonl").read_text().splitlines()
+    assert len(trace_lines) >= (total + 1) * len(queries)
+    assert enabled.telemetry.events()
+
+    print()
+    print(
+        f"workload: {len(queries)} queries x {ROUNDS} warm rounds on "
+        f"{graph.node_count()} nodes / {graph.edge_count()} edges"
+    )
+    print(f"telemetry disabled: {disabled_per_round * 1e6:9.1f} us/round")
+    print(f"telemetry enabled:  {enabled_per_round * 1e6:9.1f} us/round  ({overhead:.2f}x)")
+
+    # Sanity floor, deliberately loose for shared CI runners: the disabled
+    # path must never be meaningfully slower than full tracing+profiling.
+    assert disabled_per_round <= enabled_per_round * 1.25

@@ -1,0 +1,112 @@
+"""The observability layer end to end: traces, profiles, metrics, exports.
+
+A workspace is opened with telemetry on (JSONL trace sink + per-query
+profiling), queries and an interactive learning session run through it, and
+then everything telemetry produced is inspected: the per-query
+:class:`~repro.telemetry.QueryProfile`, the in-memory span ring, the JSONL
+trace file (summarized with the same helpers ``python -m repro trace``
+uses), the unified metrics registry, and its Prometheus text exposition.
+The same data is available from the shell as ``python -m repro query
+--trace run.jsonl --profile`` / ``repro trace`` / ``repro stats``.
+
+Run with:  PYTHONPATH=src python examples/telemetry_tour.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import InteractiveConfig, TelemetryConfig, Workspace
+from repro.telemetry import read_trace, summarize_trace, tail_trace
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+    trace_path = workdir / "run.jsonl"
+
+    # 1. One switch turns the whole layer on.  ``enabled`` alone keeps spans
+    #    in the in-memory ring; ``trace_path`` adds the rotating JSONL sink;
+    #    ``profile`` attaches a QueryProfile to every QueryResult.  The
+    #    default TelemetryConfig() is all-off and costs nothing.
+    ws = Workspace.from_figure(
+        "geo",
+        telemetry_config=TelemetryConfig(trace_path=str(trace_path), profile=True),
+    )
+    print(f"workspace: {ws}")
+    print(f"telemetry: {ws.telemetry}")
+    print()
+
+    # 2. A cold query pays compile + index build + walk; the profile says
+    #    exactly how much of each, and how wide the automaton frontier was
+    #    at every BFS depth.
+    cold = ws.query("(tram+bus)*.cinema")
+    profile = cold.profile
+    print("cold query profile:")
+    print(f"  cache:         {profile['cache']!r} (plan {profile['plan_cache']!r})")
+    print(f"  compile:       {profile['compile_seconds'] * 1e6:8.1f} us")
+    print(f"  index:         {profile['index_seconds'] * 1e6:8.1f} us")
+    print(f"  walk:          {profile['walk_seconds'] * 1e6:8.1f} us")
+    print(f"  states/edges:  {profile['states_expanded']} / {profile['edges_scanned']}")
+    print(f"  frontier:      {profile['depth_sizes']}")
+
+    # 3. The warm repeat is a result-cache hit: no walk at all.
+    warm = ws.query("(tram+bus)*.cinema")
+    assert warm.selected == cold.selected
+    print(f"warm repeat:     cache {warm.profile['cache']!r}, "
+          f"walk {warm.profile['walk_seconds'] * 1e6:.1f} us")
+    print()
+
+    # 4. Heavier traffic: an interactive session.  Every round emits an
+    #    ``interactive.round`` span and each interaction carries its own
+    #    oracle/learn timing split.
+    outcome = ws.learn_interactive(
+        "(tram+bus)*.cinema", InteractiveConfig(max_interactions=20, seed=3)
+    )
+    print(f"interactive: {outcome.interaction_count} interactions, "
+          f"halted by {outcome.halted_by!r}")
+    slowest = max(outcome.interactions, key=lambda i: i.profile["learn_seconds"])
+    print(f"  slowest learn step: {slowest.profile['learn_seconds'] * 1e3:.2f} ms "
+          f"(oracle {slowest.profile['oracle_seconds'] * 1e6:.1f} us)")
+    print()
+
+    # 5. Spans nest: workspace.query -> engine.evaluate -> engine.index_build.
+    #    The ring buffer keeps the most recent records in memory ...
+    print("recent spans (in-memory ring):")
+    for record in ws.telemetry.events()[:6]:
+        indent = "  " * record["depth"]
+        print(f"  {indent}{record['name']:28s} {record['seconds'] * 1e6:9.1f} us")
+    print()
+
+    # 6. ... and the JSONL sink has all of them.  flush() pushes buffered
+    #    records to disk; read/tail/summarize are what `repro trace` runs.
+    ws.telemetry.flush()
+    summary = summarize_trace(read_trace(trace_path))
+    print(f"trace file: {trace_path.name}, {summary['events']} spans, "
+          f"{summary['total_seconds'] * 1e3:.1f} ms inside instrumented code")
+    widest = sorted(
+        summary["spans"].items(), key=lambda kv: kv[1]["total_seconds"], reverse=True
+    )
+    for name, agg in widest[:5]:
+        print(f"  {name:28s} x{agg['count']:<5d} total {agg['total_seconds'] * 1e3:8.2f} ms")
+    print(f"  result cache: {summary['cache']}")
+    print(f"  last span: {tail_trace(trace_path, n=1)[0]['name']}")
+    print()
+
+    # 7. The metrics registry is the single source of numeric truth -- the
+    #    EngineStats counters *are* registry counters, so ws.stats() and the
+    #    Prometheus exposition can never disagree.
+    stats = ws.stats()
+    print(f"engine stats: {stats['evaluations']} evaluations, "
+          f"result-cache hit rate {stats['result_cache_hit_rate']:.2f}")
+    print()
+    print("prometheus exposition (excerpt):")
+    for line in ws.metrics_text().splitlines():
+        if line.startswith(("engine_evaluations", "kernel_", "interactive_reused")):
+            print(f"  {line}")
+
+    ws.telemetry.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ Subpackages
 ``repro.graphdb``      the graph database, path semantics and query evaluation.
 ``repro.engine``       the indexed query engine: CSR index, compiled plans, caches.
 ``repro.storage``      durable storage: binary snapshots, mmap indexes, bulk ingest, catalog.
+``repro.telemetry``    observability: metrics registry, structured tracing, profiles.
 ``repro.datasets``     paper figure graphs, synthetic/AliBaba-like generators.
 ``repro.queries``      monadic, binary and n-ary path query semantics.
 ``repro.learning``     Algorithm 1/2/3, RPNI, characteristic samples (Theorem 3.5).
@@ -53,6 +54,7 @@ from repro.errors import (
     SampleError,
     SerializationError,
     StorageError,
+    TelemetryError,
 )
 from repro.automata import Alphabet
 from repro.engine import EngineStats, QueryEngine, get_default_engine
@@ -84,11 +86,13 @@ from repro.api import (
     QueryResult,
     Result,
     StorageConfig,
+    TelemetryConfig,
     Workspace,
     result_from_dict,
     result_from_json,
     result_to_json,
 )
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.storage import (
     DatasetCatalog,
     GraphView,
@@ -97,7 +101,7 @@ from repro.storage import (
     write_snapshot,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -114,6 +118,7 @@ __all__ = [
     "ConfigError",
     "SerializationError",
     "StorageError",
+    "TelemetryError",
     # core types
     "Alphabet",
     "GraphDB",
@@ -129,6 +134,7 @@ __all__ = [
     # public API facade
     "Workspace",
     "EngineConfig",
+    "TelemetryConfig",
     "LearnerConfig",
     "InteractiveConfig",
     "ExperimentConfig",
@@ -144,6 +150,9 @@ __all__ = [
     "MappedGraphIndex",
     "open_snapshot",
     "write_snapshot",
+    # telemetry
+    "Telemetry",
+    "MetricsRegistry",
     # learning entry points (legacy shims; prefer Workspace.learn)
     "learn_path_query",
     "learn_with_dynamic_k",

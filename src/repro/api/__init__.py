@@ -1,9 +1,10 @@
 """The public, typed API of the repro library.
 
-One facade (:class:`Workspace`), four frozen config dataclasses
-(:class:`EngineConfig`, :class:`LearnerConfig`, :class:`InteractiveConfig`,
-:class:`ExperimentConfig`), one uniform :class:`Result` protocol with a JSON
-round-trip, and the ``python -m repro`` CLI on top (:mod:`repro.api.cli`).
+One facade (:class:`Workspace`), frozen config dataclasses
+(:class:`EngineConfig`, :class:`TelemetryConfig`, :class:`LearnerConfig`,
+:class:`InteractiveConfig`, :class:`ExperimentConfig`, :class:`StorageConfig`),
+one uniform :class:`Result` protocol with a JSON round-trip, and the
+``python -m repro`` CLI on top (:mod:`repro.api.cli`).
 
 The legacy module-level entry points (``learn_path_query``,
 ``run_interactive_learning``, ``run_static_experiment``, ...) remain
@@ -21,6 +22,7 @@ from repro.api.config import (
     InteractiveConfig,
     LearnerConfig,
     StorageConfig,
+    TelemetryConfig,
 )
 from repro.api.result import (
     RESULT_TYPES,
@@ -37,6 +39,7 @@ __all__ = [
     "FIGURE_GRAPHS",
     # configs
     "EngineConfig",
+    "TelemetryConfig",
     "LearnerConfig",
     "InteractiveConfig",
     "ExperimentConfig",

@@ -25,13 +25,18 @@ Subcommands
 ``bench``        repeat query evaluations to exercise the engine's caches;
 ``ingest``       bulk-load an edge file into a binary ``.rgz`` snapshot
                  (and/or register it in a catalog);
-``info``         describe a snapshot's header/sections or list a catalog.
+``info``         describe a snapshot's header/sections or list a catalog;
+``stats``        report engine/cache/storage economics (optionally after
+                 driving ``--expr`` traffic, optionally as Prometheus text);
+``trace``        tail or summarize a JSONL span trace file.
 
 Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
 :mod:`repro.graphdb.io`), ``--figure {geo,g0}`` (the paper's figure
 graphs) or ``--snapshot FILE`` (a binary ``.rgz`` snapshot opened
-zero-copy through the storage layer).  Failures print
-``{"ok": false, "error": {...}}`` and exit 1.
+zero-copy through the storage layer).  Every graph-backed subcommand
+accepts ``--trace FILE`` (write a structured JSONL span trace) and
+``--profile`` (attach per-query execution profiles to results).  Failures
+print ``{"ok": false, "error": {...}}`` and exit 1.
 """
 
 from __future__ import annotations
@@ -48,6 +53,7 @@ from repro.api.config import (
     ExperimentConfig,
     InteractiveConfig,
     LearnerConfig,
+    TelemetryConfig,
 )
 from repro.api.result import Result
 from repro.api.workspace import FIGURE_GRAPHS, Workspace
@@ -95,6 +101,17 @@ def _build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1024,
             help="engine result cache capacity",
+        )
+        sub.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="write a structured JSONL span trace of the run to FILE",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="attach per-query execution profiles to results",
         )
 
     learn = subparsers.add_parser(
@@ -293,6 +310,48 @@ def _build_parser() -> argparse.ArgumentParser:
     info_source.add_argument("--catalog", metavar="DIR", help="catalog directory to describe")
     info.add_argument("--name", default=None, help="with --catalog: describe one named snapshot")
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="report engine/cache/storage economics for a graph workspace",
+    )
+    add_graph_source(stats)
+    stats.add_argument(
+        "--expr",
+        action="append",
+        default=None,
+        help="query traffic to drive before reporting (repeatable)",
+    )
+    stats.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="evaluations per --expr expression (default 1)",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="include the Prometheus text exposition in the envelope",
+    )
+    stats.add_argument(
+        "--trace-file",
+        metavar="FILE",
+        default=None,
+        help="also summarize span timings and cache economics from this JSONL trace",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="tail or summarize a structured JSONL span trace file",
+    )
+    trace.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
+    trace.add_argument("--file", required=True, metavar="FILE", help="the JSONL trace file")
+    trace.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        help="show the last N trace records instead of the summary",
+    )
+
     return parser
 
 
@@ -300,11 +359,18 @@ def _make_workspace(args: argparse.Namespace) -> Workspace:
     engine_config = EngineConfig(
         plan_cache_size=args.plan_cache_size, result_cache_size=args.result_cache_size
     )
+    kwargs: dict = {"engine_config": engine_config}
+    if args.trace is not None or args.profile:
+        kwargs["telemetry_config"] = TelemetryConfig(
+            enabled=args.trace is not None,
+            trace_path=args.trace,
+            profile=args.profile,
+        )
     if getattr(args, "snapshot", None) is not None:
-        return Workspace.open_snapshot(args.snapshot, engine_config=engine_config)
+        return Workspace.open_snapshot(args.snapshot, **kwargs)
     if args.graph is not None:
-        return Workspace.from_file(args.graph, engine_config=engine_config)
-    return Workspace.from_figure(args.figure, engine_config=engine_config)
+        return Workspace.from_file(args.graph, **kwargs)
+    return Workspace.from_figure(args.figure, **kwargs)
 
 
 def _split_csv(text: str) -> list[str]:
@@ -455,6 +521,52 @@ def _cmd_ingest(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _cmd_stats(args: argparse.Namespace, workspace: Workspace) -> dict:
+    from repro.telemetry.export import read_trace, summarize_trace
+
+    if args.repeat < 1:
+        raise ConfigError("--repeat must be at least 1")
+    for expression in args.expr or ():
+        # Reuse the compiled query object so repeats exercise the engine's
+        # plan/result caches rather than regex re-compilation.
+        compiled = workspace.query(expression).query
+        for _ in range(args.repeat - 1):
+            workspace.query(compiled)
+    # Flush before reading --trace-file: it may be this very run's --trace.
+    workspace.telemetry.flush()
+    payload: dict = {
+        "type": "StatsReport",
+        "ok": True,
+        "stats": workspace.stats(),
+        "metrics": workspace.telemetry.registry.snapshot(),
+    }
+    if args.prometheus:
+        payload["prometheus"] = workspace.metrics_text()
+    if args.trace_file is not None:
+        payload["trace"] = summarize_trace(read_trace(args.trace_file))
+    return payload
+
+
+def _cmd_trace(args: argparse.Namespace) -> dict:
+    from repro.telemetry.export import read_trace, summarize_trace, tail_trace
+
+    if args.tail is not None:
+        if args.tail < 1:
+            raise ConfigError("--tail must be at least 1")
+        return {
+            "type": "TraceReport",
+            "ok": True,
+            "file": str(args.file),
+            "records": tail_trace(args.file, args.tail),
+        }
+    return {
+        "type": "TraceReport",
+        "ok": True,
+        "file": str(args.file),
+        "summary": summarize_trace(read_trace(args.file)),
+    }
+
+
 def _cmd_info(args: argparse.Namespace) -> dict:
     from repro.storage.catalog import DatasetCatalog
     from repro.storage.snapshot import snapshot_info
@@ -478,11 +590,13 @@ def main(argv: list[str] | None = None) -> int:
     indent = args.indent if args.indent and args.indent > 0 else None
     started = time.perf_counter()
     try:
-        # The storage commands work on files/catalogs, not on a workspace.
+        # The storage/trace commands work on files/catalogs, not on a workspace.
         if args.command == "ingest":
             outcome = _cmd_ingest(args)
         elif args.command == "info":
             outcome = _cmd_info(args)
+        elif args.command == "trace":
+            outcome = _cmd_trace(args)
         else:
             workspace = _make_workspace(args)
             handler = {
@@ -491,8 +605,12 @@ def main(argv: list[str] | None = None) -> int:
                 "experiment": _cmd_experiment,
                 "interactive": _cmd_interactive,
                 "bench": _cmd_bench,
+                "stats": _cmd_stats,
             }[args.command]
             outcome = handler(args, workspace)
+            # Push any buffered span records out so a --trace file is complete
+            # when the envelope prints.
+            workspace.telemetry.flush()
         payload = outcome if isinstance(outcome, dict) else outcome.to_dict()
         envelope = {
             "ok": True,
@@ -500,7 +618,7 @@ def main(argv: list[str] | None = None) -> int:
             "elapsed": time.perf_counter() - started,
             "result": payload,
         }
-        if args.command not in ("ingest", "info"):
+        if args.command not in ("ingest", "info", "trace"):
             envelope["engine_stats"] = workspace.stats()
     except (ReproError, OSError) as error:
         envelope = {

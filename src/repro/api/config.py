@@ -6,6 +6,7 @@ through JSON-safe dictionaries (``to_dict``/``from_dict``).  They replace the
 scattered keyword arguments of the legacy module-level entry points:
 
 * :class:`EngineConfig`       -- cache sizing of a :class:`~repro.engine.QueryEngine`;
+* :class:`TelemetryConfig`    -- the observability layer (tracing, profiling);
 * :class:`LearnerConfig`      -- Algorithm 1/2/3 parameters (``k``, semantics, ...);
 * :class:`InteractiveConfig`  -- the Figure 9 loop (strategy, budgets, halt);
 * :class:`ExperimentConfig`   -- the Section 5 experiment drivers;
@@ -99,8 +100,12 @@ class EngineConfig(_BaseConfig):
             f"refresh_ratio must be a non-negative number, got {self.refresh_ratio!r}",
         )
 
-    def build(self):
-        """A fresh :class:`~repro.engine.QueryEngine` with this sizing."""
+    def build(self, telemetry=None):
+        """A fresh :class:`~repro.engine.QueryEngine` with this sizing.
+
+        ``telemetry`` is an optional :class:`~repro.telemetry.Telemetry`
+        facade the engine should report into (None: a fresh disabled one).
+        """
         from repro.engine.engine import QueryEngine
 
         return QueryEngine(
@@ -108,6 +113,66 @@ class EngineConfig(_BaseConfig):
             result_cache_size=self.result_cache_size,
             incremental_refresh=self.incremental_refresh,
             refresh_ratio=float(self.refresh_ratio),
+            telemetry=telemetry,
+        )
+
+
+@dataclass(frozen=True)
+class TelemetryConfig(_BaseConfig):
+    """Parameters of the observability layer of one workspace/engine.
+
+    ``enabled`` turns on structured tracing (spans buffered in a ring and,
+    when ``trace_path`` is set, appended as JSON Lines with size-based
+    rotation); ``profile`` attaches per-query execution profiles to
+    :class:`~repro.api.QueryResult` objects and interactive rounds.  All off
+    by default: a default-constructed config builds the no-op telemetry every
+    engine carries anyway, so the fast path stays byte-identical.
+    """
+
+    enabled: bool = False
+    trace_path: str | None = None
+    profile: bool = False
+    trace_max_bytes: int = 8 * 1024 * 1024
+    trace_keep: int = 3
+    buffer_events: int = 2048
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.enabled, bool),
+            f"enabled must be a bool, got {self.enabled!r}",
+        )
+        _require(
+            self.trace_path is None or isinstance(self.trace_path, str),
+            f"trace_path must be None or a path string, got {self.trace_path!r}",
+        )
+        _require(
+            isinstance(self.profile, bool),
+            f"profile must be a bool, got {self.profile!r}",
+        )
+        _require(
+            isinstance(self.trace_max_bytes, int) and self.trace_max_bytes >= 1024,
+            f"trace_max_bytes must be an int >= 1024, got {self.trace_max_bytes!r}",
+        )
+        _require(
+            isinstance(self.trace_keep, int) and self.trace_keep >= 0,
+            f"trace_keep must be a non-negative int, got {self.trace_keep!r}",
+        )
+        _require(
+            isinstance(self.buffer_events, int) and self.buffer_events >= 1,
+            f"buffer_events must be a positive int, got {self.buffer_events!r}",
+        )
+
+    def build(self):
+        """A fresh :class:`~repro.telemetry.Telemetry` facade."""
+        from repro.telemetry import Telemetry
+
+        return Telemetry(
+            enabled=self.enabled or self.trace_path is not None,
+            trace_path=self.trace_path,
+            profile=self.profile,
+            trace_max_bytes=self.trace_max_bytes,
+            trace_keep=self.trace_keep,
+            buffer_events=self.buffer_events,
         )
 
 

@@ -59,12 +59,17 @@ class QueryResult:
 
     ``selected`` holds the selected nodes (monadic semantics) or node pairs
     (binary semantics).  Implements the :class:`Result` protocol.
+
+    ``profile`` is the per-query execution profile captured when the owning
+    workspace's telemetry runs in profiling mode (compile/index/walk splits,
+    cache attribution, per-depth frontier sizes); None otherwise.
     """
 
     query: PathQuery | BinaryPathQuery
     semantics: str
     selected: frozenset
     elapsed: float = 0.0
+    profile: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -94,7 +99,7 @@ class QueryResult:
             selected: list = sorted(([o, e] for o, e in self.selected), key=repr)
         else:
             selected = sorted(self.selected, key=repr)
-        return {
+        payload = {
             "type": "QueryResult",
             "ok": self.ok,
             "elapsed": self.elapsed,
@@ -103,6 +108,9 @@ class QueryResult:
             "count": self.count,
             "selected": selected,
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "QueryResult":
@@ -124,6 +132,7 @@ class QueryResult:
                 semantics=semantics,
                 selected=selected,
                 elapsed=payload.get("elapsed", 0.0),
+                profile=payload.get("profile"),
             )
         except (KeyError, TypeError, IndexError) as error:
             raise SerializationError(f"malformed QueryResult payload: {error}") from error

@@ -30,6 +30,7 @@ from repro.api.config import (
     InteractiveConfig,
     LearnerConfig,
     StorageConfig,
+    TelemetryConfig,
 )
 from repro.api.result import QueryResult
 from repro.engine.engine import QueryEngine
@@ -79,12 +80,27 @@ class Workspace:
         *,
         engine: QueryEngine | None = None,
         engine_config: EngineConfig | None = None,
+        telemetry=None,
+        telemetry_config: TelemetryConfig | None = None,
         name: str = "workspace",
     ) -> None:
         if engine is not None and engine_config is not None:
             raise ConfigError("pass either a ready engine or an engine_config, not both")
+        if telemetry is not None and telemetry_config is not None:
+            raise ConfigError("pass either a ready telemetry or a telemetry_config, not both")
+        if engine is not None and (telemetry is not None or telemetry_config is not None):
+            raise ConfigError(
+                "a ready engine already carries its telemetry; pass telemetry only "
+                "together with an engine_config (or neither)"
+            )
+        if telemetry_config is not None:
+            telemetry = telemetry_config.build()
         self._graph = graph if graph is not None else GraphDB()
-        self._engine = engine if engine is not None else (engine_config or EngineConfig()).build()
+        self._engine = (
+            engine
+            if engine is not None
+            else (engine_config or EngineConfig()).build(telemetry=telemetry)
+        )
         self.name = name
 
     # -- constructors ---------------------------------------------------------
@@ -129,17 +145,29 @@ class Workspace:
         from repro.storage.view import GraphView
 
         storage = storage or StorageConfig()
+        # Materialize the telemetry before the storage call so the open span
+        # lands in the same trace the workspace will keep writing to.
+        if kwargs.get("telemetry") is None and kwargs.get("telemetry_config") is not None:
+            kwargs = dict(kwargs, telemetry=kwargs["telemetry_config"].build())
+            del kwargs["telemetry_config"]
+        telemetry = kwargs.get("telemetry")
         path = Path(source)
         # Only a bare name (no suffix, no path separators) falls back to the
         # catalog; a missing *file* path stays a missing-file error.
         looks_like_name = path.suffix == "" and path.name == str(source)
         if path.exists() or not looks_like_name:
             index = open_snapshot(
-                path, verify=storage.verify_checksum, use_mmap=storage.use_mmap
+                path,
+                verify=storage.verify_checksum,
+                use_mmap=storage.use_mmap,
+                telemetry=telemetry,
             )
         else:
             index = storage.catalog().open(
-                str(source), verify=storage.verify_checksum, use_mmap=storage.use_mmap
+                str(source),
+                verify=storage.verify_checksum,
+                use_mmap=storage.use_mmap,
+                telemetry=telemetry,
             )
         workspace = cls(GraphView(index), **kwargs)
         workspace.name = kwargs.get("name", Path(str(source)).stem)
@@ -163,7 +191,7 @@ class Workspace:
         if getattr(self._graph, "has_fixed_alphabet", False):
             payload.setdefault("alphabet", sorted(self._graph.alphabet))
         index = self._engine.index_for(self._graph)
-        return write_snapshot(index, path, meta=payload)
+        return write_snapshot(index, path, meta=payload, telemetry=self.telemetry)
 
     # -- accessors ------------------------------------------------------------
 
@@ -176,6 +204,11 @@ class Workspace:
     def engine(self) -> QueryEngine:
         """The workspace-private query engine (isolated caches and stats)."""
         return self._engine
+
+    @property
+    def telemetry(self):
+        """The engine's :class:`~repro.telemetry.Telemetry` facade."""
+        return self._engine.telemetry
 
     def __repr__(self) -> str:
         return (
@@ -203,26 +236,29 @@ class Workspace:
                 f"BinaryPathQuery), got {type(expr).__name__}"
             )
         started = time.perf_counter()
-        if semantics == "binary":
-            if isinstance(expr, BinaryPathQuery):
-                query = expr
+        with self.telemetry.span("workspace.query", semantics=semantics) as span:
+            if semantics == "binary":
+                if isinstance(expr, BinaryPathQuery):
+                    query = expr
+                else:
+                    source = expr.expression if isinstance(expr, PathQuery) else expr
+                    query = BinaryPathQuery.parse(source, self._graph.alphabet)
+                selected: frozenset = query.evaluate(self._graph, engine=self._engine)
             else:
-                source = expr.expression if isinstance(expr, PathQuery) else expr
-                query = BinaryPathQuery.parse(source, self._graph.alphabet)
-            selected: frozenset = query.evaluate(self._graph, engine=self._engine)
-        else:
-            if isinstance(expr, PathQuery):
-                query = expr
-            elif isinstance(expr, BinaryPathQuery):
-                query = PathQuery.parse(expr.expression, self._graph.alphabet)
-            else:
-                query = PathQuery.parse(expr, self._graph.alphabet)
-            selected = query.evaluate(self._graph, engine=self._engine)
+                if isinstance(expr, PathQuery):
+                    query = expr
+                elif isinstance(expr, BinaryPathQuery):
+                    query = PathQuery.parse(expr.expression, self._graph.alphabet)
+                else:
+                    query = PathQuery.parse(expr, self._graph.alphabet)
+                selected = query.evaluate(self._graph, engine=self._engine)
+            span.set(expression=query.expression, selected=len(selected))
         return QueryResult(
             query=query,
             semantics=semantics,
             selected=selected,
             elapsed=time.perf_counter() - started,
+            profile=self._engine.take_profile(),
         )
 
     def learn(
@@ -397,6 +433,10 @@ class Workspace:
             graph_labels=len(self._graph.labels()),
         )
         return snapshot
+
+    def metrics_text(self) -> str:
+        """All registry metrics in the Prometheus text exposition format."""
+        return self.telemetry.registry.render_prometheus()
 
     # -- housekeeping ---------------------------------------------------------
 

@@ -80,6 +80,16 @@ class LRUCache:
         total = self.hits + self.misses
         return self.hits / total if total else 1.0
 
+    def metrics(self) -> dict[str, int | float]:
+        """The cache's hit economics as one JSON-safe dict (telemetry export)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(size={len(self._data)}/{self.capacity}, "

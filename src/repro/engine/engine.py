@@ -19,7 +19,7 @@ or stats (benchmarks, servers) instantiate their own.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from time import perf_counter
 from weakref import WeakKeyDictionary
 
 from repro.automata.dfa import DFA
@@ -32,21 +32,53 @@ from repro.engine.index import GraphIndex
 from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
 from repro.errors import GraphError, QueryError
 from repro.graphdb.graph import GraphDB, Node
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import QueryProfile, fingerprint_token
 
 #: Anything the engine accepts as a query: a raw automaton or any object
 #: exposing a ``dfa`` attribute (``PathQuery``, ``BinaryPathQuery``).
 Query = object
 
 
-@dataclass
 class EngineStats:
-    """Cumulative counters of one engine instance."""
+    """Cumulative counters of one engine instance.
 
-    evaluations: int = 0
-    index_builds: int = 0
-    index_refreshes: int = 0
-    plan_compilations: int = 0
-    kernel: KernelStats = field(default_factory=KernelStats)
+    Every counter is an instrument in the engine's telemetry
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (names like
+    ``engine_evaluations_total``), exposed behind plain int properties so
+    call sites keep writing ``stats.evaluations += 1``.  The registry view
+    of the same numbers powers Prometheus export; this class powers the
+    flat dict snapshots the drivers and tests consume.
+    """
+
+    _COUNTERS = {
+        "evaluations": ("engine_evaluations_total", "Kernel evaluations run"),
+        "index_builds": ("engine_index_builds_total", "CSR indexes built from scratch"),
+        "index_refreshes": (
+            "engine_index_refreshes_total",
+            "Stale CSR indexes repaired from a mutation delta",
+        ),
+        "index_adoptions": (
+            "engine_index_adoptions_total",
+            "Prebuilt (snapshot-backed) CSR indexes adopted without a build",
+        ),
+        "plan_compilations": (
+            "engine_plan_compilations_total",
+            "Automata compiled into plans (plan-cache misses)",
+        ),
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for attr, (name, help_text) in self._COUNTERS.items():
+            setattr(self, f"_{attr}", self.registry.counter(name, help=help_text))
+        self.kernel = KernelStats(self.registry)
+        self._caches: tuple = ()
+
+    def attach_caches(self, plan_cache: PlanCache, result_cache: ResultCache) -> None:
+        """Let :meth:`snapshot` report the engine's live cache economics."""
+        self._caches = (plan_cache, result_cache)
 
     @property
     def states_expanded(self) -> int:
@@ -59,15 +91,53 @@ class EngineStats:
         return self.kernel.edges_scanned
 
     def as_dict(self) -> dict[str, int]:
-        """A flat snapshot (cache counters are added by the engine)."""
+        """The engine-side counters as one flat dict (no cache counters;
+        :meth:`snapshot` adds those)."""
         return {
             "evaluations": self.evaluations,
             "index_builds": self.index_builds,
             "index_refreshes": self.index_refreshes,
+            "index_adoptions": self.index_adoptions,
             "plan_compilations": self.plan_compilations,
             "states_expanded": self.states_expanded,
             "edges_scanned": self.edges_scanned,
         }
+
+    def snapshot(self) -> dict[str, int | float]:
+        """A flat snapshot *including* the attached caches' hit economics."""
+        out: dict[str, int | float] = self.as_dict()
+        if self._caches:
+            plan_cache, result_cache = self._caches
+            out.update(
+                plan_cache_hits=plan_cache.hits,
+                plan_cache_misses=plan_cache.misses,
+                result_cache_hits=result_cache.hits,
+                result_cache_misses=result_cache.misses,
+                plan_cache_hit_rate=plan_cache.hit_rate,
+                result_cache_hit_rate=result_cache.hit_rate,
+            )
+        return out
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EngineStats({fields})"
+
+
+def _counter_property(attr: str) -> property:
+    private = f"_{attr}"
+
+    def fget(self) -> int:
+        return getattr(self, private).value
+
+    def fset(self, value: int) -> None:
+        getattr(self, private).value = value
+
+    return property(fget, fset, doc=f"Registry-backed counter '{attr}'.")
+
+
+for _attr in EngineStats._COUNTERS:
+    setattr(EngineStats, _attr, _counter_property(_attr))
+del _attr
 
 
 class QueryEngine:
@@ -87,6 +157,11 @@ class QueryEngine:
     refresh_ratio:
         The delta-to-index size ratio above which refresh gives up and the
         engine rebuilds (per-row merging stops paying off around there).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` bundle.  Omitted, the engine
+        creates a disabled one (metrics registry only -- the near-zero-cost
+        default).  Pass one with tracing or profiling enabled to capture
+        spans and per-query profiles.
     """
 
     def __init__(
@@ -96,14 +171,32 @@ class QueryEngine:
         result_cache_size: int = 1024,
         incremental_refresh: bool = True,
         refresh_ratio: float = 0.25,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.incremental_refresh = incremental_refresh
         self.refresh_ratio = refresh_ratio
-        self.stats = EngineStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats = EngineStats(self.telemetry.registry)
+        self.stats.attach_caches(self.plan_cache, self.result_cache)
+        self._register_cache_metrics()
+        #: The profile of the most recent evaluation (profiling mode only);
+        #: take it with :meth:`take_profile`.
+        self.last_profile: dict | None = None
         # Strongly holds each live graph's index; dies with the graph.
         self._indexes: WeakKeyDictionary[GraphDB, GraphIndex] = WeakKeyDictionary()
+
+    def _register_cache_metrics(self) -> None:
+        """Expose live cache hit economics as computed gauges."""
+        registry = self.telemetry.registry
+        for prefix, cache in (
+            ("engine_plan_cache", self.plan_cache),
+            ("engine_result_cache", self.result_cache),
+        ):
+            registry.callback(f"{prefix}_hits", lambda c=cache: c.hits)
+            registry.callback(f"{prefix}_misses", lambda c=cache: c.misses)
+            registry.callback(f"{prefix}_size", lambda c=cache: len(c))
 
     # -- resolution ----------------------------------------------------------
 
@@ -120,17 +213,31 @@ class QueryEngine:
             if index.is_current(graph):
                 return index
             if self.incremental_refresh:
-                refreshed = index.refresh(graph, max_ratio=self.refresh_ratio)
-                if refreshed is not None:
-                    self._indexes[graph] = refreshed
-                    self.stats.index_refreshes += 1
-                    return refreshed
+                with self.telemetry.span("engine.index_refresh") as span:
+                    refreshed = index.refresh(graph, max_ratio=self.refresh_ratio)
+                    if refreshed is not None:
+                        self._indexes[graph] = refreshed
+                        self.stats.index_refreshes += 1
+                        span.set(
+                            nodes=refreshed.num_nodes,
+                            edges=refreshed.edge_count,
+                            build_seconds=round(refreshed.build_seconds, 9),
+                        )
+                        return refreshed
+                    span.set(fallback="rebuild")
         else:
             prebuilt = getattr(graph, "prebuilt_index", None)
             if prebuilt is not None and prebuilt.is_current(graph):
                 self._indexes[graph] = prebuilt
+                self.stats.index_adoptions += 1
                 return prebuilt
-        index = GraphIndex.build(graph)
+        with self.telemetry.span("engine.index_build") as span:
+            index = GraphIndex.build(graph)
+            span.set(
+                nodes=index.num_nodes,
+                edges=index.edge_count,
+                build_seconds=round(index.build_seconds, 9),
+            )
         self._indexes[graph] = index
         self.stats.index_builds += 1
         return index
@@ -144,6 +251,7 @@ class QueryEngine:
                 f"is at (uid={graph.uid}, version={graph.version})"
             )
         self._indexes[graph] = index
+        self.stats.index_adoptions += 1
 
     def plan_for(self, query: Query) -> CompiledPlan:
         """The (cached) compiled plan of a query or automaton."""
@@ -192,7 +300,16 @@ class QueryEngine:
         CSR index.  ``max_depth`` (ephemeral only) bounds the accepted word
         length, which is how batched k-informativeness cuts the product at
         ``k`` symbols.
+
+        With telemetry active the call additionally emits an
+        ``engine.evaluate`` span and (in profiling mode) records a
+        :class:`~repro.telemetry.profile.QueryProfile`; the selected set is
+        identical either way (pinned by the telemetry identity tests).
         """
+        if self.telemetry.active:
+            return self._evaluate_observed(
+                graph, query, ephemeral=ephemeral, max_depth=max_depth
+            )
         if ephemeral:
             automaton = self._coerce_automaton(query)
             if not isinstance(automaton, TableAutomaton):
@@ -223,6 +340,181 @@ class QueryEngine:
         result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
         self.result_cache.put(key, result)
         return result
+
+    def _evaluate_observed(
+        self,
+        graph: GraphDB,
+        query: Query,
+        *,
+        ephemeral: bool,
+        max_depth: int | None,
+    ) -> frozenset[Node]:
+        """:meth:`evaluate` with span/profile capture (telemetry active)."""
+        kernel = self.stats.kernel
+        started = perf_counter()
+        with self.telemetry.span("engine.evaluate") as span:
+            if ephemeral:
+                automaton = self._coerce_automaton(query)
+                if not isinstance(automaton, TableAutomaton):
+                    raise QueryError(
+                        "ephemeral whole-graph evaluation needs a kernel "
+                        f"TableDFA/MergeFold, got {type(query).__name__}"
+                    )
+                if isinstance(automaton, MergeFold):
+                    automaton = automaton.to_table()
+                index = self.index_for(graph)
+                indexed = perf_counter()
+                self.stats.evaluations += 1
+                marks = kernel.mark()
+                depth_sizes: list[int] = []
+                selected_ids = executor.table_evaluate_all(
+                    index,
+                    automaton,
+                    kernel,
+                    max_depth=max_depth,
+                    depth_sizes=depth_sizes,
+                )
+                nodes_by_id = index.nodes_by_id
+                result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
+                self._observe(
+                    span,
+                    operation="evaluate",
+                    cache="ephemeral",
+                    plan=None,
+                    plan_outcome=None,
+                    index=index,
+                    marks=marks,
+                    depth_sizes=depth_sizes,
+                    compile_seconds=0.0,
+                    index_seconds=indexed - started,
+                    started=started,
+                    walk_started=indexed,
+                    selected=len(result),
+                )
+                return result
+            if max_depth is not None:
+                raise QueryError("max_depth is only supported with ephemeral=True")
+            plan_misses = self.plan_cache.misses
+            plan = self.plan_for(query)
+            plan_outcome = "miss" if self.plan_cache.misses > plan_misses else "hit"
+            compiled = perf_counter()
+            key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self._observe(
+                    span,
+                    operation="evaluate",
+                    cache="hit",
+                    plan=plan,
+                    plan_outcome=plan_outcome,
+                    index=None,
+                    marks=None,
+                    depth_sizes=[],
+                    compile_seconds=compiled - started,
+                    index_seconds=0.0,
+                    started=started,
+                    walk_started=None,
+                    selected=len(cached),
+                )
+                return cached
+            index = self.index_for(graph)
+            indexed = perf_counter()
+            self.stats.evaluations += 1
+            marks = kernel.mark()
+            depth_sizes = []
+            selected_ids = executor.evaluate_all(
+                index, plan, kernel, depth_sizes=depth_sizes
+            )
+            nodes_by_id = index.nodes_by_id
+            result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
+            self.result_cache.put(key, result)
+            self._observe(
+                span,
+                operation="evaluate",
+                cache="miss",
+                plan=plan,
+                plan_outcome=plan_outcome,
+                index=index,
+                marks=marks,
+                depth_sizes=depth_sizes,
+                compile_seconds=compiled - started,
+                index_seconds=indexed - compiled,
+                started=started,
+                walk_started=indexed,
+                selected=len(result),
+            )
+            return result
+
+    def _observe(
+        self,
+        span,
+        *,
+        operation: str,
+        cache: str,
+        plan: CompiledPlan | None,
+        plan_outcome: str | None,
+        index: GraphIndex | None,
+        marks: tuple[int, int] | None,
+        depth_sizes: list[int],
+        compile_seconds: float,
+        index_seconds: float,
+        started: float,
+        walk_started: float | None,
+        selected: int,
+    ) -> None:
+        """Stamp span attributes, histogram and (optionally) a profile."""
+        ended = perf_counter()
+        total_seconds = ended - started
+        walk_seconds = (ended - walk_started) if walk_started is not None else 0.0
+        states = edges = 0
+        if marks is not None:
+            now_states, now_edges = self.stats.kernel.mark()
+            states, edges = now_states - marks[0], now_edges - marks[1]
+        token = fingerprint_token(plan.fingerprint) if plan is not None else None
+        span.set(cache=cache, selected=selected)
+        if plan_outcome is not None:
+            span.set(plan_cache=plan_outcome)
+        if token is not None:
+            span.set(plan=token)
+        if index is not None:
+            span.set(
+                index_version=index.graph_version,
+                states_expanded=states,
+                edges_scanned=edges,
+                max_frontier=max(depth_sizes, default=0),
+            )
+        self.telemetry.registry.histogram(
+            "engine_evaluate_seconds",
+            help="Wall time of engine evaluations (perf_counter)",
+        ).observe(total_seconds)
+        if self.telemetry.profiling:
+            self.last_profile = QueryProfile(
+                operation=operation,
+                plan=token,
+                index_version=index.graph_version if index is not None else None,
+                index_uid=index.graph_uid if index is not None else None,
+                cache=cache,
+                plan_cache=plan_outcome,
+                compile_seconds=compile_seconds,
+                index_seconds=index_seconds,
+                walk_seconds=walk_seconds,
+                total_seconds=total_seconds,
+                states_expanded=states,
+                edges_scanned=edges,
+                depth_sizes=depth_sizes,
+                selected=selected,
+            ).to_dict()
+
+    def take_profile(self) -> dict | None:
+        """Pop the profile of the most recent evaluation (or None).
+
+        Profiles are recorded only in profiling mode
+        (``Telemetry(profile=True)``); the engine keeps exactly the latest
+        one, so take it immediately after the call of interest
+        (single-threaded use -- the same discipline the caches assume).
+        """
+        profile, self.last_profile = self.last_profile, None
+        return profile
 
     def selects(self, graph: GraphDB, query: Query, node: Node) -> bool:
         """Whether the query selects one given node of ``graph``."""
@@ -311,13 +603,16 @@ class QueryEngine:
         the workload -- the intended call pattern for the static experiment
         drivers and for serving query traffic.
         """
-        self.index_for(graph)
-        return [self.evaluate(graph, query) for query in queries]
+        with self.telemetry.span("engine.evaluate_many", count=len(queries)):
+            self.index_for(graph)
+            return [self.evaluate(graph, query) for query in queries]
 
     # -- binary semantics ----------------------------------------------------
 
     def binary_evaluate(self, graph: GraphDB, query: Query) -> frozenset[tuple[Node, Node]]:
         """The set of node pairs selected under the binary semantics."""
+        if self.telemetry.active:
+            return self._binary_evaluate_observed(graph, query)
         plan = self.plan_for(query)
         key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
         cached = self.result_cache.get(key)
@@ -332,6 +627,63 @@ class QueryEngine:
         )
         self.result_cache.put(key, result)
         return result
+
+    def _binary_evaluate_observed(
+        self, graph: GraphDB, query: Query
+    ) -> frozenset[tuple[Node, Node]]:
+        """:meth:`binary_evaluate` with span/profile capture."""
+        kernel = self.stats.kernel
+        started = perf_counter()
+        with self.telemetry.span("engine.binary_evaluate") as span:
+            plan_misses = self.plan_cache.misses
+            plan = self.plan_for(query)
+            plan_outcome = "miss" if self.plan_cache.misses > plan_misses else "hit"
+            compiled = perf_counter()
+            key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self._observe(
+                    span,
+                    operation="binary_evaluate",
+                    cache="hit",
+                    plan=plan,
+                    plan_outcome=plan_outcome,
+                    index=None,
+                    marks=None,
+                    depth_sizes=[],
+                    compile_seconds=compiled - started,
+                    index_seconds=0.0,
+                    started=started,
+                    walk_started=None,
+                    selected=len(cached),
+                )
+                return cached
+            index = self.index_for(graph)
+            indexed = perf_counter()
+            self.stats.evaluations += 1
+            marks = kernel.mark()
+            pair_ids = executor.binary_evaluate(index, plan, kernel)
+            nodes_by_id = index.nodes_by_id
+            result = frozenset(
+                (nodes_by_id[source], nodes_by_id[end]) for source, end in pair_ids
+            )
+            self.result_cache.put(key, result)
+            self._observe(
+                span,
+                operation="binary_evaluate",
+                cache="miss",
+                plan=plan,
+                plan_outcome=plan_outcome,
+                index=index,
+                marks=marks,
+                depth_sizes=[],
+                compile_seconds=compiled - started,
+                index_seconds=indexed - compiled,
+                started=started,
+                walk_started=indexed,
+                selected=len(result),
+            )
+            return result
 
     def pair_selects(
         self,
@@ -387,16 +739,7 @@ class QueryEngine:
 
     def stats_snapshot(self) -> dict[str, int | float]:
         """All counters (kernel work + cache hit rates) as one flat dict."""
-        snapshot: dict[str, int | float] = dict(self.stats.as_dict())
-        snapshot.update(
-            plan_cache_hits=self.plan_cache.hits,
-            plan_cache_misses=self.plan_cache.misses,
-            result_cache_hits=self.result_cache.hits,
-            result_cache_misses=self.result_cache.misses,
-            plan_cache_hit_rate=self.plan_cache.hit_rate,
-            result_cache_hit_rate=self.result_cache.hit_rate,
-        )
-        return snapshot
+        return self.stats.snapshot()
 
     def __repr__(self) -> str:
         return (

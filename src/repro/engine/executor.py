@@ -24,20 +24,63 @@ from repro.automata.nfa import NFA
 from repro.engine.index import GraphIndex
 from repro.engine.plan import CompiledPlan
 from repro.errors import GraphError
+from repro.telemetry.metrics import Counter, MetricsRegistry
 
 
 class KernelStats:
-    """Mutable counters a kernel accumulates into (shared with the engine)."""
+    """Mutable counters a kernel accumulates into (shared with the engine).
 
-    __slots__ = ("states_expanded", "edges_scanned")
+    The two counters are telemetry :class:`~repro.telemetry.metrics.Counter`
+    instruments (registered as ``kernel_states_expanded_total`` /
+    ``kernel_edges_scanned_total`` when a registry is supplied), exposed
+    behind plain int properties so every kernel call site keeps its single
+    ``stats.states_expanded += n`` store per call.
+    """
 
-    def __init__(self) -> None:
-        self.states_expanded = 0
-        self.edges_scanned = 0
+    __slots__ = ("_states", "_edges")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            self._states = Counter("kernel_states_expanded_total")
+            self._edges = Counter("kernel_edges_scanned_total")
+        else:
+            self._states = registry.counter(
+                "kernel_states_expanded_total",
+                help="Product pairs popped by the BFS kernels",
+            )
+            self._edges = registry.counter(
+                "kernel_edges_scanned_total",
+                help="CSR adjacency entries touched by the BFS kernels",
+            )
+
+    @property
+    def states_expanded(self) -> int:
+        return self._states.value
+
+    @states_expanded.setter
+    def states_expanded(self, value: int) -> None:
+        self._states.value = value
+
+    @property
+    def edges_scanned(self) -> int:
+        return self._edges.value
+
+    @edges_scanned.setter
+    def edges_scanned(self, value: int) -> None:
+        self._edges.value = value
+
+    def mark(self) -> tuple[int, int]:
+        """The current ``(states_expanded, edges_scanned)`` pair -- take one
+        before and after a kernel call to attribute its work to a profile."""
+        return self._states.value, self._edges.value
 
 
 def evaluate_all(
-    index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+    index: GraphIndex,
+    plan: CompiledPlan,
+    stats: KernelStats | None = None,
+    *,
+    depth_sizes: list[int] | None = None,
 ) -> frozenset[int]:
     """Int ids of all nodes the query selects (monadic semantics).
 
@@ -45,6 +88,10 @@ def evaluate_all(
     the co-reachable set; a node is selected iff one of its initial pairs is
     co-reachable.  ``O(|E| * k + |V| * k)`` like the reference, but on a
     dense bitmap over int codes.
+
+    ``depth_sizes``, when given, receives the number of product pairs
+    expanded per BFS layer (layer 0 = the accepting seed pairs) -- the
+    per-depth frontier profile telemetry attaches to query results.
     """
     if plan.is_empty_language:
         return frozenset()
@@ -66,6 +113,11 @@ def evaluate_all(
 
     expanded = 0
     scanned = 0
+    track = depth_sizes is not None
+    level_left = 0
+    if track and queue:
+        level_left = len(queue)
+        depth_sizes.append(level_left)
     while queue:
         code = queue.popleft()
         node, state = divmod(code, k)
@@ -86,6 +138,14 @@ def evaluate_all(
                     if not visited[pred_code]:
                         visited[pred_code] = 1
                         queue.append(pred_code)
+        if track:
+            # After the last pop of a layer, the queue holds exactly the
+            # next layer (FIFO BFS invariant) -- no per-push bookkeeping.
+            level_left -= 1
+            if not level_left:
+                level_left = len(queue)
+                if level_left:
+                    depth_sizes.append(level_left)
     if stats is not None:
         stats.states_expanded += expanded
         stats.edges_scanned += scanned
@@ -331,6 +391,7 @@ def table_evaluate_all(
     stats: KernelStats | None = None,
     *,
     max_depth: int | None = None,
+    depth_sizes: list[int] | None = None,
 ) -> frozenset[int]:
     """:func:`evaluate_all` for kernel automata (no plan compilation).
 
@@ -379,6 +440,8 @@ def table_evaluate_all(
     depth = 0
     expanded = 0
     scanned = 0
+    if depth_sizes is not None and frontier:
+        depth_sizes.append(len(frontier))
     while frontier and (max_depth is None or depth < max_depth):
         depth += 1
         next_frontier: list[int] = []
@@ -400,6 +463,8 @@ def table_evaluate_all(
                             visited[pred_code] = 1
                             next_frontier.append(pred_code)
         frontier = next_frontier
+        if depth_sizes is not None and frontier:
+            depth_sizes.append(len(frontier))
     if stats is not None:
         stats.states_expanded += expanded
         stats.edges_scanned += scanned

@@ -31,6 +31,7 @@ from __future__ import annotations
 from array import array
 from itertools import accumulate, chain
 from operator import sub
+from time import perf_counter
 
 from repro.graphdb.graph import GraphDB, Node
 
@@ -57,6 +58,7 @@ class GraphIndex:
         "bwd_offsets",
         "bwd_targets",
         "edge_count",
+        "build_seconds",
     )
 
     def __init__(
@@ -95,12 +97,18 @@ class GraphIndex:
         self.bwd_offsets = bwd_offsets
         self.bwd_targets = bwd_targets
         self.edge_count = edge_count
+        #: Wall time (perf_counter) spent producing this index: the full
+        #: build or incremental refresh that made it, 0.0 for snapshot
+        #: loads and hand-constructed indexes.  Telemetry only -- never
+        #: part of the canonical byte form.
+        self.build_seconds = 0.0
 
     # -- construction --------------------------------------------------------
 
     @classmethod
     def build(cls, graph: GraphDB) -> "GraphIndex":
         """Snapshot the graph into CSR form (one pass over the edge set)."""
+        started = perf_counter()
         nodes_by_id = tuple(graph.node_order)
         node_ids = {node: index for index, node in enumerate(nodes_by_id)}
         labels_by_id = tuple(graph.label_order)
@@ -125,7 +133,7 @@ class GraphIndex:
             bwd_offsets.append(bwd_off)
             bwd_targets.append(bwd_tgt)
 
-        return cls(
+        index = cls(
             graph_uid=graph.uid,
             graph_version=graph.version,
             nodes_by_id=nodes_by_id,
@@ -138,6 +146,8 @@ class GraphIndex:
             bwd_targets=bwd_targets,
             edge_count=graph.edge_count(),
         )
+        index.build_seconds = perf_counter() - started
+        return index
 
     # -- incremental maintenance ---------------------------------------------
 
@@ -169,6 +179,7 @@ class GraphIndex:
             return None
         if len(delta) > max(16, int(max_ratio * max(1, self.edge_count))):
             return None
+        started = perf_counter()
 
         new_nodes: list[Node] = []
         delta_edges: list[tuple[Node, str, Node]] = []
@@ -235,7 +246,7 @@ class GraphIndex:
         # Always a plain in-memory index, even when refreshing a subclass
         # (e.g. a storage-layer mapped index): the merged arrays are heap
         # arrays, not views into the source file.
-        return GraphIndex(
+        refreshed = GraphIndex(
             graph_uid=graph.uid,
             graph_version=graph.version,
             nodes_by_id=nodes_by_id,
@@ -248,6 +259,8 @@ class GraphIndex:
             bwd_targets=bwd_targets,
             edge_count=self.edge_count + len(delta_edges),
         )
+        refreshed.build_seconds = perf_counter() - started
+        return refreshed
 
     # -- accessors -----------------------------------------------------------
 

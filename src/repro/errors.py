@@ -59,5 +59,10 @@ class ConfigError(ReproError):
     """A typed configuration object (:mod:`repro.api.config`) is invalid."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry operation failed (metric type clash, unreadable trace,
+    malformed trace record, ...)."""
+
+
 class SerializationError(ReproError):
     """A result or config payload could not be (de)serialized."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.engine.engine import QueryEngine
+from repro.engine.engine import QueryEngine, get_default_engine
 from repro.errors import InteractionError, SerializationError
 from repro.graphdb.graph import GraphDB, Node
 from repro.interactive.oracle import Oracle
@@ -36,7 +36,12 @@ from repro.queries.path_query import PathQuery
 
 @dataclass(frozen=True)
 class Interaction:
-    """One user interaction: the proposed node, its label and bookkeeping data."""
+    """One user interaction: the proposed node, its label and bookkeeping data.
+
+    ``profile`` (profiling-mode sessions only) is a JSON-safe per-round
+    breakdown: oracle vs learn seconds, whether the hypothesis was reused,
+    and the engine's per-query profile of the round's last evaluation.
+    """
 
     index: int
     node: Node
@@ -44,10 +49,11 @@ class Interaction:
     k: int
     seconds: float
     learned_expression: str | None
+    profile: dict | None = None
 
     def to_dict(self) -> dict:
         """A JSON-safe snapshot of this interaction."""
-        return {
+        payload = {
             "index": self.index,
             "node": self.node,
             "label": self.label,
@@ -55,6 +61,9 @@ class Interaction:
             "seconds": self.seconds,
             "learned_expression": self.learned_expression,
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Interaction":
@@ -66,6 +75,7 @@ class Interaction:
             k=payload["k"],
             seconds=payload["seconds"],
             learned_expression=payload.get("learned_expression"),
+            profile=payload.get("profile"),
         )
 
 
@@ -202,6 +212,12 @@ class InteractiveSession:
         #: session; the final result and checkpoints add it back in.
         self.prior_seconds = 0.0
 
+    @property
+    def telemetry(self):
+        """The session engine's telemetry bundle (the default engine's when
+        no engine was supplied)."""
+        return (self.engine or get_default_engine()).telemetry
+
     # -- steps of the Figure 9 loop -------------------------------------------
 
     def propose_node(self) -> Node | None:
@@ -263,24 +279,51 @@ class InteractiveSession:
             and len(self.interactions) >= self.max_interactions
         ):
             return None
-        node = self.propose_node()
-        if node is None:
-            return None
-        started = time.perf_counter()
-        label = self.oracle.label(self.graph, node)
-        self.record_label(node, label)
-        result = self.learn()
-        elapsed = time.perf_counter() - started
-        interaction = Interaction(
-            index=len(self.interactions),
-            node=node,
-            label=label,
-            k=self.k,
-            seconds=elapsed,
-            learned_expression=None if result.is_null else result.query.expression,
-        )
-        self.interactions.append(interaction)
-        return interaction
+        telemetry = self.telemetry
+        with telemetry.span("interactive.round", round=len(self.interactions)) as span:
+            node = self.propose_node()
+            if node is None:
+                span.set(outcome="no_informative_node")
+                return None
+            started = time.perf_counter()
+            label = self.oracle.label(self.graph, node)
+            labeled = time.perf_counter()
+            self.record_label(node, label)
+            reuses_before = (
+                self.state.counters["reused_learns"] if self.state is not None else 0
+            )
+            result = self.learn()
+            elapsed = time.perf_counter() - started
+            profile = None
+            if telemetry.profiling:
+                reused = (
+                    self.state is not None
+                    and self.state.counters["reused_learns"] > reuses_before
+                )
+                profile = {
+                    "oracle_seconds": labeled - started,
+                    "learn_seconds": result.elapsed,
+                    "round_seconds": elapsed,
+                    "reused_hypothesis": reused,
+                    "evaluate": (self.engine or get_default_engine()).take_profile(),
+                }
+            interaction = Interaction(
+                index=len(self.interactions),
+                node=node,
+                label=label,
+                k=self.k,
+                seconds=elapsed,
+                learned_expression=None if result.is_null else result.query.expression,
+                profile=profile,
+            )
+            span.set(
+                node=str(node),
+                label=label,
+                k=self.k,
+                learned=interaction.learned_expression,
+            )
+            self.interactions.append(interaction)
+            return interaction
 
     # -- halt conditions --------------------------------------------------------
 
@@ -298,21 +341,23 @@ class InteractiveSession:
         """Run interactions until the halt condition triggers or nothing remains."""
         started = time.perf_counter()
         halted_by = "exhausted"
-        # The loop needs at least one positive label before a query can exist,
-        # so the halt check runs after each interaction.
-        while True:
-            if self.goal_reached():
-                halted_by = "goal"
-                break
-            interaction = self.step()
-            if interaction is None:
-                halted_by = (
-                    "max_interactions"
-                    if self.max_interactions is not None
-                    and len(self.interactions) >= self.max_interactions
-                    else "no_informative_node"
-                )
-                break
+        with self.telemetry.span("interactive.session") as span:
+            # The loop needs at least one positive label before a query can
+            # exist, so the halt check runs after each interaction.
+            while True:
+                if self.goal_reached():
+                    halted_by = "goal"
+                    break
+                interaction = self.step()
+                if interaction is None:
+                    halted_by = (
+                        "max_interactions"
+                        if self.max_interactions is not None
+                        and len(self.interactions) >= self.max_interactions
+                        else "no_informative_node"
+                    )
+                    break
+            span.set(halted_by=halted_by, interactions=len(self.interactions))
         self.prior_seconds += time.perf_counter() - started
         query = None if self.last_result is None else self.last_result.best_effort_query
         return InteractiveResult(

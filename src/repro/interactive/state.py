@@ -310,6 +310,16 @@ class SessionState:
             "full_learns": 0,
             "reused_learns": 0,
         }
+        # Mirror the counters into the engine's metrics registry as computed
+        # gauges (one registration per session; a newer session for the same
+        # engine takes over the names).
+        registry = self.engine.telemetry.registry
+        for name in self.counters:
+            registry.callback(
+                f"interactive_{name}",
+                lambda n=name, c=self.counters: c[n],
+                help=f"Session incrementality counter '{name}'",
+            )
 
     # -- label propagation ----------------------------------------------------
 
@@ -411,7 +421,13 @@ class SessionState:
             )
             return self._informative
         table = self._uncovered_table(index)
-        selected = self.engine.evaluate(self.graph, table, ephemeral=True, max_depth=self.k)
+        with self.engine.telemetry.span(
+            "interactive.batched_walk", k=self.k, negatives=len(self.sample.negatives)
+        ) as span:
+            selected = self.engine.evaluate(
+                self.graph, table, ephemeral=True, max_depth=self.k
+            )
+            span.set(selected=len(selected))
         self.counters["batched_walks"] += 1
         self._informative = selected - labeled
         # One walk decided every node: seed the per-node verdict caches.
@@ -548,23 +564,26 @@ class SessionState:
         bound, raise the bound up to ``k_max``.
         """
         started = time.perf_counter()
-        reused = self._reusable_result(k)
-        if reused is not None:
-            self.counters["reused_learns"] += 1
-            result = replace(reused, elapsed=time.perf_counter() - started)
-        else:
-            coverage = self.coverage()
-            result = learn_path_query(
-                self.graph, self.sample, k=k, engine=self.engine, coverage=coverage
-            )
-            self.counters["full_learns"] += 1
-            learn_k = k
-            while result.is_null and result.positives_without_scp and learn_k < k_max:
-                learn_k += 1
+        with self.engine.telemetry.span("interactive.learn", k=k) as span:
+            reused = self._reusable_result(k)
+            if reused is not None:
+                self.counters["reused_learns"] += 1
+                result = replace(reused, elapsed=time.perf_counter() - started)
+                span.set(reused=True)
+            else:
+                coverage = self.coverage()
                 result = learn_path_query(
-                    self.graph, self.sample, k=learn_k, engine=self.engine, coverage=coverage
+                    self.graph, self.sample, k=k, engine=self.engine, coverage=coverage
                 )
                 self.counters["full_learns"] += 1
+                learn_k = k
+                while result.is_null and result.positives_without_scp and learn_k < k_max:
+                    learn_k += 1
+                    result = learn_path_query(
+                        self.graph, self.sample, k=learn_k, engine=self.engine, coverage=coverage
+                    )
+                    self.counters["full_learns"] += 1
+                span.set(reused=False, final_k=result.k)
         self.last_result = result
         self._pending_positives.clear()
         self._pending_negatives.clear()

@@ -163,54 +163,72 @@ def learn_path_query(
         return LearnerResult(query=None, k=k, elapsed=time.perf_counter() - started)
 
     engine = engine or get_default_engine()
-    scps = select_smallest_consistent_paths(
-        graph, sample, k=k, engine=engine, coverage=coverage
-    )
-    positives_without_scp = frozenset(sample.positives - scps.keys())
-    if not scps:
+    telemetry = engine.telemetry
+    with telemetry.span(
+        "learner.learn",
+        k=k,
+        positives=len(sample.positives),
+        negatives=len(sample.negatives),
+    ) as span:
+        with telemetry.span("learner.scp_select"):
+            scps = select_smallest_consistent_paths(
+                graph, sample, k=k, engine=engine, coverage=coverage
+            )
+        positives_without_scp = frozenset(sample.positives - scps.keys())
+        if not scps:
+            span.set(outcome="null", scps=0)
+            return LearnerResult(
+                query=None,
+                k=k,
+                positives_without_scp=positives_without_scp,
+                elapsed=time.perf_counter() - started,
+            )
+
+        # The whole select/merge/check loop runs on the int-coded kernel: the
+        # PTA is built directly as a TableDFA from the interned SCPs, candidate
+        # merges mutate one MergeFold in place (undo log, no copies), and the
+        # guard walks the fold against the engine's CSR index without plan
+        # compilation.
+        pta = pta_table(graph.alphabet, scps.values())
+
+        negatives = sample.negatives
+
+        def violates(candidate: MergeFold) -> bool:
+            if not negatives:
+                return False
+            # Early-exit multi-source product BFS on the engine's CSR index; the
+            # graph is indexed once for the whole merge loop, and each one-shot
+            # candidate skips plan compilation entirely (ephemeral).
+            return engine.any_selects(graph, candidate, negatives, ephemeral=True)
+
+        with telemetry.span("learner.generalize", pta_states=pta.n) as merge_span:
+            fold = fold_generalize(pta, violates)
+            canonical = canonical_dfa(fold.to_table())
+            merge_span.set(generalized_states=len(canonical))
+
+        with telemetry.span("learner.final_check"):
+            selects_all = all(
+                engine.selects(graph, canonical, node) for node in sample.positives
+            )
+        hypothesis = PathQuery(canonical)
+        query = hypothesis if selects_all else None
+        span.set(
+            outcome="learned" if selects_all else "null",
+            scps=len(scps),
+            pta_states=pta.n,
+            generalized_states=len(canonical),
+        )
         return LearnerResult(
-            query=None,
+            query=query,
             k=k,
+            scps=scps,
+            pta_states=pta.n,
+            generalized_states=len(canonical),
             positives_without_scp=positives_without_scp,
+            selects_all_positives=selects_all,
+            hypothesis=hypothesis,
             elapsed=time.perf_counter() - started,
         )
-
-    # The whole select/merge/check loop runs on the int-coded kernel: the
-    # PTA is built directly as a TableDFA from the interned SCPs, candidate
-    # merges mutate one MergeFold in place (undo log, no copies), and the
-    # guard walks the fold against the engine's CSR index without plan
-    # compilation.
-    pta = pta_table(graph.alphabet, scps.values())
-
-    negatives = sample.negatives
-
-    def violates(candidate: MergeFold) -> bool:
-        if not negatives:
-            return False
-        # Early-exit multi-source product BFS on the engine's CSR index; the
-        # graph is indexed once for the whole merge loop, and each one-shot
-        # candidate skips plan compilation entirely (ephemeral).
-        return engine.any_selects(graph, candidate, negatives, ephemeral=True)
-
-    fold = fold_generalize(pta, violates)
-    canonical = canonical_dfa(fold.to_table())
-
-    selects_all = all(
-        engine.selects(graph, canonical, node) for node in sample.positives
-    )
-    hypothesis = PathQuery(canonical)
-    query = hypothesis if selects_all else None
-    return LearnerResult(
-        query=query,
-        k=k,
-        scps=scps,
-        pta_states=pta.n,
-        generalized_states=len(canonical),
-        positives_without_scp=positives_without_scp,
-        selects_all_positives=selects_all,
-        hypothesis=hypothesis,
-        elapsed=time.perf_counter() - started,
-    )
 
 
 def dynamic_k_procedure(

@@ -197,7 +197,14 @@ class DatasetCatalog:
 
     # -- access ---------------------------------------------------------------
 
-    def open(self, name: str, *, verify: bool = False, use_mmap: bool = True) -> MappedGraphIndex:
+    def open(
+        self,
+        name: str,
+        *,
+        verify: bool = False,
+        use_mmap: bool = True,
+        telemetry=None,
+    ) -> MappedGraphIndex:
         """Open the named snapshot as a :class:`MappedGraphIndex`."""
         entry = self.entries().get(name)
         if entry is None:
@@ -205,7 +212,9 @@ class DatasetCatalog:
                 f"no catalog snapshot named {name!r} "
                 f"(known: {', '.join(self.names()) or 'none'})"
             )
-        return open_snapshot(self.root / entry["file"], verify=verify, use_mmap=use_mmap)
+        return open_snapshot(
+            self.root / entry["file"], verify=verify, use_mmap=use_mmap, telemetry=telemetry
+        )
 
     def open_view(self, name: str, **options) -> GraphView:
         """Open the named snapshot as a frozen :class:`GraphView`."""

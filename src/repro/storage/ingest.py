@@ -35,6 +35,10 @@ from repro.errors import StorageError
 from repro.graphdb.graph import mint_graph_uid
 from repro.graphdb.io import unescape_field
 from repro.storage.view import GraphView
+from repro.telemetry import Telemetry
+
+#: Shared disabled bundle backing the default ``telemetry=None``.
+_NOOP_TELEMETRY = Telemetry()
 
 #: Node ids are packed two-per-int64; each must fit 32 bits.
 _MAX_NODES = 1 << 31
@@ -228,13 +232,25 @@ class _ErrorPolicy:
 
 
 def _run(
-    source, fmt_name: str, parse_line, *, on_error, max_errors, progress, progress_every, dedupe
+    source,
+    fmt_name: str,
+    parse_line,
+    *,
+    on_error,
+    max_errors,
+    progress,
+    progress_every,
+    dedupe,
+    telemetry: Telemetry | None = None,
 ) -> Ingestion:
     """The shared streaming loop: feed lines to ``parse_line``, build, report.
 
     ``parse_line(line, line_number, builder, policy)`` returns True when it
-    added an edge (False for directives/comments/skips).
+    added an edge (False for directives/comments/skips).  ``telemetry``,
+    when given, records one ``storage.ingest`` span for the whole run and
+    bumps the ``storage_ingest_*`` counters.
     """
+    telemetry = telemetry if telemetry is not None else _NOOP_TELEMETRY
     started = time.perf_counter()
     report = IngestReport(format=fmt_name)
     policy = _ErrorPolicy(on_error, max_errors, report)
@@ -243,20 +259,37 @@ def _run(
     report.source = feed.name
     if progress_every < 1:
         raise StorageError(f"progress_every must be >= 1, got {progress_every!r}")
-    try:
-        for line_number, line in enumerate(feed.lines, start=1):
-            report.lines_read = line_number
-            if parse_line(line, line_number, builder, policy):
-                report.edges_added += 1
-            if progress is not None and line_number % progress_every == 0:
-                progress(line_number, report.edges_added)
-    finally:
-        feed.close()
-    index = builder.build_index()
-    report.duplicate_edges = builder.duplicates
-    report.nodes_added = index.num_nodes
-    report.labels_added = index.num_labels
-    report.elapsed = time.perf_counter() - started
+    with telemetry.span(
+        "storage.ingest", format=fmt_name, source=report.source
+    ) as span:
+        try:
+            for line_number, line in enumerate(feed.lines, start=1):
+                report.lines_read = line_number
+                if parse_line(line, line_number, builder, policy):
+                    report.edges_added += 1
+                if progress is not None and line_number % progress_every == 0:
+                    progress(line_number, report.edges_added)
+        finally:
+            feed.close()
+        index = builder.build_index()
+        report.duplicate_edges = builder.duplicates
+        report.nodes_added = index.num_nodes
+        report.labels_added = index.num_labels
+        report.elapsed = time.perf_counter() - started
+        span.set(
+            lines=report.lines_read,
+            edges=report.edges_added,
+            nodes=report.nodes_added,
+            malformed=report.malformed_lines,
+        )
+    registry = telemetry.registry
+    registry.counter("storage_ingest_runs_total", help="Bulk ingestion runs").inc()
+    registry.counter(
+        "storage_ingest_lines_total", help="Source lines read by bulk ingestion"
+    ).inc(report.lines_read)
+    registry.counter(
+        "storage_ingest_edges_total", help="Edges added by bulk ingestion"
+    ).inc(report.edges_added)
     if progress is not None:
         progress(report.lines_read, report.edges_added)
     return Ingestion(index, report)
@@ -273,6 +306,7 @@ def ingest_edge_list(
     progress=None,
     progress_every: int = 100_000,
     dedupe: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> Ingestion:
     """Stream a tab-separated edge list (the :mod:`repro.graphdb.io` dialect:
     ``#`` comments, ``%node`` directives, backslash-escaped fields)."""
@@ -307,6 +341,7 @@ def ingest_edge_list(
         progress=progress,
         progress_every=progress_every,
         dedupe=dedupe,
+        telemetry=telemetry,
     )
 
 
@@ -318,6 +353,7 @@ def ingest_jsonl(
     progress=None,
     progress_every: int = 100_000,
     dedupe: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> Ingestion:
     """Stream JSON Lines: ``["origin", "label", "end"]`` triples or objects
     with ``origin``/``label``/``end`` keys (``{"node": name}`` declares an
@@ -361,6 +397,7 @@ def ingest_jsonl(
         progress=progress,
         progress_every=progress_every,
         dedupe=dedupe,
+        telemetry=telemetry,
     )
 
 
@@ -374,6 +411,7 @@ def ingest_csv(
     progress=None,
     progress_every: int = 100_000,
     dedupe: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> Ingestion:
     """Stream a 3-column CSV of ``origin,label,end`` rows.
 
@@ -418,6 +456,7 @@ def ingest_csv(
         progress=progress,
         progress_every=progress_every,
         dedupe=dedupe,
+        telemetry=telemetry,
     )
 
 

@@ -26,9 +26,14 @@ from repro.engine.index import GraphIndex
 from repro.errors import StorageError
 from repro.graphdb.graph import mint_graph_uid
 from repro.storage import format as fmt
+from repro.telemetry import Telemetry
 
 #: The canonical snapshot file extension.
 SNAPSHOT_SUFFIX = ".rgz"
+
+#: Shared disabled bundle: the default when callers pass no telemetry, so
+#: the span/counter call sites below stay unconditional.
+_NOOP_TELEMETRY = Telemetry()
 
 
 class MappedGraphIndex(GraphIndex):
@@ -75,15 +80,44 @@ class MappedGraphIndex(GraphIndex):
         )
 
 
-def write_snapshot(index: GraphIndex, path: str | Path, *, meta: dict | None = None) -> dict:
+def write_snapshot(
+    index: GraphIndex,
+    path: str | Path,
+    *,
+    meta: dict | None = None,
+    telemetry: Telemetry | None = None,
+) -> dict:
     """Serialize ``index`` (node/label tables + CSR arrays) to ``path``.
 
     Every node identifier must be a string (the paper's graphs and every
     ingestion path use string ids); other identifiers have no canonical
     byte encoding and are rejected.  Returns the info dict that
     :func:`snapshot_info` would report for the written file.
+
+    ``telemetry``, when given, records a ``storage.write_snapshot`` span
+    and bumps the ``storage_snapshot_writes_total`` /
+    ``storage_snapshot_bytes_written_total`` counters.
     """
+    telemetry = telemetry if telemetry is not None else _NOOP_TELEMETRY
+    with telemetry.span("storage.write_snapshot", path=str(path)) as span:
+        info = _write_snapshot(index, path, meta=meta)
+        span.set(
+            nodes=info.get("nodes"),
+            edges=info.get("edges"),
+            bytes=info.get("file_bytes"),
+        )
+    telemetry.registry.counter(
+        "storage_snapshot_writes_total", help="Snapshots written"
+    ).inc()
+    telemetry.registry.counter(
+        "storage_snapshot_bytes_written_total", help="Snapshot bytes written"
+    ).inc(int(info.get("file_bytes") or 0))
+    return info
+
+
+def _write_snapshot(index: GraphIndex, path: str | Path, *, meta: dict | None = None) -> dict:
     destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
     n, m = index.num_nodes, index.num_labels
 
     node_blob_parts: list[bytes] = []
@@ -161,7 +195,11 @@ def write_snapshot(index: GraphIndex, path: str | Path, *, meta: dict | None = N
 
 
 def open_snapshot(
-    path: str | Path, *, verify: bool = False, use_mmap: bool = True
+    path: str | Path,
+    *,
+    verify: bool = False,
+    use_mmap: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> MappedGraphIndex:
     """Open a snapshot as a ready-to-query :class:`MappedGraphIndex`.
 
@@ -174,38 +212,53 @@ def open_snapshot(
     The mapped index gets a fresh graph uid and version 0: it represents a
     new, frozen graph identity, so the engine's ``(uid, version)``-keyed
     caches treat it like any other graph.
+
+    ``telemetry``, when given, records a ``storage.open_snapshot`` span and
+    bumps ``storage_snapshot_opens_total``.
     """
+    telemetry = telemetry if telemetry is not None else _NOOP_TELEMETRY
     source = Path(path)
     if not source.exists():
         raise StorageError(f"snapshot file does not exist: {source}")
-    file = source.open("rb")
-    try:
+    with telemetry.span(
+        "storage.open_snapshot", path=str(source), verify=verify
+    ) as span:
+        file = source.open("rb")
         try:
-            mapping = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
-        except (ValueError, OSError) as error:  # empty file or exotic fs
-            raise StorageError(f"cannot map snapshot {source}: {error}") from error
-        view = memoryview(mapping)
-        try:
-            header = fmt.read_head(view)
-            if verify:
-                fmt.verify_payload(view, header)
-            zero_copy = use_mmap and header.little_endian and sys.byteorder == "little"
-            index = _decode(source, header, view, zero_copy=zero_copy)
+            try:
+                mapping = mmap.mmap(file.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as error:  # empty file or exotic fs
+                raise StorageError(f"cannot map snapshot {source}: {error}") from error
+            view = memoryview(mapping)
+            try:
+                header = fmt.read_head(view)
+                if verify:
+                    fmt.verify_payload(view, header)
+                zero_copy = use_mmap and header.little_endian and sys.byteorder == "little"
+                index = _decode(source, header, view, zero_copy=zero_copy)
+            except BaseException:
+                view.release()
+                _close_quietly(mapping)
+                raise
+            if zero_copy:
+                index._file = file
+            else:
+                # Everything was copied to the heap; the mapping can go now.
+                view.release()
+                mapping.close()
+                file.close()
+            span.set(
+                nodes=index.num_nodes,
+                edges=index.edge_count,
+                zero_copy=zero_copy,
+            )
         except BaseException:
-            view.release()
-            _close_quietly(mapping)
-            raise
-        if zero_copy:
-            index._file = file
-        else:
-            # Everything was copied to the heap; the mapping can go now.
-            view.release()
-            mapping.close()
             file.close()
-        return index
-    except BaseException:
-        file.close()
-        raise
+            raise
+    telemetry.registry.counter(
+        "storage_snapshot_opens_total", help="Snapshots opened"
+    ).inc()
+    return index
 
 
 def _close_quietly(mapping) -> None:

@@ -1,0 +1,146 @@
+"""Observability for the repro engine: metrics, tracing, per-query profiles.
+
+One :class:`Telemetry` object bundles the three concerns an engine owns:
+
+- a :class:`~repro.telemetry.metrics.MetricsRegistry` (always on -- the
+  engine's counters live here, behind the compatible ``EngineStats``
+  properties; exportable as a snapshot dict or Prometheus text),
+- a :class:`~repro.telemetry.tracing.Tracer` with an optional rotating
+  JSONL :class:`~repro.telemetry.tracing.TraceSink` (on only when asked:
+  ``Telemetry(trace_path=...)`` or ``Telemetry(enabled=True)``),
+- per-query :class:`~repro.telemetry.profile.QueryProfile` capture
+  (``Telemetry(profile=True)``).
+
+Disabled is the default and costs near nothing: ``telemetry.span(...)``
+returns a shared no-op span and ``telemetry.active`` is False, so the
+engine's hot paths skip every capture branch.
+
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry(trace_path="run.jsonl", profile=True)
+    ws = repro.Workspace(graph, telemetry=tel)
+    ws.query("a.b*")
+    print(tel.registry.render_prometheus())
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.telemetry.export import read_trace, summarize_trace, tail_trace
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profile import QueryProfile, fingerprint_token
+from repro.telemetry.tracing import (
+    DEFAULT_KEEP,
+    DEFAULT_MAX_BYTES,
+    NOOP_SPAN,
+    Span,
+    TraceSink,
+    Tracer,
+)
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "TraceSink",
+    "Span",
+    "QueryProfile",
+    "read_trace",
+    "tail_trace",
+    "summarize_trace",
+    "fingerprint_token",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_KEEP",
+    "NOOP_SPAN",
+]
+
+
+class Telemetry:
+    """The telemetry bundle one engine (or workspace) owns.
+
+    Parameters
+    ----------
+    enabled:
+        Turn tracing on without a sink (spans land in the in-memory ring
+        buffer only).  Implied by ``trace_path``.
+    trace_path:
+        Write finished spans to this JSONL file (rotating at
+        ``trace_max_bytes``, keeping ``trace_keep`` rotated files).
+    profile:
+        Capture a :class:`QueryProfile` per engine evaluation
+        (``engine.take_profile()`` / ``QueryResult.profile``).
+    registry:
+        Share a prebuilt :class:`MetricsRegistry` (one registry can serve
+        several engines); a fresh one is created by default.
+    buffer_events:
+        Size of the in-memory ring of recent span records.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        trace_path: str | os.PathLike | None = None,
+        profile: bool = False,
+        registry: MetricsRegistry | None = None,
+        trace_max_bytes: int = DEFAULT_MAX_BYTES,
+        trace_keep: int = DEFAULT_KEEP,
+        buffer_events: int = 2048,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.profiling = bool(profile)
+        self.enabled = bool(enabled) or trace_path is not None
+        self.sink = (
+            TraceSink(trace_path, max_bytes=trace_max_bytes, keep=trace_keep)
+            if trace_path is not None
+            else None
+        )
+        self.tracer = Tracer(self.sink, buffer=buffer_events) if self.enabled else None
+
+    @property
+    def active(self) -> bool:
+        """Whether any capture (tracing or profiling) is on."""
+        return self.enabled or self.profiling
+
+    def span(self, name: str, **attrs):
+        """A span context manager; the shared no-op span when tracing is off."""
+        if self.tracer is None:
+            return NOOP_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def events(self) -> list[dict]:
+        """The in-memory ring of recent finished span records (oldest first)."""
+        return list(self.tracer.events) if self.tracer is not None else []
+
+    def flush(self) -> None:
+        """Flush the trace sink (no-op without one)."""
+        if self.tracer is not None:
+            self.tracer.flush()
+
+    def close(self) -> None:
+        """Flush and close the trace sink (the telemetry object stays usable
+        for metrics; further traced spans only land in the ring buffer)."""
+        if self.sink is not None:
+            self.sink.close()
+            if self.tracer is not None:
+                self.tracer.sink = None
+            self.sink = None
+
+    def __repr__(self) -> str:
+        mode = []
+        if self.enabled:
+            mode.append("tracing")
+        if self.profiling:
+            mode.append("profiling")
+        return f"Telemetry({'+'.join(mode) or 'disabled'}, registry={self.registry!r})"

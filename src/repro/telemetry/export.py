@@ -1,0 +1,108 @@
+"""Trace-file readers: tail, summarize, aggregate cache economics.
+
+These functions power ``repro trace`` and the trace-driven half of
+``repro stats``.  They read the JSONL records written by
+:class:`~repro.telemetry.tracing.TraceSink` (schema documented there) and
+never import the engine, so they work on trace files from any process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import TelemetryError
+
+
+def read_trace(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield every record of a JSONL trace file, in file order.
+
+    Blank lines are skipped; a malformed line raises
+    :class:`~repro.errors.TelemetryError` with its line number.
+    """
+    try:
+        handle = open(os.fspath(path), "r", encoding="utf-8")
+    except OSError as error:
+        raise TelemetryError(f"cannot read trace file: {error}") from error
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TelemetryError(
+                    f"malformed trace record at {path}:{lineno}: {error}"
+                ) from error
+            if not isinstance(record, dict):
+                raise TelemetryError(
+                    f"malformed trace record at {path}:{lineno}: expected an object"
+                )
+            yield record
+
+
+def tail_trace(path: str | os.PathLike, n: int = 20) -> list[dict]:
+    """The last ``n`` records of a trace file."""
+    if n < 1:
+        raise TelemetryError("tail length must be at least 1")
+    return list(deque(read_trace(path), maxlen=n))
+
+
+def summarize_trace(records: Iterable[dict]) -> dict:
+    """Aggregate span records into per-name timings and cache economics.
+
+    Returns a JSON-safe dict::
+
+        {"events": N,
+         "total_seconds": wall-clock covered (max start+seconds - min start),
+         "spans": {name: {"count", "total_seconds", "mean_seconds",
+                          "max_seconds"}},
+         "cache": {"hit": n, "miss": n, "ephemeral": n, "hit_rate": r},
+         "plan_cache": {"hit": n, "miss": n, "hit_rate": r}}
+
+    Cache economics come from the ``cache``/``plan_cache`` span attributes
+    the engine stamps on every evaluation span.
+    """
+    events = 0
+    first_start = None
+    last_end = 0.0
+    spans: dict[str, dict] = {}
+    cache = {"hit": 0, "miss": 0, "ephemeral": 0}
+    plan_cache = {"hit": 0, "miss": 0}
+    for record in records:
+        events += 1
+        name = record.get("name", "?")
+        seconds = float(record.get("seconds", 0.0))
+        start = float(record.get("start", 0.0))
+        if first_start is None or start < first_start:
+            first_start = start
+        last_end = max(last_end, start + seconds)
+        entry = spans.setdefault(
+            name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += seconds
+        entry["max_seconds"] = max(entry["max_seconds"], seconds)
+        attrs = record.get("attrs") or {}
+        outcome = attrs.get("cache")
+        if outcome in cache:
+            cache[outcome] += 1
+        plan_outcome = attrs.get("plan_cache")
+        if plan_outcome in plan_cache:
+            plan_cache[plan_outcome] += 1
+    for entry in spans.values():
+        entry["mean_seconds"] = entry["total_seconds"] / entry["count"]
+    answered = cache["hit"] + cache["miss"]
+    cache["hit_rate"] = cache["hit"] / answered if answered else 1.0
+    compiled = plan_cache["hit"] + plan_cache["miss"]
+    plan_cache["hit_rate"] = plan_cache["hit"] / compiled if compiled else 1.0
+    return {
+        "events": events,
+        "total_seconds": (last_end - first_start) if first_start is not None else 0.0,
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "cache": cache,
+        "plan_cache": plan_cache,
+    }

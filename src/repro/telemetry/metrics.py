@@ -1,0 +1,268 @@
+"""The unified metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` per :class:`~repro.telemetry.Telemetry` owns
+every instrument of one engine.  Instruments are get-or-create by name, so
+independent layers (engine, kernel, caches, storage, interactive sessions)
+can share a counter without coordinating, and the whole registry renders to
+either a JSON-safe snapshot or the Prometheus text exposition format.
+
+Instruments are deliberately plain Python objects with one int/float of
+state each: the hot kernels increment them through properties on
+``EngineStats``/``KernelStats``, which keeps the disabled-telemetry cost of
+the engine at "one attribute store per kernel call".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Callable, Sequence
+
+from repro.errors import TelemetryError
+
+#: Default histogram boundaries for durations in seconds (upper bounds,
+#: Prometheus ``le`` convention; the +Inf bucket is implicit).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(ch.isalnum() or ch in "_:" for ch in name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}: use [A-Za-z0-9_:] (Prometheus-safe)"
+        )
+    if name[0].isdigit():
+        raise TelemetryError(f"invalid metric name {name!r}: cannot start with a digit")
+    return name
+
+
+class Counter:
+    """A monotonically increasing integer (resettable only via ``value``)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, cache sizes, ...)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Observations bucketed against fixed upper boundaries.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +Inf
+    bucket catches everything above the last one.  ``counts[i]`` is the
+    number of observations ``<= buckets[i]`` *exclusively within* that
+    bucket (non-cumulative internally; the Prometheus renderer emits the
+    cumulative form the exposition format requires).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",  # noqa: A002
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} needs strictly increasing, non-empty buckets"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
+        total = 0
+        out = []
+        for n in self.counts:
+            total += n
+            out.append(total)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, sum={self.sum:.6f})"
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with snapshot and Prometheus export.
+
+    ``callback`` registers a *computed gauge*: a zero-argument callable
+    sampled at export time (how the engine exposes live cache hit counts
+    without double bookkeeping).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._callbacks: dict[str, tuple[Callable[[], float], str]] = {}
+
+    def _get_or_create(self, name, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        if name in self._callbacks:
+            raise TelemetryError(f"metric {name!r} already registered as a callback")
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        """The counter of that name, created on first use."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        """The gauge of that name, created on first use."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",  # noqa: A002
+    ) -> Histogram:
+        """The histogram of that name, created on first use."""
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets, help))
+
+    def callback(self, name: str, fn: Callable[[], float], help: str = "") -> None:  # noqa: A002
+        """Register (or replace) a gauge computed at export time."""
+        if name in self._metrics:
+            raise TelemetryError(f"metric {name!r} already registered as an instrument")
+        self._callbacks[_check_name(name)] = (fn, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics or name in self._callbacks
+
+    def snapshot(self) -> dict[str, object]:
+        """Every instrument's current value as one JSON-safe dict.
+
+        Counters and gauges map to their value; histograms map to
+        ``{"count", "sum", "buckets": [[le, cumulative_count], ...]}``.
+        """
+        out: dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": [
+                        [le, n]
+                        for le, n in zip(
+                            [*metric.buckets, float("inf")], metric.cumulative_counts()
+                        )
+                    ],
+                }
+            else:
+                out[name] = metric.value
+        for name in sorted(self._callbacks):
+            fn, _ = self._callbacks[name]
+            out[name] = fn()
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(metric.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = metric.cumulative_counts()
+                for le, n in zip(metric.buckets, cumulative):
+                    lines.append(f'{name}_bucket{{le="{_fmt(le)}"}} {n}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+                lines.append(f"{name}_sum {_fmt(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+        for name in sorted(self._callbacks):
+            fn, help_text = self._callbacks[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(fn())}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(instruments={len(self._metrics)}, "
+            f"callbacks={len(self._callbacks)})"
+        )
+
+
+def _fmt(value: float) -> str:
+    """Render a float without trailing noise (ints stay ints)."""
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,198 @@
+"""Structured tracing: nestable spans, a bounded buffer, a rotating JSONL sink.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Spans nest --
+the tracer keeps a stack, so each finished span records its parent id and
+depth -- and are timed with ``time.perf_counter`` (monotonic; consistent
+with ``Result.elapsed`` everywhere in the library).  Finished spans land in
+an in-memory ring buffer and, when a :class:`TraceSink` is attached, as one
+JSON object per line in a trace file with size-based rotation.
+
+Record schema (one JSONL object per finished span)::
+
+    {"name": "engine.evaluate", "span_id": 7, "parent_id": 3, "depth": 1,
+     "start": 0.000132, "seconds": 0.00251, "attrs": {"cache": "miss", ...}}
+
+``start`` is seconds since the tracer was created (perf_counter deltas, not
+wall clock), so records order and subtract cleanly within one process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from time import perf_counter
+
+from repro.errors import TelemetryError
+
+#: Default sink rotation threshold (bytes) and number of rotated files kept.
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+DEFAULT_KEEP = 3
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+#: Singleton no-op span: ``telemetry.span(...)`` returns this when disabled,
+#: so the instrumented code path is one truthiness check plus two no-op calls.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed region of work (use as a context manager)."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "start", "seconds", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self.depth = 0
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (chains; last write wins)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id}, seconds={self.seconds:.6f})"
+
+
+class TraceSink:
+    """An append-only JSONL file with size-based rotation.
+
+    When the file exceeds ``max_bytes`` after a write, it rotates:
+    ``trace.jsonl`` -> ``trace.jsonl.1`` -> ... -> ``trace.jsonl.<keep>``
+    (the oldest is dropped).  Writes are line-buffered JSON, one record per
+    line, compact separators.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        keep: int = DEFAULT_KEEP,
+    ) -> None:
+        if max_bytes <= 0:
+            raise TelemetryError("trace rotation threshold must be positive")
+        if keep < 1:
+            raise TelemetryError("must keep at least one rotated trace file")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+
+    def write(self, record: dict) -> None:
+        """Append one record as a JSON line (rotating first if needed)."""
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        if self._size and self._size + len(line) + 1 > self.max_bytes:
+            self._rotate()
+        self._file.write(line + "\n")
+        self._size += len(line) + 1
+
+    def _rotate(self) -> None:
+        self._file.close()
+        for i in range(self.keep - 1, 0, -1):
+            older = f"{self.path}.{i}"
+            if os.path.exists(older):
+                os.replace(older, f"{self.path}.{i + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self) -> str:
+        return f"TraceSink({self.path!r}, size={self._size})"
+
+
+class Tracer:
+    """Creates spans, tracks nesting, buffers and sinks finished records.
+
+    ``events`` is a bounded ring of the most recent finished span records
+    (dicts, newest last) -- always available for in-process inspection even
+    without a sink.
+    """
+
+    def __init__(self, sink: TraceSink | None = None, *, buffer: int = 2048) -> None:
+        self.sink = sink
+        self.events: deque[dict] = deque(maxlen=buffer)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = perf_counter()
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new (not yet started) span; enter it with ``with``."""
+        return Span(self, name, attrs)
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) -------------------
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.depth = len(self._stack)
+        self._stack.append(span)
+        span.start = perf_counter() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        span.seconds = perf_counter() - self._epoch - span.start
+        # Tolerate mispaired exits (generators, exceptions mid-stack): pop
+        # back to this span rather than corrupting the whole stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        record = {
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "depth": span.depth,
+            "start": round(span.start, 9),
+            "seconds": round(span.seconds, 9),
+            "attrs": span.attrs,
+        }
+        self.events.append(record)
+        if self.sink is not None:
+            self.sink.write(record)
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()
+
+    def __repr__(self) -> str:
+        return f"Tracer(events={len(self.events)}, open={len(self._stack)})"

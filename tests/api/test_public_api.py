@@ -24,6 +24,7 @@ EXPECTED_ALL = frozenset(
         "ConfigError",
         "SerializationError",
         "StorageError",
+        "TelemetryError",
         # core types
         "Alphabet",
         "GraphDB",
@@ -39,6 +40,7 @@ EXPECTED_ALL = frozenset(
         # public API facade
         "Workspace",
         "EngineConfig",
+        "TelemetryConfig",
         "LearnerConfig",
         "InteractiveConfig",
         "ExperimentConfig",
@@ -54,6 +56,9 @@ EXPECTED_ALL = frozenset(
         "MappedGraphIndex",
         "open_snapshot",
         "write_snapshot",
+        # telemetry
+        "Telemetry",
+        "MetricsRegistry",
         # learning entry points (legacy shims)
         "learn_path_query",
         "learn_with_dynamic_k",

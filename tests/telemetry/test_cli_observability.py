@@ -1,0 +1,176 @@
+"""The observability CLI: ``repro stats``, ``repro trace``, ``--trace/--profile``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, dict]:
+    code = main(list(argv))
+    envelope = json.loads(capsys.readouterr().out)
+    return code, envelope
+
+
+class TestStatsCommand:
+    def test_stats_envelope_reports_cache_economics(self, capsys):
+        code, envelope = run_cli(
+            capsys, "stats", "--figure", "geo", "--expr", "tram*", "--repeat", "5"
+        )
+        assert code == 0
+        assert envelope["ok"] is True
+        assert envelope["command"] == "stats"
+        report = envelope["result"]
+        assert report["type"] == "StatsReport"
+        stats = report["stats"]
+        assert stats["evaluations"] == 1  # 4 warm repeats hit the result cache
+        assert stats["result_cache_hits"] == 4
+        assert stats["result_cache_hit_rate"] == pytest.approx(0.8)
+        assert stats["graph_nodes"] == 10
+        metrics = report["metrics"]
+        assert metrics["engine_evaluations_total"] == 1
+        assert metrics["engine_result_cache_hits"] == 4
+        # The workspace envelope carries engine_stats like every other command.
+        assert envelope["engine_stats"]["evaluations"] == 1
+
+    def test_stats_prometheus_exposition(self, capsys):
+        code, envelope = run_cli(
+            capsys, "stats", "--figure", "geo", "--expr", "tram", "--prometheus"
+        )
+        assert code == 0
+        text = envelope["result"]["prometheus"]
+        assert "# TYPE engine_evaluations_total counter" in text
+        assert "engine_evaluations_total 1" in text
+
+    def test_stats_rejects_bad_repeat(self, capsys):
+        code, envelope = run_cli(
+            capsys, "stats", "--figure", "geo", "--expr", "tram", "--repeat", "0"
+        )
+        assert code == 1
+        assert envelope["error"]["type"] == "ConfigError"
+
+
+class TestTraceCommand:
+    def write_trace(self, capsys, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        code, envelope = run_cli(
+            capsys,
+            "query",
+            "--figure",
+            "geo",
+            "--expr",
+            "(tram+bus)*.cinema",
+            "--trace",
+            str(trace_file),
+            "--profile",
+        )
+        assert code == 0
+        return trace_file, envelope
+
+    def test_query_trace_profile_flags(self, capsys, tmp_path):
+        trace_file, envelope = self.write_trace(capsys, tmp_path)
+        assert trace_file.exists()
+        profile = envelope["result"]["profile"]
+        assert profile["cache"] == "miss"
+        assert profile["depth_sizes"]
+
+    def test_trace_summary_envelope(self, capsys, tmp_path):
+        trace_file, _ = self.write_trace(capsys, tmp_path)
+        code, envelope = run_cli(capsys, "trace", "--file", str(trace_file))
+        assert code == 0
+        assert envelope["command"] == "trace"
+        report = envelope["result"]
+        assert report["type"] == "TraceReport"
+        summary = report["summary"]
+        assert summary["events"] >= 2
+        assert "workspace.query" in summary["spans"]
+        assert "engine.evaluate" in summary["spans"]
+        assert summary["cache"]["miss"] == 1
+
+    def test_trace_tail_envelope(self, capsys, tmp_path):
+        trace_file, _ = self.write_trace(capsys, tmp_path)
+        code, envelope = run_cli(
+            capsys, "trace", "--file", str(trace_file), "--tail", "1"
+        )
+        assert code == 0
+        records = envelope["result"]["records"]
+        assert len(records) == 1
+        assert records[0]["name"] == "workspace.query"
+
+    def test_trace_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code, envelope = run_cli(
+            capsys, "trace", "--file", str(tmp_path / "nope.jsonl")
+        )
+        assert code == 1
+        assert envelope["ok"] is False
+
+    def test_stats_summarizes_a_trace_file(self, capsys, tmp_path):
+        trace_file, _ = self.write_trace(capsys, tmp_path)
+        code, envelope = run_cli(
+            capsys,
+            "stats",
+            "--figure",
+            "geo",
+            "--trace-file",
+            str(trace_file),
+        )
+        assert code == 0
+        trace_section = envelope["result"]["trace"]
+        assert trace_section["cache"]["miss"] == 1
+        assert trace_section["plan_cache"]["miss"] == 1
+
+
+@pytest.mark.slow
+class TestLargeInteractiveTrace:
+    """Acceptance: a 10k-node interactive run emits a JSONL trace that
+    ``repro trace`` summarizes and ``repro stats`` reports economics from."""
+
+    def test_end_to_end(self, capsys, tmp_path):
+        from repro.datasets.synthetic import scale_free_graph
+        from repro.graphdb.io import save_graph
+
+        graph = scale_free_graph(10_000, alphabet_size=6, seed=11)
+        assert graph.node_count() == 10_000
+        graph_file = tmp_path / "big.tsv"
+        save_graph(graph, graph_file)
+        labels = sorted(graph.labels())
+        goal = f"{labels[0]}.{labels[1]}*"
+        trace_file = tmp_path / "interactive.jsonl"
+
+        code, envelope = run_cli(
+            capsys,
+            "interactive",
+            "--graph",
+            str(graph_file),
+            "--goal",
+            goal,
+            "--max-interactions",
+            "8",
+            "--trace",
+            str(trace_file),
+        )
+        assert code == 0
+        assert trace_file.exists()
+
+        code, envelope = run_cli(capsys, "trace", "--file", str(trace_file))
+        assert code == 0
+        summary = envelope["result"]["summary"]
+        assert "interactive.session" in summary["spans"]
+        assert "interactive.round" in summary["spans"]
+        assert summary["spans"]["interactive.round"]["count"] >= 1
+
+        code, envelope = run_cli(
+            capsys,
+            "stats",
+            "--graph",
+            str(graph_file),
+            "--trace-file",
+            str(trace_file),
+        )
+        assert code == 0
+        trace_section = envelope["result"]["trace"]
+        assert trace_section["cache"]["hit"] + trace_section["cache"]["miss"] >= 1
+        assert 0.0 <= trace_section["cache"]["hit_rate"] <= 1.0

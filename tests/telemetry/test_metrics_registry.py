@@ -1,0 +1,164 @@
+"""The unified metrics registry: instruments, bucket edges, exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("hits_total")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            Counter("hits_total").inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            Counter("has space")
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            Counter("dots.forbidden")
+        with pytest.raises(TelemetryError, match="digit"):
+            Counter("1starts_with_digit")
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            Counter("")
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(12)
+        assert gauge.value == 3
+
+
+class TestHistogramBucketEdges:
+    def test_observation_on_the_boundary_lands_in_that_bucket(self):
+        # Prometheus `le` semantics: a bucket is an inclusive upper bound.
+        hist = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_observation_above_the_last_bound_lands_in_inf(self):
+        hist = Histogram("t", buckets=(1.0, 2.0))
+        hist.observe(2.0000001)
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 2]
+
+    def test_observation_below_the_first_bound(self):
+        hist = Histogram("t", buckets=(1.0, 2.0))
+        hist.observe(0.0)
+        hist.observe(0.999)
+        assert hist.counts == [2, 0, 0]
+
+    def test_cumulative_counts_are_monotone_and_end_at_count(self):
+        hist = Histogram("t", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        cumulative = hist.cumulative_counts()
+        assert cumulative == [1, 2, 3, 5]
+        assert cumulative[-1] == hist.count == 5
+        assert hist.sum == pytest.approx(5.5555)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert all(
+            a < b for a, b in zip(DEFAULT_TIME_BUCKETS, DEFAULT_TIME_BUCKETS[1:])
+        )
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("t", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", help="requests")
+        second = registry.counter("requests_total")
+        assert first is second
+        first.inc()
+        assert registry.snapshot()["requests_total"] == 1
+
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("thing")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.histogram("thing")
+
+    def test_callback_is_sampled_at_export_and_replaceable(self):
+        registry = MetricsRegistry()
+        registry.callback("live_value", lambda: 7)
+        assert registry.snapshot()["live_value"] == 7
+        registry.callback("live_value", lambda: 9)  # replace, no error
+        assert registry.snapshot()["live_value"] == 9
+        assert "live_value" in registry
+
+    def test_callback_cannot_shadow_an_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.callback("taken", lambda: 0)
+        # ... and the reverse direction.
+        registry = MetricsRegistry()
+        registry.callback("taken", lambda: 0)
+        with pytest.raises(TelemetryError, match="callback"):
+            registry.counter("taken")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        snap = registry.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["sum"] == pytest.approx(3.5)
+        assert snap["h"]["buckets"] == [[1.0, 1], [2.0, 1], [float("inf"), 2]]
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="requests served").inc(5)
+        registry.gauge("queue_depth").set(2)
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        registry.callback("cache_rate", lambda: 0.5, help="live rate")
+        text = registry.render_prometheus()
+        assert "# HELP requests_total requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 5" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+        assert "# HELP cache_rate live rate" in text
+        assert "cache_rate 0.5" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

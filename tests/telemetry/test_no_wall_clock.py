@@ -1,0 +1,42 @@
+"""Static scan: the hot layers must never read the wall clock.
+
+Span durations, profiles and ``Result.elapsed`` all promise monotonic
+``time.perf_counter`` timing; a stray ``time.time()`` in the engine or
+automata layers would silently mix in a clock that NTP or DST can move
+backwards.  CI enforces the same rule with a grep step; this test keeps the
+guarantee inside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+BANNED_LAYERS = ("engine", "automata")
+WALL_CLOCK = re.compile(r"\btime\.time\(")
+
+
+def test_engine_and_automata_layers_use_no_wall_clock():
+    offenders = []
+    for layer in BANNED_LAYERS:
+        for source in sorted((SRC_ROOT / layer).rglob("*.py")):
+            for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+                if WALL_CLOCK.search(line):
+                    offenders.append(f"{source}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock timing in a hot layer (use time.perf_counter):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_telemetry_layer_uses_no_wall_clock():
+    telemetry_root = SRC_ROOT / "telemetry"
+    offenders = [
+        str(source)
+        for source in sorted(telemetry_root.rglob("*.py"))
+        if WALL_CLOCK.search(source.read_text())
+    ]
+    assert not offenders

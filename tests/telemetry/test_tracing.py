@@ -1,0 +1,188 @@
+"""Structured tracing: span nesting/ordering, the JSONL sink, rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import NOOP_SPAN, Telemetry
+from repro.telemetry.export import read_trace, summarize_trace, tail_trace
+from repro.telemetry.tracing import TraceSink, Tracer
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    pass
+        records = list(tracer.events)
+        assert [r["name"] for r in records] == ["inner", "middle", "outer"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["parent_id"] == 0
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["middle"]["parent_id"] == outer.span_id
+        assert by_name["middle"]["depth"] == 1
+        assert by_name["inner"]["parent_id"] == middle.span_id
+        assert by_name["inner"]["depth"] == 2
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [r["span_id"] for r in tracer.events]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_children_finish_before_parents_and_nest_in_time(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = list(tracer.events)
+        assert inner["start"] >= outer["start"]
+        assert inner["start"] + inner["seconds"] <= outer["start"] + outer["seconds"]
+        assert outer["seconds"] >= inner["seconds"] >= 0
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in tracer.events}
+        assert by_name["a"]["parent_id"] == parent.span_id
+        assert by_name["b"]["parent_id"] == parent.span_id
+
+    def test_attributes_and_exception_stamp(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work", phase="load") as span:
+                span.set(items=3)
+                raise ValueError("boom")
+        (record,) = list(tracer.events)
+        assert record["attrs"] == {"phase": "load", "items": 3, "error": "ValueError"}
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(buffer=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r["name"] for r in tracer.events] == ["s6", "s7", "s8", "s9"]
+
+
+class TestTelemetryFacade:
+    def test_disabled_returns_the_shared_noop_span(self):
+        telemetry = Telemetry()
+        assert telemetry.active is False
+        assert telemetry.span("anything", a=1) is NOOP_SPAN
+        with telemetry.span("anything") as span:
+            span.set(b=2)  # must be a harmless no-op
+        assert telemetry.events() == []
+
+    def test_profile_only_mode_is_active_but_does_not_trace(self):
+        telemetry = Telemetry(profile=True)
+        assert telemetry.active is True
+        assert telemetry.span("x") is NOOP_SPAN
+
+    def test_enabled_without_sink_buffers_events(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("only.in.memory"):
+            pass
+        assert [r["name"] for r in telemetry.events()] == ["only.in.memory"]
+
+
+class TestJsonlRoundTrip:
+    def test_spans_round_trip_through_the_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        with telemetry.span("outer", kind="test"):
+            with telemetry.span("inner"):
+                pass
+        telemetry.close()
+        records = list(read_trace(path))
+        assert records == telemetry.events()
+        # And the raw file is one JSON object per line.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_tail_returns_the_last_n(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        for i in range(6):
+            with telemetry.span(f"s{i}"):
+                pass
+        telemetry.close()
+        assert [r["name"] for r in tail_trace(path, 2)] == ["s4", "s5"]
+
+    def test_blank_lines_skipped_and_garbage_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok"}\n\n')
+        assert [r["name"] for r in read_trace(path)] == ["ok"]
+        path.write_text('{"name": "ok"}\nnot json\n')
+        with pytest.raises(TelemetryError, match="trace.jsonl:2"):
+            list(read_trace(path))
+
+    def test_summarize_aggregates_spans_and_cache_outcomes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        with telemetry.span("engine.evaluate", cache="miss", plan_cache="miss"):
+            pass
+        with telemetry.span("engine.evaluate", cache="hit", plan_cache="hit"):
+            pass
+        with telemetry.span("engine.evaluate", cache="hit", plan_cache="hit"):
+            pass
+        telemetry.close()
+        summary = summarize_trace(read_trace(path))
+        assert summary["events"] == 3
+        assert summary["spans"]["engine.evaluate"]["count"] == 3
+        assert summary["cache"] == {
+            "hit": 2,
+            "miss": 1,
+            "ephemeral": 0,
+            "hit_rate": pytest.approx(2 / 3),
+        }
+        assert summary["plan_cache"]["hit"] == 2
+
+
+class TestRotation:
+    def test_sink_rotates_and_keeps_bounded_history(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = TraceSink(path, max_bytes=2048, keep=2)
+        record = {"name": "x", "attrs": {"pad": "y" * 64}}
+        for _ in range(200):
+            sink.write(record)
+        sink.close()
+        assert path.exists()
+        assert (tmp_path / "trace.jsonl.1").exists()
+        assert (tmp_path / "trace.jsonl.2").exists()
+        assert not (tmp_path / "trace.jsonl.3").exists()
+        # Every surviving file stays within one record of the threshold.
+        for file in (path, tmp_path / "trace.jsonl.1", tmp_path / "trace.jsonl.2"):
+            assert file.stat().st_size <= 2048 + 256
+            for line in file.read_text().splitlines():
+                assert json.loads(line)["name"] == "x"
+
+    def test_sink_parameter_validation(self, tmp_path):
+        with pytest.raises(TelemetryError, match="positive"):
+            TraceSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(TelemetryError, match="at least one"):
+            TraceSink(tmp_path / "t.jsonl", keep=0)
+
+    def test_close_is_idempotent_and_later_spans_still_buffer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry(trace_path=path)
+        with telemetry.span("before"):
+            pass
+        telemetry.close()
+        telemetry.close()
+        with telemetry.span("after"):
+            pass
+        assert [r["name"] for r in telemetry.events()] == ["before", "after"]
+        assert [r["name"] for r in read_trace(path)] == ["before"]
