@@ -1,0 +1,118 @@
+"""Service throughput: concurrent multi-tenant clients vs. one sequential client.
+
+The serving layer exists so many clients can share one set of hot
+snapshots, and its micro-batcher amortizes the coalescing window across a
+burst: a lone sequential client pays ``batch_window`` per path query, while
+concurrent clients share each window (their queries travel through one
+``evaluate_many`` call).  This benchmark runs the same warm query workload
+both ways against one in-process daemon and records
+``extra_info["speedup"] = sequential/concurrent`` seconds per round -- the
+machine-independent ratio ``benchmarks/compare.py`` gates.  A drop means
+either the batcher stopped coalescing or per-request dispatch got heavier,
+which are exactly the serving regressions this file exists to catch.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.api.config import ServiceConfig
+from repro.service import QueryService, ServiceClient
+from repro.storage.catalog import DatasetCatalog
+
+CLIENTS = 8
+TENANTS = 2
+QUERIES_PER_CLIENT = 12
+#: A warm mix: repeated expressions keep the plan and result caches hot, so
+#: the measured cost is protocol + dispatch + batching, not evaluation.
+EXPRESSIONS = ("tram", "bus", "(tram+bus)*.cinema", "tram.tram")
+ROUNDS = 5
+
+
+def _sequential_round(host: str, port: int, total: int) -> None:
+    with ServiceClient(host, port, tenant="sequential") as client:
+        for i in range(total):
+            client.query(EXPRESSIONS[i % len(EXPRESSIONS)])
+
+
+def _concurrent_round(host: str, port: int) -> None:
+    errors: list[Exception] = []
+
+    def worker(tenant: str) -> None:
+        try:
+            with ServiceClient(host, port, tenant=tenant) as client:
+                for i in range(QUERIES_PER_CLIENT):
+                    client.query(EXPRESSIONS[i % len(EXPRESSIONS)])
+        except Exception as error:  # noqa: BLE001 - asserted below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(f"tenant-{i % TENANTS}",))
+        for i in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+
+
+def test_service_concurrent_throughput(benchmark, tmp_path):
+    catalog_root = tmp_path / "catalog"
+    DatasetCatalog(catalog_root).ensure("geo")
+    config = ServiceConfig(
+        catalog_root=str(catalog_root),
+        snapshots=("geo",),
+        default_snapshot="geo",
+        batch_window=0.002,
+    )
+    total = CLIENTS * QUERIES_PER_CLIENT
+    with QueryService(config) as service:
+        host, port = service.address
+
+        # Cold round warms the engine (index + plans + result cache) and the
+        # interpreter (thread stacks, JSON codecs) for both measurement modes.
+        _sequential_round(host, port, total)
+        _concurrent_round(host, port)
+
+        started = perf_counter()
+        for _ in range(ROUNDS):
+            _sequential_round(host, port, total)
+        sequential_per_round = (perf_counter() - started) / ROUNDS
+
+        benchmark.pedantic(
+            _concurrent_round, args=(host, port), rounds=ROUNDS, iterations=1
+        )
+        concurrent_per_round = benchmark.stats.stats.median
+
+        speedup = sequential_per_round / concurrent_per_round if concurrent_per_round else 1.0
+        benchmark.extra_info["sequential_seconds_per_round"] = sequential_per_round
+        benchmark.extra_info["concurrent_seconds_per_round"] = concurrent_per_round
+        # The gated metric: how much faster the same workload finishes when
+        # clients arrive concurrently and share the batching window.
+        benchmark.extra_info["speedup"] = speedup
+
+        # Batching really happened: evaluate_many served multi-query batches.
+        batches = service.registry.counter("service_batches_total").value
+        batched = service.registry.counter("service_batched_queries_total").value
+        assert batched >= total and batches >= 1
+        assert batched / batches > 1.0, "concurrent bursts never coalesced"
+        stats = service.server_stats()
+        assert stats["errors"] == 0
+        assert service.registry.counter("service_shed_total").value == 0
+
+        print()
+        print(
+            f"workload: {total} warm queries per round x {ROUNDS} rounds "
+            f"({CLIENTS} clients / {TENANTS} tenants concurrent vs. 1 sequential)"
+        )
+        print(f"sequential: {sequential_per_round * 1e3:8.1f} ms/round")
+        print(
+            f"concurrent: {concurrent_per_round * 1e3:8.1f} ms/round  ({speedup:.2f}x)"
+        )
+        print(f"batches: {batches} for {batched} batched queries")
+
+    # Sanity floor, deliberately loose for shared CI runners: concurrency
+    # plus batching must never make the same workload slower overall.
+    assert speedup >= 1.0

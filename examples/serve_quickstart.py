@@ -1,0 +1,88 @@
+"""The serving layer: one daemon, hot snapshots, many concurrent clients.
+
+Starts a :class:`~repro.service.QueryService` in-process on an ephemeral
+port (exactly what ``repro serve`` wraps), then drives it from two
+concurrent tenants: both fire path queries at the shared ``geo`` snapshot
+-- answered from one shared engine, so the second tenant's repeats hit the
+result cache the first tenant warmed -- and each runs its own named
+interactive learning session, resumed across requests and invisible to the
+other tenant.
+
+Run with:  python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+from repro.api.config import ServiceConfig
+from repro.service import QueryService, ServiceClient
+
+GOAL = "(tram+bus)*.cinema"
+EXPRESSIONS = ("tram", "bus", GOAL, "tram.tram")
+
+
+def tenant_worker(host: str, port: int, tenant: str, report: dict) -> None:
+    with ServiceClient(host, port, tenant=tenant) as client:
+        counts = {}
+        for expression in EXPRESSIONS * 2:  # the second lap is all cache hits
+            counts[expression] = client.query(expression).count
+        # A named interactive session: two requests, resumed in between.
+        first, info = client.interactive(
+            GOAL, session="quickstart", config={"max_interactions": 2, "pool_size": 32}
+        )
+        second, info = client.interactive(
+            GOAL, session="quickstart", config={"max_interactions": 2, "pool_size": 32}
+        )
+        client.release_session("quickstart")
+        report[tenant] = {
+            "counts": counts,
+            "resumed": info["resumed"],
+            "interactions": info["interactions"],
+            "learned": None if second.query is None else second.query.expression,
+        }
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as catalog_root:
+        config = ServiceConfig(
+            catalog_root=catalog_root, snapshots=("geo",), default_snapshot="geo"
+        )
+        with QueryService(config) as service:
+            host, port = service.address
+            print(f"serving 'geo' on {host}:{port}")
+
+            report: dict = {}
+            threads = [
+                threading.Thread(target=tenant_worker, args=(host, port, tenant, report))
+                for tenant in ("alice", "bob")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            for tenant in sorted(report):
+                entry = report[tenant]
+                print(f"tenant {tenant}: counts {entry['counts']}")
+                print(
+                    f"tenant {tenant}: session resumed={entry['resumed']} "
+                    f"after {entry['interactions']} interactions, "
+                    f"learned {entry['learned']!r}"
+                )
+
+            stats = service.server_stats()
+            print(
+                f"server: {stats['requests']} requests, {stats['errors']} errors, "
+                f"ops {stats['ops']}"
+            )
+            print("metrics excerpt:")
+            for line in service.metrics_text().splitlines():
+                if line.startswith(("service_requests_total", "service_batches_total")):
+                    print(f"  {line}")
+    print("daemon shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from repro.api.config import (
     ExperimentConfig,
     InteractiveConfig,
     LearnerConfig,
+    ServiceConfig,
     StorageConfig,
     TelemetryConfig,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "LearnerConfig",
     "InteractiveConfig",
     "ExperimentConfig",
+    "ServiceConfig",
     "StorageConfig",
     "SEMANTICS",
     "SCENARIOS",

@@ -28,7 +28,14 @@ Subcommands
 ``info``         describe a snapshot's header/sections or list a catalog;
 ``stats``        report engine/cache/storage economics (optionally after
                  driving ``--expr`` traffic, optionally as Prometheus text);
-``trace``        tail or summarize a JSONL span trace file.
+``trace``        tail or summarize a JSONL span trace file;
+``serve``        run the long-lived query-service daemon over a snapshot
+                 catalog (:mod:`repro.service`).
+
+``query`` and ``stats`` also accept ``--remote HOST:PORT`` instead of a
+graph source, sending the request to a running ``repro serve`` daemon
+(with ``--tenant`` and ``--dataset`` selecting the tenant id and the
+server-side snapshot).
 
 Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
 :mod:`repro.graphdb.io`), ``--figure {geo,g0}`` (the paper's figure
@@ -72,7 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_graph_source(sub: argparse.ArgumentParser) -> None:
+    def add_graph_source(sub: argparse.ArgumentParser, *, remote: bool = False) -> None:
         sub.add_argument(
             "--indent",
             type=int,
@@ -93,6 +100,22 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="binary .rgz snapshot (opened zero-copy, no graph rebuild)",
         )
+        if remote:
+            source.add_argument(
+                "--remote",
+                metavar="HOST:PORT",
+                help="send the request to a running 'repro serve' daemon",
+            )
+            sub.add_argument(
+                "--tenant",
+                default="cli",
+                help="tenant id for --remote requests (default 'cli')",
+            )
+            sub.add_argument(
+                "--dataset",
+                default=None,
+                help="with --remote: the server-side snapshot name to query",
+            )
         sub.add_argument(
             "--plan-cache-size", type=int, default=256, help="engine plan cache capacity"
         )
@@ -147,7 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     query = subparsers.add_parser("query", help="evaluate a regular path query")
-    add_graph_source(query)
+    add_graph_source(query, remote=True)
     query.add_argument("--expr", required=True, help="the regular path query expression")
     query.add_argument(
         "--semantics",
@@ -314,7 +337,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats",
         help="report engine/cache/storage economics for a graph workspace",
     )
-    add_graph_source(stats)
+    add_graph_source(stats, remote=True)
     stats.add_argument(
         "--expr",
         action="append",
@@ -350,6 +373,64 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="show the last N trace records instead of the summary",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the query-service daemon over a catalog of snapshots",
+    )
+    serve.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
+    serve.add_argument(
+        "--catalog", metavar="DIR", default=None, help="snapshot catalog directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default loopback)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (default 0 = ephemeral, printed on start)"
+    )
+    serve.add_argument(
+        "--snapshots",
+        default=None,
+        help="comma-separated catalog names to preload (default: all registered)",
+    )
+    serve.add_argument(
+        "--default-snapshot",
+        default=None,
+        help="snapshot answering requests that name none (default: first preloaded)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=32, help="global in-flight request cap"
+    )
+    serve.add_argument(
+        "--per-tenant", type=int, default=8, help="per-tenant in-flight request cap"
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, help="batch queue bound (shed past it)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window in milliseconds",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=16, help="maximal queries per micro-batch"
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus text on this HTTP port (GET /metrics)",
+    )
+    serve.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        default=None,
+        help="write the final Prometheus text here on shutdown",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="let clients stop the server via the shutdown op (tests/CI)",
     )
 
     return parser
@@ -567,6 +648,91 @@ def _cmd_trace(args: argparse.Namespace) -> dict:
     }
 
 
+def _remote_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient, parse_address
+
+    host, port = parse_address(args.remote)
+    return ServiceClient(host, port, tenant=args.tenant)
+
+
+def _cmd_query_remote(args: argparse.Namespace) -> dict:
+    with _remote_client(args) as client:
+        envelope = client.request(
+            "query",
+            {
+                "expr": args.expr,
+                "semantics": args.semantics,
+                **({"snapshot": args.dataset} if args.dataset else {}),
+            },
+        )
+    payload = envelope["result"]
+    payload["served_by"] = args.remote
+    return payload
+
+
+def _cmd_stats_remote(args: argparse.Namespace) -> dict:
+    with _remote_client(args) as client:
+        if args.repeat < 1:
+            raise ConfigError("--repeat must be at least 1")
+        for expression in args.expr or ():
+            for _ in range(args.repeat):
+                client.query(expression, snapshot=args.dataset)
+        payload: dict = dict(client.stats())
+        if args.prometheus:
+            payload["prometheus"] = client.metrics_text()
+    payload["served_by"] = args.remote
+    return payload
+
+
+def _cmd_serve(args: argparse.Namespace) -> dict:
+    from repro.api.config import ServiceConfig
+    from repro.service.server import QueryService
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        catalog_root=args.catalog,
+        snapshots=tuple(_split_csv(args.snapshots)) if args.snapshots else (),
+        default_snapshot=args.default_snapshot,
+        max_concurrent=args.max_concurrent,
+        per_tenant=args.per_tenant,
+        queue_depth=args.queue_depth,
+        batch_window=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max,
+        metrics_port=args.metrics_port,
+        metrics_path=args.metrics_file,
+        allow_remote_shutdown=args.allow_remote_shutdown,
+    )
+    service = QueryService(config)
+    host, port = service.start()
+    # One machine-readable ready line, flushed immediately, so wrappers
+    # (tests, CI smoke, process supervisors) can discover the bound port.
+    ready = {
+        "ok": True,
+        "command": "serve",
+        "ready": {
+            "host": host,
+            "port": port,
+            "metrics": service.metrics_address,
+            "snapshots": service.dataset_names(),
+            "default": service.default_snapshot,
+        },
+    }
+    print(json.dumps(ready), flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return {
+        "type": "ServeReport",
+        "ok": True,
+        "address": [host, port],
+        "server": service.server_stats(),
+    }
+
+
 def _cmd_info(args: argparse.Namespace) -> dict:
     from repro.storage.catalog import DatasetCatalog
     from repro.storage.snapshot import snapshot_info
@@ -590,13 +756,20 @@ def main(argv: list[str] | None = None) -> int:
     indent = args.indent if args.indent and args.indent > 0 else None
     started = time.perf_counter()
     try:
-        # The storage/trace commands work on files/catalogs, not on a workspace.
+        # The storage/trace/service commands work on files, catalogs or a
+        # remote daemon, not on a local workspace.
         if args.command == "ingest":
             outcome = _cmd_ingest(args)
         elif args.command == "info":
             outcome = _cmd_info(args)
         elif args.command == "trace":
             outcome = _cmd_trace(args)
+        elif args.command == "serve":
+            outcome = _cmd_serve(args)
+        elif args.command == "query" and getattr(args, "remote", None):
+            outcome = _cmd_query_remote(args)
+        elif args.command == "stats" and getattr(args, "remote", None):
+            outcome = _cmd_stats_remote(args)
         else:
             workspace = _make_workspace(args)
             handler = {
@@ -618,7 +791,9 @@ def main(argv: list[str] | None = None) -> int:
             "elapsed": time.perf_counter() - started,
             "result": payload,
         }
-        if args.command not in ("ingest", "info", "trace"):
+        if args.command not in ("ingest", "info", "trace", "serve") and not getattr(
+            args, "remote", None
+        ):
             envelope["engine_stats"] = workspace.stats()
     except (ReproError, OSError) as error:
         envelope = {

@@ -10,7 +10,8 @@ scattered keyword arguments of the legacy module-level entry points:
 * :class:`LearnerConfig`      -- Algorithm 1/2/3 parameters (``k``, semantics, ...);
 * :class:`InteractiveConfig`  -- the Figure 9 loop (strategy, budgets, halt);
 * :class:`ExperimentConfig`   -- the Section 5 experiment drivers;
-* :class:`StorageConfig`      -- the storage layer (snapshots, catalog, mmap).
+* :class:`StorageConfig`      -- the storage layer (snapshots, catalog, mmap);
+* :class:`ServiceConfig`      -- the ``repro serve`` daemon (admission, batching).
 """
 
 from __future__ import annotations
@@ -211,6 +212,123 @@ class StorageConfig(_BaseConfig):
         from repro.storage.catalog import DEFAULT_CATALOG_ROOT, DatasetCatalog
 
         return DatasetCatalog(self.catalog_root or DEFAULT_CATALOG_ROOT)
+
+
+@dataclass(frozen=True)
+class ServiceConfig(_BaseConfig):
+    """Parameters of the ``repro serve`` daemon (:mod:`repro.service`).
+
+    One daemon opens a :class:`~repro.storage.DatasetCatalog` of hot
+    snapshots once and serves query/learn/interactive traffic from many
+    concurrent clients.  ``snapshots`` preloads named catalog datasets at
+    startup (empty: everything registered); ``default_snapshot`` answers
+    requests that name none.  ``max_concurrent``/``per_tenant``/
+    ``queue_depth`` are the admission-control knobs: past them the server
+    sheds with a structured 429-style ``overloaded`` error instead of
+    queueing unboundedly.  ``batch_window``/``batch_max`` shape the
+    micro-batcher that coalesces compatible single-query requests into one
+    :meth:`~repro.engine.QueryEngine.evaluate_many` call.  ``metrics_port``
+    serves the registry's Prometheus text over HTTP (``/metrics``);
+    ``metrics_path`` additionally writes it to a file on shutdown.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    catalog_root: str | None = None
+    snapshots: tuple[str, ...] = ()
+    default_snapshot: str | None = None
+    max_concurrent: int = 32
+    per_tenant: int = 8
+    queue_depth: int = 64
+    batch_window: float = 0.002
+    batch_max: int = 16
+    max_frame_bytes: int = 4 * 1024 * 1024
+    request_timeout: float = 120.0
+    max_sessions_per_tenant: int = 16
+    plan_cache_size: int = 256
+    result_cache_size: int = 4096
+    metrics_port: int | None = None
+    metrics_path: str | None = None
+    allow_remote_shutdown: bool = False
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.host, str) and bool(self.host),
+            f"host must be a non-empty string, got {self.host!r}",
+        )
+        _require(
+            isinstance(self.port, int) and 0 <= self.port <= 65535,
+            f"port must be an int in [0, 65535] (0 = ephemeral), got {self.port!r}",
+        )
+        _require(
+            self.catalog_root is None or isinstance(self.catalog_root, str),
+            f"catalog_root must be None or a path string, got {self.catalog_root!r}",
+        )
+        _require(
+            isinstance(self.snapshots, tuple)
+            and all(isinstance(name, str) and name for name in self.snapshots),
+            f"snapshots must be a tuple of dataset names, got {self.snapshots!r}",
+        )
+        _require(
+            self.default_snapshot is None or isinstance(self.default_snapshot, str),
+            f"default_snapshot must be None or a name, got {self.default_snapshot!r}",
+        )
+        for knob in ("max_concurrent", "per_tenant", "queue_depth", "batch_max"):
+            value = getattr(self, knob)
+            _require(
+                isinstance(value, int) and value >= 1,
+                f"{knob} must be a positive int, got {value!r}",
+            )
+        _require(
+            isinstance(self.batch_window, (int, float)) and self.batch_window >= 0,
+            f"batch_window must be a non-negative number of seconds, got {self.batch_window!r}",
+        )
+        _require(
+            isinstance(self.max_frame_bytes, int) and self.max_frame_bytes >= 1024,
+            f"max_frame_bytes must be an int >= 1024, got {self.max_frame_bytes!r}",
+        )
+        _require(
+            isinstance(self.request_timeout, (int, float)) and self.request_timeout > 0,
+            f"request_timeout must be a positive number of seconds, got {self.request_timeout!r}",
+        )
+        _require(
+            isinstance(self.max_sessions_per_tenant, int) and self.max_sessions_per_tenant >= 1,
+            f"max_sessions_per_tenant must be a positive int, got {self.max_sessions_per_tenant!r}",
+        )
+        _require(
+            isinstance(self.plan_cache_size, int) and self.plan_cache_size >= 1,
+            f"plan_cache_size must be a positive int, got {self.plan_cache_size!r}",
+        )
+        _require(
+            isinstance(self.result_cache_size, int) and self.result_cache_size >= 1,
+            f"result_cache_size must be a positive int, got {self.result_cache_size!r}",
+        )
+        _require(
+            self.metrics_port is None
+            or (isinstance(self.metrics_port, int) and 0 <= self.metrics_port <= 65535),
+            f"metrics_port must be None or an int in [0, 65535], got {self.metrics_port!r}",
+        )
+        _require(
+            self.metrics_path is None or isinstance(self.metrics_path, str),
+            f"metrics_path must be None or a path string, got {self.metrics_path!r}",
+        )
+        _require(
+            isinstance(self.allow_remote_shutdown, bool),
+            f"allow_remote_shutdown must be a bool, got {self.allow_remote_shutdown!r}",
+        )
+
+    def catalog(self):
+        """A :class:`~repro.storage.DatasetCatalog` at this config's root."""
+        from repro.storage.catalog import DEFAULT_CATALOG_ROOT, DatasetCatalog
+
+        return DatasetCatalog(self.catalog_root or DEFAULT_CATALOG_ROOT)
+
+    def engine_config(self) -> EngineConfig:
+        """The per-dataset engine sizing this service runs with."""
+        return EngineConfig(
+            plan_cache_size=self.plan_cache_size,
+            result_cache_size=self.result_cache_size,
+        )
 
 
 @dataclass(frozen=True)

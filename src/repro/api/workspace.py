@@ -326,6 +326,31 @@ class Workspace:
         ``max_interactions``.
         """
         config = config or InteractiveConfig()
+        session = self.interactive_session(target, config, resume_from=resume_from)
+        result = session.run()
+        if checkpoint_to is not None:
+            payload = session.checkpoint().to_dict()
+            Path(checkpoint_to).write_text(json.dumps(payload, indent=2))
+        return result
+
+    def interactive_session(
+        self,
+        target: str | PathQuery | Oracle,
+        config: InteractiveConfig | None = None,
+        *,
+        resume_from: "InteractiveCheckpoint | dict | str | Path | None" = None,
+    ) -> InteractiveSession:
+        """Build (or resume) an interactive session without running it.
+
+        This is :meth:`learn_interactive` minus the ``run()``: callers that
+        need the session object itself -- to drive rounds manually, or to
+        take a checkpoint and stash it somewhere other than a file (the
+        query service keeps them in a per-tenant table) -- construct here
+        and call :meth:`~repro.interactive.InteractiveSession.run` /
+        ``checkpoint()`` themselves.  Budget semantics under ``resume_from``
+        are identical to :meth:`learn_interactive`.
+        """
+        config = config or InteractiveConfig()
         if isinstance(target, Oracle):
             oracle = target
         else:
@@ -370,11 +395,7 @@ class Workspace:
                 engine=self._engine,
                 incremental=config.incremental,
             )
-        result = session.run()
-        if checkpoint_to is not None:
-            payload = session.checkpoint().to_dict()
-            Path(checkpoint_to).write_text(json.dumps(payload, indent=2))
-        return result
+        return session
 
     @staticmethod
     def _load_checkpoint(

@@ -19,10 +19,16 @@ results for graphs that have since been garbage collected (including
 them out.  Long-lived processes sweeping many large graphs should size
 ``result_cache_size`` accordingly or call
 :meth:`~repro.engine.engine.QueryEngine.clear_caches` between workloads.
+
+Thread safety: every operation holds the cache's own lock, so a served
+engine can hit one shared plan/result cache from many worker threads
+without corrupting the underlying ``OrderedDict`` recency links (the
+service layer's whole shared-cache design rests on this).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Any
@@ -35,7 +41,7 @@ _MISSING = object()
 class LRUCache:
     """A small order-of-use bounded mapping with hit/miss counters."""
 
-    __slots__ = ("capacity", "hits", "misses", "_data")
+    __slots__ = ("capacity", "hits", "misses", "_data", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -44,35 +50,41 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or a miss."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``key``, evicting the least recently used entry if full."""
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.capacity:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self.capacity:
+                data.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
         """Drop every entry (the hit/miss counters are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     @property
     def hit_rate(self) -> float:
@@ -84,7 +96,7 @@ class LRUCache:
         """The cache's hit economics as one JSON-safe dict (telemetry export)."""
         return {
             "capacity": self.capacity,
-            "size": len(self._data),
+            "size": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

@@ -18,6 +18,7 @@ or stats (benchmarks, servers) instantiate their own.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Sequence
 from time import perf_counter
 from weakref import WeakKeyDictionary
@@ -46,10 +47,14 @@ class EngineStats:
 
     Every counter is an instrument in the engine's telemetry
     :class:`~repro.telemetry.metrics.MetricsRegistry` (names like
-    ``engine_evaluations_total``), exposed behind plain int properties so
-    call sites keep writing ``stats.evaluations += 1``.  The registry view
-    of the same numbers powers Prometheus export; this class powers the
-    flat dict snapshots the drivers and tests consume.
+    ``engine_evaluations_total``), exposed behind plain int properties for
+    reads and single-threaded resets (``stats.evaluations = 0``).  The
+    engine's own hot paths bump them through :meth:`inc`, which takes the
+    instrument's lock -- the property-assignment form is *not* atomic, so
+    concurrent callers (the service layer's worker threads) must use
+    :meth:`inc`.  The registry view of the same numbers powers Prometheus
+    export; this class powers the flat dict snapshots the drivers and
+    tests consume.
     """
 
     _COUNTERS = {
@@ -79,6 +84,10 @@ class EngineStats:
     def attach_caches(self, plan_cache: PlanCache, result_cache: ResultCache) -> None:
         """Let :meth:`snapshot` report the engine's live cache economics."""
         self._caches = (plan_cache, result_cache)
+
+    def inc(self, counter: str, amount: int = 1) -> None:
+        """Atomically bump one of the named counters (thread-safe)."""
+        getattr(self, f"_{counter}").inc(amount)
 
     @property
     def states_expanded(self) -> int:
@@ -186,6 +195,10 @@ class QueryEngine:
         self.last_profile: dict | None = None
         # Strongly holds each live graph's index; dies with the graph.
         self._indexes: WeakKeyDictionary[GraphDB, GraphIndex] = WeakKeyDictionary()
+        # Serializes index resolution (build/refresh/adopt) under concurrent
+        # callers; the caches carry their own locks.  RLock: a build span may
+        # re-enter index_for through telemetry callbacks.
+        self._index_lock = threading.RLock()
 
     def _register_cache_metrics(self) -> None:
         """Expose live cache hit economics as computed gauges."""
@@ -207,7 +220,19 @@ class QueryEngine:
         storage layer's snapshot-backed :class:`GraphView` does): if that
         index is current, the engine adopts it instead of building one --
         this is how an mmap-loaded snapshot is consumed with zero rebuild.
+
+        Thread-safe: the current-index fast path is lock-free; build,
+        refresh and adoption are serialized by the engine's index lock, so
+        concurrent first touches of one graph build its index exactly once.
         """
+        index = self._indexes.get(graph)
+        if index is not None and index.is_current(graph):
+            return index
+        with self._index_lock:
+            return self._resolve_index(graph)
+
+    def _resolve_index(self, graph: GraphDB) -> GraphIndex:
+        """Slow path of :meth:`index_for` (caller holds the index lock)."""
         index = self._indexes.get(graph)
         if index is not None:
             if index.is_current(graph):
@@ -217,7 +242,7 @@ class QueryEngine:
                     refreshed = index.refresh(graph, max_ratio=self.refresh_ratio)
                     if refreshed is not None:
                         self._indexes[graph] = refreshed
-                        self.stats.index_refreshes += 1
+                        self.stats.inc("index_refreshes")
                         span.set(
                             nodes=refreshed.num_nodes,
                             edges=refreshed.edge_count,
@@ -229,7 +254,7 @@ class QueryEngine:
             prebuilt = getattr(graph, "prebuilt_index", None)
             if prebuilt is not None and prebuilt.is_current(graph):
                 self._indexes[graph] = prebuilt
-                self.stats.index_adoptions += 1
+                self.stats.inc("index_adoptions")
                 return prebuilt
         with self.telemetry.span("engine.index_build") as span:
             index = GraphIndex.build(graph)
@@ -239,7 +264,7 @@ class QueryEngine:
                 build_seconds=round(index.build_seconds, 9),
             )
         self._indexes[graph] = index
-        self.stats.index_builds += 1
+        self.stats.inc("index_builds")
         return index
 
     def adopt_index(self, graph: GraphDB, index: GraphIndex) -> None:
@@ -250,8 +275,9 @@ class QueryEngine:
                 f"(uid={index.graph_uid}, version={index.graph_version}), the graph "
                 f"is at (uid={graph.uid}, version={graph.version})"
             )
-        self._indexes[graph] = index
-        self.stats.index_adoptions += 1
+        with self._index_lock:
+            self._indexes[graph] = index
+        self.stats.inc("index_adoptions")
 
     def plan_for(self, query: Query) -> CompiledPlan:
         """The (cached) compiled plan of a query or automaton."""
@@ -265,7 +291,7 @@ class QueryEngine:
         if plan is None:
             plan = compile_plan(automaton, fingerprint=fingerprint)
             self.plan_cache.put(fingerprint, plan)
-            self.stats.plan_compilations += 1
+            self.stats.inc("plan_compilations")
         return plan
 
     @staticmethod
@@ -320,7 +346,7 @@ class QueryEngine:
             if isinstance(automaton, MergeFold):
                 automaton = automaton.to_table()
             index = self.index_for(graph)
-            self.stats.evaluations += 1
+            self.stats.inc("evaluations")
             selected_ids = executor.table_evaluate_all(
                 index, automaton, self.stats.kernel, max_depth=max_depth
             )
@@ -334,7 +360,7 @@ class QueryEngine:
         if cached is not None:
             return cached
         index = self.index_for(graph)
-        self.stats.evaluations += 1
+        self.stats.inc("evaluations")
         selected_ids = executor.evaluate_all(index, plan, self.stats.kernel)
         nodes_by_id = index.nodes_by_id
         result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
@@ -364,7 +390,7 @@ class QueryEngine:
                     automaton = automaton.to_table()
                 index = self.index_for(graph)
                 indexed = perf_counter()
-                self.stats.evaluations += 1
+                self.stats.inc("evaluations")
                 marks = kernel.mark()
                 depth_sizes: list[int] = []
                 selected_ids = executor.table_evaluate_all(
@@ -419,7 +445,7 @@ class QueryEngine:
                 return cached
             index = self.index_for(graph)
             indexed = perf_counter()
-            self.stats.evaluations += 1
+            self.stats.inc("evaluations")
             marks = kernel.mark()
             depth_sizes = []
             selected_ids = executor.evaluate_all(
@@ -527,7 +553,7 @@ class QueryEngine:
         if cached is not None:
             return node in cached
         index = self.index_for(graph)
-        self.stats.evaluations += 1
+        self.stats.inc("evaluations")
         return executor.selects(index, plan, index.node_ids[node], self.stats.kernel)
 
     def any_selects(
@@ -559,7 +585,7 @@ class QueryEngine:
         index = self.index_for(graph)
         node_ids = index.node_ids
         if ephemeral:
-            self.stats.evaluations += 1
+            self.stats.inc("evaluations")
             automaton = self._coerce_automaton(query)
             if isinstance(automaton, TableAutomaton):
                 # Kernel automata (TableDFA / in-place MergeFold hypotheses)
@@ -588,7 +614,7 @@ class QueryEngine:
         cached = self.result_cache.get(key)
         if cached is not None:
             return any(node in cached for node in start_nodes)
-        self.stats.evaluations += 1
+        self.stats.inc("evaluations")
         return executor.any_selects(
             index, plan, (node_ids[node] for node in start_nodes), self.stats.kernel
         )
@@ -619,7 +645,7 @@ class QueryEngine:
         if cached is not None:
             return cached
         index = self.index_for(graph)
-        self.stats.evaluations += 1
+        self.stats.inc("evaluations")
         pair_ids = executor.binary_evaluate(index, plan, self.stats.kernel)
         nodes_by_id = index.nodes_by_id
         result = frozenset(
@@ -660,7 +686,7 @@ class QueryEngine:
                 return cached
             index = self.index_for(graph)
             indexed = perf_counter()
-            self.stats.evaluations += 1
+            self.stats.inc("evaluations")
             marks = kernel.mark()
             pair_ids = executor.binary_evaluate(index, plan, kernel)
             nodes_by_id = index.nodes_by_id
@@ -702,7 +728,7 @@ class QueryEngine:
             raise GraphError("both endpoints must be in the graph")
         index = self.index_for(graph)
         if ephemeral:
-            self.stats.evaluations += 1
+            self.stats.inc("evaluations")
             automaton = self._coerce_automaton(query)
             if isinstance(automaton, TableAutomaton):
                 return executor.table_pair_selects(
@@ -724,7 +750,7 @@ class QueryEngine:
         cached = self.result_cache.get(key)
         if cached is not None:
             return (origin, end) in cached
-        self.stats.evaluations += 1
+        self.stats.inc("evaluations")
         return executor.pair_selects(
             index, plan, index.node_ids[origin], index.node_ids[end], self.stats.kernel
         )
@@ -735,7 +761,8 @@ class QueryEngine:
         """Drop every cached plan, result and index."""
         self.plan_cache.clear()
         self.result_cache.clear()
-        self._indexes.clear()
+        with self._index_lock:
+            self._indexes.clear()
 
     def stats_snapshot(self) -> dict[str, int | float]:
         """All counters (kernel work + cache hit rates) as one flat dict."""

@@ -32,9 +32,11 @@ class KernelStats:
 
     The two counters are telemetry :class:`~repro.telemetry.metrics.Counter`
     instruments (registered as ``kernel_states_expanded_total`` /
-    ``kernel_edges_scanned_total`` when a registry is supplied), exposed
-    behind plain int properties so every kernel call site keeps its single
-    ``stats.states_expanded += n`` store per call.
+    ``kernel_edges_scanned_total`` when a registry is supplied).  Kernels
+    accumulate into locals and flush once per call through :meth:`add`,
+    which takes the instruments' locks -- one locked add per kernel call,
+    safe under the service layer's concurrent workers.  The int properties
+    remain for reads and single-threaded resets (not atomic).
     """
 
     __slots__ = ("_states", "_edges")
@@ -68,6 +70,11 @@ class KernelStats:
     @edges_scanned.setter
     def edges_scanned(self, value: int) -> None:
         self._edges.value = value
+
+    def add(self, states: int, edges: int) -> None:
+        """Atomically add one kernel call's work to both counters."""
+        self._states.inc(states)
+        self._edges.inc(edges)
 
     def mark(self) -> tuple[int, int]:
         """The current ``(states_expanded, edges_scanned)`` pair -- take one
@@ -147,8 +154,7 @@ def evaluate_all(
                 if level_left:
                     depth_sizes.append(level_left)
     if stats is not None:
-        stats.states_expanded += expanded
-        stats.edges_scanned += scanned
+        stats.add(expanded, scanned)
 
     initials = plan.initials
     return frozenset(
@@ -229,8 +235,7 @@ def any_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)
 
 
 def _automaton_ends(automaton: DFA | NFA):
@@ -297,8 +302,7 @@ def lazy_any_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)
 
 
 def table_any_selects(
@@ -381,8 +385,7 @@ def table_any_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)
 
 
 def table_evaluate_all(
@@ -466,8 +469,7 @@ def table_evaluate_all(
         if depth_sizes is not None and frontier:
             depth_sizes.append(len(frontier))
     if stats is not None:
-        stats.states_expanded += expanded
-        stats.edges_scanned += scanned
+        stats.add(expanded, scanned)
 
     return frozenset(
         node for node in range(n) if visited[node * span + initial]
@@ -526,8 +528,7 @@ def table_pair_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)
 
 
 def lazy_pair_selects(
@@ -575,8 +576,7 @@ def lazy_pair_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)
 
 
 def binary_evaluate(
@@ -630,8 +630,7 @@ def binary_evaluate(
                             if is_final[target_state]:
                                 result.add((source, target_node))
     if stats is not None:
-        stats.states_expanded += expanded
-        stats.edges_scanned += scanned
+        stats.add(expanded, scanned)
     return frozenset(result)
 
 
@@ -689,5 +688,4 @@ def pair_selects(
         return False
     finally:
         if stats is not None:
-            stats.states_expanded += expanded
-            stats.edges_scanned += scanned
+            stats.add(expanded, scanned)

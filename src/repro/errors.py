@@ -66,3 +66,40 @@ class TelemetryError(ReproError):
 
 class SerializationError(ReproError):
     """A result or config payload could not be (de)serialized."""
+
+
+class ServiceError(ReproError):
+    """A query-service operation failed (client or server side).
+
+    ``code`` is the wire-protocol error code (``bad_request``,
+    ``overloaded``, ...) and ``status`` its HTTP-flavoured numeric twin --
+    what a load balancer or client backoff policy keys on.
+    """
+
+    code = "internal"
+    status = 500
+
+    def __init__(self, message: str, *, code: str | None = None, status: int | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        if status is not None:
+            self.status = status
+
+
+class ProtocolError(ServiceError):
+    """A wire frame is malformed, oversized or semantically invalid."""
+
+    code = "bad_request"
+    status = 400
+
+
+class OverloadedError(ServiceError):
+    """The service shed the request (admission queue full or caps hit).
+
+    The 429-style answer: the request was *not* executed; the client may
+    retry after backing off.
+    """
+
+    code = "overloaded"
+    status = 429

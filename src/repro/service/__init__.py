@@ -1,0 +1,37 @@
+"""The query service: a long-running daemon over a catalog of snapshots.
+
+``repro serve`` turns the library into a multi-tenant server: one
+:class:`QueryService` opens a :class:`~repro.storage.DatasetCatalog` of hot
+snapshots once and answers query/learn/interactive traffic from many
+concurrent clients over a newline-delimited JSON TCP protocol
+(:mod:`repro.service.protocol`).  The pieces:
+
+* :class:`QueryService` (:mod:`~repro.service.server`) -- the daemon:
+  threaded socket front-end, one shared engine per snapshot (the
+  cross-tenant result cache), Prometheus metrics endpoint;
+* :class:`ServiceClient` (:mod:`~repro.service.client`) -- the typed
+  client; remote calls return the same ``Result`` objects local
+  workspaces do;
+* :class:`MicroBatcher` (:mod:`~repro.service.batching`) -- coalesces
+  concurrent single-query requests into ``evaluate_many`` batches;
+* :class:`AdmissionController` / :class:`SessionTable`
+  (:mod:`~repro.service.session`) -- bounded concurrency with 429-style
+  load-shedding, and per-tenant interactive-session checkpoints.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.client import ServiceClient, parse_address
+from repro.service.protocol import MAX_FRAME_BYTES, OPS
+from repro.service.server import QueryService
+from repro.service.session import AdmissionController, SessionTable
+
+__all__ = [
+    "QueryService",
+    "ServiceClient",
+    "MicroBatcher",
+    "AdmissionController",
+    "SessionTable",
+    "parse_address",
+    "MAX_FRAME_BYTES",
+    "OPS",
+]

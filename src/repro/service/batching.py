@@ -1,0 +1,227 @@
+"""The micro-batcher: coalesce concurrent queries into ``evaluate_many``.
+
+Requests for the *same snapshot* that arrive within one batching window are
+drained together and answered by a single
+:meth:`~repro.engine.QueryEngine.evaluate_many` call, which resolves the
+CSR index once and routes every plan/result through the shared caches --
+the amortization the engine's batch API was built for, now applied across
+clients instead of within one driver loop.
+
+Submitting threads block on a per-request event; a single worker thread
+owns the engine calls.  Admission is bounded: past ``queue_depth`` pending
+requests the batcher sheds with a structured
+:class:`~repro.errors.OverloadedError` (a 429, not a hang), which is the
+service's backpressure story.
+
+``pause()``/``resume()`` freeze draining so tests (and drain-sensitive
+benchmarks) can pile up submissions and observe one deterministic batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class _Pending:
+    """One submitted query waiting for its batch to execute."""
+
+    __slots__ = ("dataset", "query", "event", "result", "error", "abandoned")
+
+    def __init__(self, dataset, query) -> None:
+        self.dataset = dataset
+        self.query = query
+        self.event = threading.Event()
+        self.result = None
+        self.error: Exception | None = None
+        self.abandoned = False
+
+
+class MicroBatcher:
+    """Group compatible single-query requests into engine batch calls.
+
+    ``dataset`` handles passed to :meth:`submit` must expose ``.graph`` and
+    ``.engine``; grouping is by dataset identity, so only requests against
+    the same open snapshot ever share a batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        batch_window: float = 0.002,
+        batch_max: int = 16,
+        queue_depth: int = 64,
+        registry=None,
+    ) -> None:
+        self.batch_window = batch_window
+        self.batch_max = batch_max
+        self.queue_depth = queue_depth
+        self._pending: list[_Pending] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._paused = False
+        self._stopped = False
+        self._worker: threading.Thread | None = None
+        if registry is not None:
+            self._batches = registry.counter(
+                "service_batches_total", help="evaluate_many calls issued by the micro-batcher"
+            )
+            self._batched = registry.counter(
+                "service_batched_queries_total",
+                help="query requests answered through a micro-batch",
+            )
+            self._batch_size = registry.histogram(
+                "service_batch_size",
+                buckets=(1, 2, 4, 8, 16, 32),
+                help="queries coalesced per evaluate_many call",
+            )
+            self._shed = registry.counter(
+                "service_batch_shed_total",
+                help="query requests shed because the batch queue was full",
+            )
+        else:
+            self._batches = self._batched = self._batch_size = self._shed = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        with self._lock:
+            if self._worker is not None:
+                return
+            self._stopped = False
+            self._worker = threading.Thread(
+                target=self._run, name="repro-batcher", daemon=True
+            )
+            self._worker.start()
+
+    def stop(self) -> None:
+        """Stop the worker, failing any still-pending requests."""
+        with self._wakeup:
+            self._stopped = True
+            leftovers = self._pending
+            self._pending = []
+            self._wakeup.notify_all()
+        from repro.errors import ServiceError
+
+        for pending in leftovers:
+            pending.error = ServiceError(
+                "service shutting down", code="shutting_down", status=503
+            )
+            pending.event.set()
+        worker = self._worker
+        if worker is not None:
+            worker.join(timeout=5.0)
+            self._worker = None
+
+    def pause(self) -> None:
+        """Hold draining; submissions queue up (until ``queue_depth``)."""
+        with self._wakeup:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Resume draining whatever accumulated while paused."""
+        with self._wakeup:
+            self._paused = False
+            self._wakeup.notify_all()
+
+    @property
+    def depth(self) -> int:
+        """Currently queued (not yet drained) requests."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- the client-facing call ----------------------------------------------
+
+    def submit(self, dataset, query, *, timeout: float | None = None):
+        """Evaluate ``query`` on ``dataset``, coalesced with its neighbours.
+
+        Blocks until the owning batch executed; raises
+        :class:`~repro.errors.OverloadedError` immediately when the queue
+        is full, and a 504-style timeout error when the batch did not
+        complete within ``timeout`` seconds.
+        """
+        from repro.errors import OverloadedError, ServiceError
+
+        pending = _Pending(dataset, query)
+        with self._wakeup:
+            if self._stopped:
+                raise ServiceError("service shutting down", code="shutting_down", status=503)
+            if len(self._pending) >= self.queue_depth:
+                if self._shed is not None:
+                    self._shed.inc()
+                raise OverloadedError(
+                    f"batch queue full ({self.queue_depth} pending); retry later"
+                )
+            self._pending.append(pending)
+            self._wakeup.notify_all()
+        if not pending.event.wait(timeout):
+            with self._lock:
+                pending.abandoned = True
+            raise ServiceError(
+                f"query did not complete within {timeout}s", code="timeout", status=504
+            )
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    # -- the worker ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._stopped and (self._paused or not self._pending):
+                    self._wakeup.wait()
+                if self._stopped:
+                    return
+            # Let a burst of concurrent submissions land before draining, so
+            # simultaneous clients actually share a batch.
+            if self.batch_window > 0:
+                time.sleep(self.batch_window)
+            batch = self._drain_one_group()
+            if batch:
+                self._execute(batch)
+
+    def _drain_one_group(self) -> list[_Pending]:
+        """Pop up to ``batch_max`` live requests of the oldest dataset."""
+        with self._wakeup:
+            if self._paused or not self._pending:
+                return []
+            dataset = self._pending[0].dataset
+            batch: list[_Pending] = []
+            keep: list[_Pending] = []
+            for pending in self._pending:
+                if pending.abandoned:
+                    continue
+                if pending.dataset is dataset and len(batch) < self.batch_max:
+                    batch.append(pending)
+                else:
+                    keep.append(pending)
+            self._pending = keep
+            if keep:  # another group (or overflow) is still waiting
+                self._wakeup.notify_all()
+            return batch
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        dataset = batch[0].dataset
+        if self._batches is not None:
+            self._batches.inc()
+            self._batched.inc(len(batch))
+            self._batch_size.observe(len(batch))
+        try:
+            selected = dataset.engine.evaluate_many(
+                dataset.graph, [pending.query for pending in batch]
+            )
+        except Exception:
+            # One bad query must not fail its batch-mates: fall back to
+            # per-item evaluation so errors attribute to their request.
+            for pending in batch:
+                try:
+                    pending.result = dataset.engine.evaluate(dataset.graph, pending.query)
+                except Exception as error:  # noqa: BLE001 - delivered to the caller
+                    pending.error = error
+                pending.event.set()
+            return
+        for pending, result in zip(batch, selected):
+            pending.result = result
+            pending.event.set()

@@ -1,0 +1,173 @@
+"""The query service's wire protocol: newline-delimited JSON frames.
+
+One frame is one JSON document terminated by ``\\n`` -- trivially parseable
+from any language, stream-framed without length prefixes, and directly
+reusing the library's JSON envelopes.  Requests look like::
+
+    {"id": 7, "op": "query", "tenant": "acme", "params": {"expr": "a.b*"}}
+
+and responses mirror the CLI envelope, carrying the uniform
+:class:`~repro.api.result.Result` ``to_dict`` payload under ``result`` (so
+:func:`~repro.api.result.result_from_dict` rebuilds the typed object
+client-side via the type-tag dispatch)::
+
+    {"id": 7, "ok": true, "op": "query", "elapsed": 0.004, "result": {...}}
+    {"id": 7, "ok": false, "op": "query",
+     "error": {"type": "OverloadedError", "code": "overloaded",
+               "status": 429, "message": "..."}}
+
+``status`` is the HTTP-flavoured numeric code clients key backoff and retry
+policies on (429 = shed, retry later; 4xx = don't retry; 5xx = server
+fault).  Frames larger than the negotiated ``max_frame_bytes`` are rejected
+with a 413-style ``too_large`` error *without* desynchronizing the stream:
+:func:`read_frame` drains the oversized line to the next newline so the
+connection keeps working.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import OverloadedError, ProtocolError, ServiceError
+
+#: Default per-frame size cap (requests and responses alike).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: The operations a server understands (``parse_request`` rejects others).
+OPS = (
+    "ping",
+    "query",
+    "learn",
+    "interactive",
+    "session.release",
+    "stats",
+    "metrics",
+    "catalog",
+    "shutdown",
+)
+
+#: Default tenant for clients that do not name one.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated request frame."""
+
+    id: int | str | None
+    op: str
+    tenant: str = DEFAULT_TENANT
+    params: dict = field(default_factory=dict)
+
+
+def encode_frame(payload: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one payload as a newline-terminated JSON frame."""
+    frame = json.dumps(payload, separators=(",", ":"), sort_keys=False).encode("utf-8") + b"\n"
+    if len(frame) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(frame)} bytes exceeds the {max_bytes}-byte limit",
+            code="too_large",
+            status=413,
+        )
+    return frame
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into its payload dict."""
+    try:
+        payload = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def read_frame(stream, *, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read the next frame from a buffered binary stream.
+
+    Returns None on a clean EOF.  An oversized line is drained up to its
+    terminating newline (keeping the stream framed) and then rejected with
+    a 413-style :class:`~repro.errors.ProtocolError`.
+    """
+    line = stream.readline(max_bytes + 1)
+    if not line:
+        return None
+    if len(line) > max_bytes:
+        drained = line.endswith(b"\n")
+        while not drained:
+            chunk = stream.readline(max_bytes + 1)
+            drained = not chunk or chunk.endswith(b"\n")
+        raise ProtocolError(
+            f"frame exceeds the {max_bytes}-byte limit", code="too_large", status=413
+        )
+    return decode_frame(line)
+
+
+def parse_request(payload: dict) -> Request:
+    """Validate a request payload into a :class:`Request`."""
+    op = payload.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError(f"request id must be an int or string, got {request_id!r}")
+    tenant = payload.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(f"tenant must be a non-empty string, got {tenant!r}")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(f"params must be an object, got {type(params).__name__}")
+    return Request(id=request_id, op=op, tenant=tenant, params=params)
+
+
+def ok_response(request: Request, result: dict, *, elapsed: float, **extra) -> dict:
+    """A success envelope (``result`` is a ``Result.to_dict()``-style dict)."""
+    envelope = {"id": request.id, "ok": True, "op": request.op, "elapsed": elapsed}
+    envelope.update(extra)
+    envelope["result"] = result
+    return envelope
+
+
+def error_response(
+    request_id: int | str | None, error: Exception, *, op: str | None = None
+) -> dict:
+    """A structured error envelope for any exception."""
+    if isinstance(error, ServiceError):
+        code, status = error.code, error.status
+    else:
+        code, status = "internal", 500
+    return {
+        "id": request_id,
+        "ok": False,
+        "op": op,
+        "error": {
+            "type": type(error).__name__,
+            "code": code,
+            "status": status,
+            "message": str(error),
+        },
+    }
+
+
+def raise_for_error(envelope: dict) -> dict:
+    """Client side: re-raise a failed envelope as a typed exception.
+
+    Returns the envelope unchanged when ``ok`` is true.  The raised
+    exception carries the server's ``code``/``status``, so retry policies
+    written against local exceptions work unchanged against remote ones.
+    """
+    if envelope.get("ok"):
+        return envelope
+    detail = envelope.get("error") or {}
+    code = detail.get("code", "internal")
+    status = detail.get("status", 500)
+    message = detail.get("message", "request failed")
+    if code == "overloaded":
+        raise OverloadedError(message)
+    if int(status) // 100 == 4:
+        raise ProtocolError(message, code=code, status=status)
+    raise ServiceError(message, code=code, status=status)

@@ -1,0 +1,572 @@
+"""The ``repro serve`` daemon: one catalog of hot snapshots, many clients.
+
+A :class:`QueryService` opens a :class:`~repro.storage.DatasetCatalog`
+once, builds one shared :class:`~repro.api.Workspace` (engine + frozen
+:class:`~repro.storage.GraphView`) per snapshot, and serves the newline-
+delimited JSON protocol of :mod:`repro.service.protocol` over a plain TCP
+socket -- one reader thread per connection, which is the right shape for a
+synchronous engine (requests block in kernel code, not in an event loop).
+
+Sharing one engine per snapshot is what makes the daemon economical: the
+result cache is keyed by ``(operation, plan fingerprint, graph uid,
+graph version)``, so a query answered for one tenant is a cache hit for
+every other tenant asking the same thing of the same snapshot -- results
+are immutable node sets, never tenant data.  What *is* per-tenant
+(interactive sessions, in-flight caps) lives in
+:mod:`repro.service.session`; single-query traffic is coalesced by the
+:mod:`repro.service.batching` micro-batcher into
+:meth:`~repro.engine.QueryEngine.evaluate_many` calls.
+
+Observability: the server keeps a :class:`~repro.telemetry.MetricsRegistry`
+of request/shed/batch/latency instruments, serves its Prometheus text over
+``GET /metrics`` when ``metrics_port`` is set, and writes it to
+``metrics_path`` on shutdown.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.api.config import InteractiveConfig, LearnerConfig, ServiceConfig
+from repro.api.result import QueryResult
+from repro.api.workspace import Workspace
+from repro.errors import (
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+    StorageError,
+)
+from repro.learning.sample import BinarySample, Sample
+from repro.queries.path_query import PathQuery
+from repro.service import protocol
+from repro.service.batching import MicroBatcher
+from repro.service.session import AdmissionController, SessionTable
+from repro.storage.catalog import BUILTIN_DATASETS, DatasetCatalog
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Latency buckets for the request histogram (seconds).
+_LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+class _Dataset:
+    """One hot snapshot: its frozen view and the tenant-shared engine."""
+
+    __slots__ = ("name", "workspace")
+
+    def __init__(self, name: str, workspace: Workspace) -> None:
+        self.name = name
+        self.workspace = workspace
+
+    @property
+    def graph(self):
+        return self.workspace.graph
+
+    @property
+    def engine(self):
+        return self.workspace.engine
+
+
+class QueryService:
+    """The long-running daemon behind ``repro serve``."""
+
+    def __init__(self, config: ServiceConfig | None = None, *, catalog=None) -> None:
+        self.config = config or ServiceConfig()
+        self.catalog: DatasetCatalog = (
+            catalog if catalog is not None else self.config.catalog()
+        )
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "service_requests_total", help="requests received (any op, any outcome)"
+        )
+        self._errors = self.registry.counter(
+            "service_errors_total", help="requests answered with an error envelope"
+        )
+        self._latency = self.registry.histogram(
+            "service_request_seconds",
+            buckets=_LATENCY_BUCKETS,
+            help="wall-clock seconds per request, admission to response",
+        )
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            per_tenant=self.config.per_tenant,
+            registry=self.registry,
+        )
+        self.sessions = SessionTable(
+            max_sessions_per_tenant=self.config.max_sessions_per_tenant,
+            registry=self.registry,
+        )
+        self.batcher = MicroBatcher(
+            batch_window=self.config.batch_window,
+            batch_max=self.config.batch_max,
+            queue_depth=self.config.queue_depth,
+            registry=self.registry,
+        )
+        self._datasets: dict[str, _Dataset] = {}
+        self._datasets_lock = threading.Lock()
+        self._ops_lock = threading.Lock()
+        self._ops: dict[str, int] = {}
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._stop = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._metrics_server = None
+        self._metrics_address: tuple[str, int] | None = None
+        self.registry.callback(
+            "service_datasets", lambda: float(len(self._datasets)),
+            help="snapshots currently open and serving",
+        )
+
+    # -- datasets ------------------------------------------------------------
+
+    def _open_dataset(self, name: str) -> _Dataset:
+        """Open (and cache) the named catalog snapshot as a hot dataset."""
+        with self._datasets_lock:
+            dataset = self._datasets.get(name)
+            if dataset is not None:
+                return dataset
+            if name not in self.catalog and name in BUILTIN_DATASETS:
+                self.catalog.ensure(name)
+            try:
+                view = self.catalog.open_view(name)
+            except StorageError as error:
+                raise ServiceError(str(error), code="not_found", status=404) from error
+            workspace = Workspace(
+                view, engine_config=self.config.engine_config(), name=name
+            )
+            dataset = _Dataset(name, workspace)
+            self._datasets[name] = dataset
+            return dataset
+
+    def _resolve_dataset(self, params: dict) -> _Dataset:
+        name = params.get("snapshot") or self.default_snapshot
+        if name is None:
+            raise ProtocolError(
+                "no snapshot named and the server has no default; pass params.snapshot"
+            )
+        if not isinstance(name, str):
+            raise ProtocolError(f"snapshot must be a name string, got {name!r}")
+        return self._open_dataset(name)
+
+    @property
+    def default_snapshot(self) -> str | None:
+        if self.config.default_snapshot is not None:
+            return self.config.default_snapshot
+        preload = self.config.snapshots
+        return preload[0] if preload else None
+
+    def dataset_names(self) -> list[str]:
+        with self._datasets_lock:
+            return sorted(self._datasets)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise ServiceError("service is not started")
+        return self._address
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The metrics HTTP endpoint's ``(host, port)``, when enabled."""
+        return self._metrics_address
+
+    def start(self) -> tuple[str, int]:
+        """Preload snapshots, bind the socket, start accepting. Returns the address."""
+        names = self.config.snapshots or tuple(self.catalog.names())
+        for name in names:
+            self._open_dataset(name)
+        self.batcher.start()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        acceptor = threading.Thread(target=self._accept_loop, name="repro-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        if self.config.metrics_port is not None:
+            self._start_metrics_endpoint()
+        return self._address
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` (or a remote shutdown op)."""
+        self._stop.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain the batcher, close connections (idempotent).
+
+        Safe to call from several threads: the first caller does the work,
+        later callers block until teardown (including the metrics-file
+        write) has actually completed.
+        """
+        with self._shutdown_lock:
+            first = not self._stop.is_set()
+            if first:
+                self._stop.set()
+        if not first:
+            self._shutdown_done.wait(timeout=30.0)
+            return
+        try:
+            self._do_shutdown()
+        finally:
+            self._shutdown_done.set()
+
+    def _do_shutdown(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self.batcher.stop()
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+            self._metrics_server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self.config.metrics_path is not None:
+            from pathlib import Path
+
+            Path(self.config.metrics_path).write_text(self.metrics_text(), encoding="utf-8")
+
+    def __enter__(self) -> "QueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- the socket front-end ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except OSError:  # listener closed by shutdown
+                return
+            with self._connections_lock:
+                self._connections.add(connection)
+            handler = threading.Thread(
+                target=self._connection_loop, args=(connection,), daemon=True
+            )
+            handler.start()
+
+    def _connection_loop(self, connection: socket.socket) -> None:
+        reader = connection.makefile("rb")
+        try:
+            while not self._stop.is_set():
+                try:
+                    payload = protocol.read_frame(
+                        reader, max_bytes=self.config.max_frame_bytes
+                    )
+                except ProtocolError as error:
+                    # The stream is still framed (read_frame drained the
+                    # line), so reject the frame and keep the connection.
+                    self._errors.inc()
+                    self._send(connection, protocol.error_response(None, error))
+                    continue
+                if payload is None:
+                    return
+                response = self.handle(payload)
+                self._send(connection, response)
+        except OSError:
+            return  # peer went away (or shutdown closed the socket)
+        finally:
+            reader.close()
+            with self._connections_lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _send(self, connection: socket.socket, response: dict) -> None:
+        try:
+            frame = protocol.encode_frame(
+                response, max_bytes=self.config.max_frame_bytes
+            )
+        except ProtocolError as error:  # response itself oversized
+            frame = protocol.encode_frame(
+                protocol.error_response(response.get("id"), error, op=response.get("op"))
+            )
+        connection.sendall(frame)
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, payload: dict) -> dict:
+        """Execute one request payload and return its response envelope.
+
+        This is the whole server minus the socket, which is what the tests
+        and the in-process client paths use directly.
+        """
+        self._requests.inc()
+        started = time.perf_counter()
+        request_id = payload.get("id") if isinstance(payload, dict) else None
+        op = payload.get("op") if isinstance(payload, dict) else None
+        try:
+            request = protocol.parse_request(payload)
+            with self._ops_lock:
+                self._ops[request.op] = self._ops.get(request.op, 0) + 1
+            if request.op == "ping":  # never shed a health check
+                result, extra = self._op_ping(request)
+            else:
+                with self.admission.admit(request.tenant):
+                    result, extra = self._dispatch(request)
+            elapsed = time.perf_counter() - started
+            self._latency.observe(elapsed)
+            return protocol.ok_response(request, result, elapsed=elapsed, **extra)
+        except (ReproError, OSError) as error:
+            self._errors.inc()
+            self._latency.observe(time.perf_counter() - started)
+            return protocol.error_response(request_id, self._map_error(error), op=op)
+
+    @staticmethod
+    def _map_error(error: Exception) -> Exception:
+        if isinstance(error, ServiceError):
+            return error
+        if isinstance(error, (ConfigError, ProtocolError)) or type(error).__name__ in (
+            "RegexSyntaxError",
+            "QueryError",
+            "SampleError",
+            "AlphabetError",
+        ):
+            return ProtocolError(str(error))
+        if isinstance(error, StorageError):
+            return ServiceError(str(error), code="not_found", status=404)
+        return ServiceError(str(error), code="internal", status=500)
+
+    def _dispatch(self, request: protocol.Request) -> tuple[dict, dict]:
+        handler = {
+            "query": self._op_query,
+            "learn": self._op_learn,
+            "interactive": self._op_interactive,
+            "session.release": self._op_session_release,
+            "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "catalog": self._op_catalog,
+            "shutdown": self._op_shutdown,
+        }[request.op]
+        return handler(request)
+
+    # -- ops -----------------------------------------------------------------
+
+    def _op_ping(self, request: protocol.Request) -> tuple[dict, dict]:
+        return {"type": "Pong", "ok": True}, {}
+
+    def _op_query(self, request: protocol.Request) -> tuple[dict, dict]:
+        params = request.params
+        expr = params.get("expr")
+        if not isinstance(expr, str) or not expr:
+            raise ProtocolError("query needs params.expr (the expression string)")
+        semantics = params.get("semantics", "path")
+        if semantics not in ("path", "binary"):
+            raise ProtocolError(f"semantics must be 'path' or 'binary', got {semantics!r}")
+        dataset = self._resolve_dataset(params)
+        if semantics == "binary":
+            # Pair selection has no batch kernel; answer it directly (the
+            # shared result cache still applies).
+            result = dataset.workspace.query(expr, semantics="binary")
+            return result.to_dict(), {"snapshot": dataset.name}
+        started = time.perf_counter()
+        query = PathQuery.parse(expr, dataset.graph.alphabet)
+        selected = self.batcher.submit(
+            dataset, query, timeout=self.config.request_timeout
+        )
+        result = QueryResult(
+            query=query,
+            semantics="path",
+            selected=selected,
+            elapsed=time.perf_counter() - started,
+        )
+        return result.to_dict(), {"snapshot": dataset.name}
+
+    def _op_learn(self, request: protocol.Request) -> tuple[dict, dict]:
+        params = request.params
+        dataset = self._resolve_dataset(params)
+        config = LearnerConfig.from_dict(params.get("config") or {})
+        positives = params.get("positives") or []
+        negatives = params.get("negatives") or []
+        if config.semantics == "binary":
+            sample: Sample | BinarySample = BinarySample(
+                [tuple(pair) for pair in positives],
+                [tuple(pair) for pair in negatives],
+            )
+        elif config.semantics == "path":
+            sample = Sample(list(positives), list(negatives))
+        else:
+            raise ProtocolError(
+                f"the service supports 'path' and 'binary' learning, got {config.semantics!r}"
+            )
+        result = dataset.workspace.learn(sample, config)
+        return result.to_dict(), {"snapshot": dataset.name}
+
+    def _op_interactive(self, request: protocol.Request) -> tuple[dict, dict]:
+        params = request.params
+        dataset = self._resolve_dataset(params)
+        goal = params.get("goal")
+        if not isinstance(goal, str) or not goal:
+            raise ProtocolError("interactive needs params.goal (the goal expression)")
+        config = InteractiveConfig.from_dict(params.get("config") or {})
+        name = params.get("session")
+        if name is not None and (not isinstance(name, str) or not name):
+            raise ProtocolError(f"session must be a non-empty name, got {name!r}")
+        extra: dict = {"snapshot": dataset.name}
+        if name is None:
+            result = dataset.workspace.interactive_session(goal, config).run()
+            return result.to_dict(), extra
+        # Resume-run-checkpoint is read-modify-write on the stored session:
+        # serialize it per (tenant, session) so concurrent calls of the
+        # same tenant chain instead of losing each other's interactions.
+        with self.sessions.lock_for(request.tenant, name):
+            checkpoint = self.sessions.get(request.tenant, name)
+            session = dataset.workspace.interactive_session(
+                goal, config, resume_from=checkpoint
+            )
+            result = session.run()
+            self.sessions.put(request.tenant, name, session.checkpoint().to_dict())
+        extra["session"] = {
+            "name": name,
+            "resumed": checkpoint is not None,
+            "interactions": len(session.interactions),
+        }
+        return result.to_dict(), extra
+
+    def _op_session_release(self, request: protocol.Request) -> tuple[dict, dict]:
+        name = request.params.get("session")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("session.release needs params.session (the name)")
+        released = self.sessions.release(request.tenant, name)
+        return {"type": "SessionRelease", "ok": True, "released": released}, {}
+
+    def server_stats(self) -> dict:
+        """The server-level counters (requests, errors, ops, admission)."""
+        with self._ops_lock:
+            ops = dict(self._ops)
+        return {
+            "requests": self._requests.value,
+            "errors": self._errors.value,
+            "ops": ops,
+            "admission": self.admission.snapshot(),
+            "batch_depth": self.batcher.depth,
+            "sessions_total": self.sessions.total(),
+        }
+
+    def _op_stats(self, request: protocol.Request) -> tuple[dict, dict]:
+        datasets = {}
+        with self._datasets_lock:
+            hot = list(self._datasets.values())
+        for dataset in hot:
+            datasets[dataset.name] = dataset.workspace.stats()
+        return {
+            "type": "ServiceStats",
+            "ok": True,
+            "server": self.server_stats(),
+            "datasets": datasets,
+            # Only the *requesting* tenant's sessions: names are tenant data.
+            "tenant_sessions": self.sessions.names(request.tenant),
+        }, {}
+
+    def _op_metrics(self, request: protocol.Request) -> tuple[dict, dict]:
+        return {"type": "MetricsReport", "ok": True, "text": self.metrics_text()}, {}
+
+    def _op_catalog(self, request: protocol.Request) -> tuple[dict, dict]:
+        return {
+            "type": "CatalogInfo",
+            "ok": True,
+            "catalog": {
+                "root": str(self.catalog.root),
+                "snapshots": self.catalog.entries(),
+                "hot": self.dataset_names(),
+                "default": self.default_snapshot,
+            },
+        }, {}
+
+    def _op_shutdown(self, request: protocol.Request) -> tuple[dict, dict]:
+        if not self.config.allow_remote_shutdown:
+            raise ServiceError(
+                "remote shutdown is disabled (start with allow_remote_shutdown)",
+                code="forbidden",
+                status=403,
+            )
+        # Respond first, stop after: the shutdown closes this very socket.
+        threading.Thread(target=self._deferred_shutdown, daemon=True).start()
+        return {"type": "Shutdown", "ok": True}, {}
+
+    def _deferred_shutdown(self) -> None:
+        time.sleep(0.05)  # let the shutdown response flush to its client
+        self.shutdown()
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The server registry plus engine aggregates as Prometheus text.
+
+        Engine registries are per snapshot and share instrument names, so
+        they cannot be concatenated verbatim; instead the engine counters
+        are summed across hot datasets into ``service_engine_*`` series.
+        """
+        lines = [self.registry.render_prometheus().rstrip("\n")]
+        with self._datasets_lock:
+            hot = list(self._datasets.values())
+        totals: dict[str, int] = {}
+        for dataset in hot:
+            for key, value in dataset.workspace.stats().items():
+                # Only the integer counters aggregate meaningfully; derived
+                # ratios (hit rates) do not sum across engines.
+                if isinstance(value, int) and not isinstance(value, bool):
+                    totals[key] = totals.get(key, 0) + value
+        for key in sorted(totals):
+            name = f"service_engine_{key}"
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {totals[key]}")
+        return "\n".join(lines) + "\n"
+
+    def _start_metrics_endpoint(self) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        service = self
+
+        class MetricsHandler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = service.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # keep the daemon's stdout clean
+                pass
+
+        server = ThreadingHTTPServer(
+            (self.config.host, self.config.metrics_port), MetricsHandler
+        )
+        self._metrics_server = server
+        self._metrics_address = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, name="repro-metrics", daemon=True)
+        thread.start()
+        self._threads.append(thread)

@@ -17,8 +17,15 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
+
+try:  # POSIX advisory locking; Windows falls back to thread-level locking only.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.engine.index import GraphIndex
 from repro.errors import StorageError
@@ -74,6 +81,9 @@ class DatasetCatalog:
     def __init__(self, root: str | Path = DEFAULT_CATALOG_ROOT) -> None:
         self.root = Path(root)
         self._manifest_path = self.root / _MANIFEST
+        # Serializes manifest read-modify-write within this process; the
+        # flock on catalog.lock extends the same exclusion across processes.
+        self._mutation_lock = threading.Lock()
 
     def _ensure_root(self) -> None:
         # Created lazily by write operations only, so read-only lookups
@@ -102,11 +112,64 @@ class DatasetCatalog:
         return name in self.entries()
 
     def _write_manifest(self, snapshots: dict[str, dict]) -> None:
+        """Atomically replace the manifest: unique temp + fsync + rename.
+
+        The temp name carries the pid so two crashed writers never clobber
+        each other's in-flight file; the fsync-before-rename means a crash
+        at any point leaves either the old manifest or the new one, never a
+        truncated in-between (``os.replace`` is atomic on POSIX).
+        """
         self._ensure_root()
         payload = json.dumps({"version": 1, "snapshots": snapshots}, indent=2, sort_keys=True)
-        temp = self._manifest_path.with_suffix(".json.tmp")
-        temp.write_text(payload + "\n", encoding="utf-8")
-        os.replace(temp, self._manifest_path)
+        temp = self.root / f".{_MANIFEST}.{os.getpid()}.tmp"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self._manifest_path)
+        finally:
+            if temp.exists():  # replace failed: don't leave the temp behind
+                temp.unlink()
+        self._sync_root_dir()
+
+    def _sync_root_dir(self) -> None:
+        """Flush the rename itself (directory entry) to disk, best effort."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
+
+    @contextmanager
+    def _mutation(self):
+        """Exclusive manifest read-modify-write section.
+
+        Yields the current entries dict (a private copy); the caller
+        mutates it and the context writes it back while still holding both
+        the in-process lock and the cross-process ``flock`` on
+        ``catalog.lock``, so concurrent registrations cannot lose entries.
+        """
+        with self._mutation_lock:
+            self._ensure_root()
+            lock_fd = None
+            lock_path = self.root / ".catalog.lock"
+            if fcntl is not None:
+                lock_fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+                fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            try:
+                snapshots = dict(self.entries())
+                yield snapshots
+                self._write_manifest(snapshots)
+            finally:
+                if lock_fd is not None:
+                    fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                    os.close(lock_fd)
 
     # -- registration ---------------------------------------------------------
 
@@ -167,33 +230,31 @@ class DatasetCatalog:
         return destination
 
     def _record(self, name: str, path: Path, info: dict) -> None:
-        snapshots = dict(self.entries())
         try:
             file_ref = str(path.relative_to(self.root))
         except ValueError:
             file_ref = str(path.resolve())
-        snapshots[name] = {
-            "file": file_ref,
-            "nodes": info["nodes"],
-            "edges": info["edges"],
-            "labels": info["labels"],
-            "file_bytes": info["file_bytes"],
-            "registered_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "meta": info.get("meta", {}),
-        }
-        self._write_manifest(snapshots)
+        with self._mutation() as snapshots:
+            snapshots[name] = {
+                "file": file_ref,
+                "nodes": info["nodes"],
+                "edges": info["edges"],
+                "labels": info["labels"],
+                "file_bytes": info["file_bytes"],
+                "registered_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "meta": info.get("meta", {}),
+            }
 
     def remove(self, name: str, *, delete_file: bool = False) -> None:
         """Drop ``name`` from the manifest (optionally deleting its file)."""
-        snapshots = dict(self.entries())
-        entry = snapshots.pop(name, None)
-        if entry is None:
-            raise StorageError(f"no catalog snapshot named {name!r}")
-        if delete_file:
-            target = self.root / entry["file"]
-            if target.exists():
-                target.unlink()
-        self._write_manifest(snapshots)
+        with self._mutation() as snapshots:
+            entry = snapshots.pop(name, None)
+            if entry is None:
+                raise StorageError(f"no catalog snapshot named {name!r}")
+            if delete_file:
+                target = self.root / entry["file"]
+                if target.exists():
+                    target.unlink()
 
     # -- access ---------------------------------------------------------------
 

@@ -7,13 +7,22 @@ can share a counter without coordinating, and the whole registry renders to
 either a JSON-safe snapshot or the Prometheus text exposition format.
 
 Instruments are deliberately plain Python objects with one int/float of
-state each: the hot kernels increment them through properties on
-``EngineStats``/``KernelStats``, which keeps the disabled-telemetry cost of
-the engine at "one attribute store per kernel call".
+state each: the hot kernels increment them through ``EngineStats``/
+``KernelStats``, which keeps the disabled-telemetry cost of the engine at
+one locked add per kernel call.
+
+Thread safety: the mutating entry points (``Counter.inc``, ``Gauge.inc`` /
+``dec`` / ``set``, ``Histogram.observe``, and the registry's get-or-create)
+hold a per-instrument lock, so a served engine can be driven from many
+worker threads without losing increments.  Direct assignment to ``.value``
+(what the ``stats.x = 0`` reset idiom and the ``stats.x += 1`` property
+sugar compile to) is *not* atomic and stays reserved for single-threaded
+use; concurrent writers must go through the locked methods.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from collections.abc import Callable, Sequence
 
@@ -54,18 +63,20 @@ def _check_name(name: str) -> str:
 class Counter:
     """A monotonically increasing integer (resettable only via ``value``)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
         self.name = _check_name(name)
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be non-negative) to the counter."""
+        """Add ``amount`` (must be non-negative) to the counter; thread-safe."""
         if amount < 0:
             raise TelemetryError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -74,21 +85,25 @@ class Counter:
 class Gauge:
     """A value that can go up and down (queue depths, cache sizes, ...)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
         self.name = _check_name(name)
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -104,7 +119,7 @@ class Histogram:
     cumulative form the exposition format requires).
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self,
@@ -123,12 +138,14 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        """Record one observation; thread-safe."""
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
@@ -154,21 +171,23 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._callbacks: dict[str, tuple[Callable[[], float], str]] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name, kind, factory):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, kind):
-                raise TelemetryError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {kind.__name__}"
-                )
-            return existing
-        if name in self._callbacks:
-            raise TelemetryError(f"metric {name!r} already registered as a callback")
-        metric = factory()
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            if name in self._callbacks:
+                raise TelemetryError(f"metric {name!r} already registered as a callback")
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
         """The counter of that name, created on first use."""
@@ -189,9 +208,10 @@ class MetricsRegistry:
 
     def callback(self, name: str, fn: Callable[[], float], help: str = "") -> None:  # noqa: A002
         """Register (or replace) a gauge computed at export time."""
-        if name in self._metrics:
-            raise TelemetryError(f"metric {name!r} already registered as an instrument")
-        self._callbacks[_check_name(name)] = (fn, help)
+        with self._lock:
+            if name in self._metrics:
+                raise TelemetryError(f"metric {name!r} already registered as an instrument")
+            self._callbacks[_check_name(name)] = (fn, help)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics or name in self._callbacks
@@ -202,9 +222,12 @@ class MetricsRegistry:
         Counters and gauges map to their value; histograms map to
         ``{"count", "sum", "buckets": [[le, cumulative_count], ...]}``.
         """
+        with self._lock:
+            metrics = dict(self._metrics)
+            callbacks = dict(self._callbacks)
         out: dict[str, object] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name in sorted(metrics):
+            metric = metrics[name]
             if isinstance(metric, Histogram):
                 out[name] = {
                     "count": metric.count,
@@ -218,16 +241,19 @@ class MetricsRegistry:
                 }
             else:
                 out[name] = metric.value
-        for name in sorted(self._callbacks):
-            fn, _ = self._callbacks[name]
+        for name in sorted(callbacks):
+            fn, _ = callbacks[name]
             out[name] = fn()
         return out
 
     def render_prometheus(self) -> str:
         """The registry in the Prometheus text exposition format."""
+        with self._lock:
+            metrics = dict(self._metrics)
+            callbacks = dict(self._callbacks)
         lines: list[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name in sorted(metrics):
+            metric = metrics[name]
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             if isinstance(metric, Counter):
@@ -244,8 +270,8 @@ class MetricsRegistry:
                 lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative[-1]}')
                 lines.append(f"{name}_sum {_fmt(metric.sum)}")
                 lines.append(f"{name}_count {metric.count}")
-        for name in sorted(self._callbacks):
-            fn, help_text = self._callbacks[name]
+        for name in sorted(callbacks):
+            fn, help_text = callbacks[name]
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} gauge")

@@ -1,0 +1,169 @@
+"""Thread-safety regression tests: one engine hammered from N threads.
+
+The service layer serves many tenants from one shared per-snapshot engine,
+so the LRU caches, the stats counters and index resolution must survive
+concurrent callers.  These tests drive them hard from a thread pool and
+assert exact counts where the design promises them (locked increments,
+single index build) and structural integrity everywhere else.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datasets.synthetic import scale_free_graph
+from repro.engine.cache import LRUCache
+from repro.engine.engine import QueryEngine
+from repro.queries.path_query import PathQuery
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+THREADS = 8
+
+
+def _run_in_threads(worker, count=THREADS):
+    """Start ``count`` threads on ``worker(i)`` behind a barrier; re-raise."""
+    barrier = threading.Barrier(count)
+    errors: list[BaseException] = []
+
+    def wrapped(i):
+        barrier.wait()
+        try:
+            worker(i)
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def test_counter_inc_is_atomic():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer_total")
+    rounds = 5000
+
+    _run_in_threads(lambda i: [counter.inc() for _ in range(rounds)])
+
+    assert counter.value == THREADS * rounds
+
+
+def test_gauge_inc_dec_balance():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("hammer_inflight")
+
+    def worker(i):
+        for _ in range(2000):
+            gauge.inc()
+            gauge.dec()
+
+    _run_in_threads(worker)
+    assert gauge.value == 0.0
+
+
+def test_histogram_observe_is_atomic():
+    histogram = Histogram("hammer_seconds", buckets=(0.5, 1.0, 2.0))
+    rounds = 3000
+
+    _run_in_threads(lambda i: [histogram.observe(0.75) for _ in range(rounds)])
+
+    assert histogram.count == THREADS * rounds
+    assert histogram.cumulative_counts()[-1] == THREADS * rounds
+    assert histogram.sum == pytest.approx(0.75 * THREADS * rounds)
+
+
+def test_registry_get_or_create_is_race_free():
+    registry = MetricsRegistry()
+    seen = []
+
+    def worker(i):
+        for n in range(200):
+            seen.append(registry.counter(f"shared_metric_{n % 20}"))
+
+    _run_in_threads(worker)
+    # Every thread must have received the same instrument per name.
+    by_name: dict[str, set[int]] = {}
+    for counter in seen:
+        by_name.setdefault(counter.name, set()).add(id(counter))
+    assert all(len(ids) == 1 for ids in by_name.values())
+
+
+def test_lru_cache_survives_concurrent_mix():
+    cache = LRUCache(capacity=32)
+    gets_per_thread = 4000
+
+    def worker(i):
+        for n in range(gets_per_thread):
+            key = (i + n) % 100
+            if cache.get(key) is None:
+                cache.put(key, key * 2)
+
+    _run_in_threads(worker)
+    assert len(cache) <= cache.capacity
+    # Every lookup was counted exactly once as a hit or a miss.
+    assert cache.hits + cache.misses == THREADS * gets_per_thread
+    # Entries are intact key -> value pairs, not corrupted links.
+    for key in range(100):
+        value = cache.get(key)
+        assert value is None or value == key * 2
+
+
+@pytest.fixture(scope="module")
+def shared_graph():
+    return scale_free_graph(300, alphabet_size=8, zipf_exponent=1.0, seed=13)
+
+
+def test_engine_results_identical_under_concurrency(shared_graph):
+    expressions = ["l00.l01", "(l00+l01)*.l02", "l03*.l01", "l02.(l00+l03)*", "l01+l02"]
+    queries = [PathQuery.parse(expr, shared_graph.alphabet) for expr in expressions]
+
+    oracle_engine = QueryEngine()
+    expected = [oracle_engine.evaluate(shared_graph, query) for query in queries]
+
+    engine = QueryEngine(result_cache_size=2)  # tiny: force concurrent eviction
+    results: dict[int, list] = {}
+
+    def worker(i):
+        mine = []
+        for round_no in range(30):
+            # Different threads walk the workload in different orders.
+            query = queries[(i + round_no) % len(queries)]
+            mine.append(engine.evaluate(shared_graph, query))
+        results[i] = mine
+
+    _run_in_threads(worker)
+
+    for i, mine in results.items():
+        for round_no, selected in enumerate(mine):
+            query_index = (i + round_no) % len(queries)
+            assert selected == expected[query_index], (
+                f"thread {i} round {round_no} diverged on {expressions[query_index]!r}"
+            )
+    assert len(engine.plan_cache) <= engine.plan_cache.capacity
+    assert len(engine.result_cache) <= engine.result_cache.capacity
+    # Locked counters: every cache-missing evaluation was counted; with a
+    # 2-entry result cache over 5 queries, far more than one per query ran.
+    assert engine.stats.evaluations >= len(queries)
+    assert engine.stats.evaluations <= THREADS * 30
+
+
+def test_concurrent_first_touch_builds_index_once(shared_graph):
+    engine = QueryEngine()
+    _run_in_threads(lambda i: engine.index_for(shared_graph))
+    assert engine.stats.index_builds == 1
+
+
+def test_stats_inc_is_atomic():
+    engine = QueryEngine()
+    rounds = 5000
+    _run_in_threads(lambda i: [engine.stats.inc("evaluations") for _ in range(rounds)])
+    assert engine.stats.evaluations == THREADS * rounds
+    engine.stats.kernel.add(0, 0)  # smoke: locked kernel add
+    _run_in_threads(lambda i: [engine.stats.kernel.add(2, 3) for _ in range(rounds)])
+    assert engine.stats.states_expanded == 2 * THREADS * rounds
+    assert engine.stats.edges_scanned == 3 * THREADS * rounds

@@ -1,0 +1,222 @@
+"""The micro-batcher: coalescing, bounded queue, per-item error isolation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import Workspace
+from repro.errors import OverloadedError, ServiceError
+from repro.queries.path_query import PathQuery
+from repro.service.batching import MicroBatcher
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class _Dataset:
+    """The duck the batcher expects: a graph plus its engine."""
+
+    def __init__(self, workspace: Workspace) -> None:
+        self.graph = workspace.graph
+        self.engine = workspace.engine
+
+
+@pytest.fixture
+def dataset():
+    return _Dataset(Workspace.from_figure("geo"))
+
+
+@pytest.fixture
+def batcher(request):
+    registry = MetricsRegistry()
+    batcher = MicroBatcher(
+        batch_window=0.0, batch_max=16, queue_depth=8, registry=registry
+    )
+    batcher.registry = registry
+    batcher.start()
+    request.addfinalizer(batcher.stop)
+    return batcher
+
+
+def _submit_concurrently(batcher, dataset, queries, timeout=30.0):
+    results: dict[int, object] = {}
+    errors: dict[int, Exception] = {}
+
+    def worker(i, query):
+        try:
+            results[i] = batcher.submit(dataset, query, timeout=timeout)
+        except Exception as error:  # noqa: BLE001 - asserted by callers
+            errors[i] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(i, query))
+        for i, query in enumerate(queries)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+def test_paused_batcher_coalesces_one_batch(batcher, dataset):
+    expressions = ["tram", "bus", "(tram+bus)*.cinema", "tram.tram"]
+    queries = [PathQuery.parse(expr, dataset.graph.alphabet) for expr in expressions]
+    expected = [dataset.engine.evaluate(dataset.graph, query) for query in queries]
+
+    batcher.pause()
+    done = threading.Event()
+    results: list = [None] * len(queries)
+
+    def worker(i):
+        results[i] = batcher.submit(dataset, queries[i], timeout=30.0)
+        if all(r is not None for r in results):
+            done.set()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(queries))]
+    for thread in threads:
+        thread.start()
+    # All four must be queued (not executing) while paused.
+    for _ in range(500):
+        if batcher.depth == len(queries):
+            break
+        threading.Event().wait(0.01)
+    assert batcher.depth == len(queries)
+    batcher.resume()
+    assert done.wait(30.0)
+    for thread in threads:
+        thread.join()
+
+    assert results == expected
+    # Exactly one evaluate_many call served all four requests.
+    assert batcher.registry.counter("service_batches_total").value == 1
+    assert batcher.registry.counter("service_batched_queries_total").value == 4
+    snapshot = batcher.registry.snapshot()["service_batch_size"]
+    assert snapshot["count"] == 1 and snapshot["sum"] == 4.0
+
+
+def test_queue_depth_sheds_structured_429(batcher, dataset):
+    query = PathQuery.parse("tram", dataset.graph.alphabet)
+    batcher.pause()
+    filler_done = threading.Event()
+    admitted = []
+
+    def filler(i):
+        admitted.append(i)
+        batcher.submit(dataset, query, timeout=30.0)
+        if len(admitted) == batcher.queue_depth:
+            filler_done.set()
+
+    threads = [
+        threading.Thread(target=filler, args=(i,)) for i in range(batcher.queue_depth)
+    ]
+    for thread in threads:
+        thread.start()
+    for _ in range(500):
+        if batcher.depth == batcher.queue_depth:
+            break
+        threading.Event().wait(0.01)
+    assert batcher.depth == batcher.queue_depth
+    # The queue is full: the next submission sheds instead of hanging.
+    with pytest.raises(OverloadedError) as exc_info:
+        batcher.submit(dataset, query, timeout=30.0)
+    assert exc_info.value.status == 429
+    assert batcher.registry.counter("service_batch_shed_total").value == 1
+    batcher.resume()
+    for thread in threads:
+        thread.join()
+
+
+def test_batch_max_splits_large_bursts(dataset):
+    registry = MetricsRegistry()
+    batcher = MicroBatcher(batch_window=0.0, batch_max=3, queue_depth=64, registry=registry)
+    batcher.start()
+    try:
+        batcher.pause()
+        queries = [PathQuery.parse("tram", dataset.graph.alphabet) for _ in range(7)]
+        holder: dict = {}
+
+        def worker(i):
+            holder[i] = batcher.submit(dataset, queries[i], timeout=30.0)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(7)]
+        for thread in threads:
+            thread.start()
+        for _ in range(500):
+            if batcher.depth == 7:
+                break
+            threading.Event().wait(0.01)
+        batcher.resume()
+        for thread in threads:
+            thread.join()
+        assert len(holder) == 7
+        assert registry.counter("service_batched_queries_total").value == 7
+        # 7 requests at batch_max=3 need at least ceil(7/3)=3 batches.
+        assert registry.counter("service_batches_total").value >= 3
+    finally:
+        batcher.stop()
+
+
+def test_error_isolated_to_its_request(batcher, dataset):
+    good = PathQuery.parse("tram", dataset.graph.alphabet)
+    bad = PathQuery.parse("bus", dataset.graph.alphabet)
+    # Sabotage one query object so only its evaluation fails.
+    bad._dfa = None
+    batcher.pause()
+    results, errors = {}, {}
+    lock = threading.Lock()
+
+    def worker(i, query):
+        try:
+            value = batcher.submit(dataset, query, timeout=30.0)
+            with lock:
+                results[i] = value
+        except Exception as error:  # noqa: BLE001
+            with lock:
+                errors[i] = error
+
+    threads = [
+        threading.Thread(target=worker, args=(i, query))
+        for i, query in enumerate([good, bad, good])
+    ]
+    for thread in threads:
+        thread.start()
+    for _ in range(500):
+        if batcher.depth == 3:
+            break
+        threading.Event().wait(0.01)
+    batcher.resume()
+    for thread in threads:
+        thread.join()
+    # The good requests got their node sets; only the bad one failed.
+    assert set(results) == {0, 2} and results[0] == results[2]
+    assert set(errors) == {1}
+
+
+def test_stop_fails_pending_requests_cleanly(dataset):
+    batcher = MicroBatcher(batch_window=0.0, queue_depth=8)
+    batcher.start()
+    batcher.pause()
+    query = PathQuery.parse("tram", dataset.graph.alphabet)
+    outcome: dict = {}
+
+    def worker():
+        try:
+            outcome["result"] = batcher.submit(dataset, query, timeout=30.0)
+        except Exception as error:  # noqa: BLE001
+            outcome["error"] = error
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    for _ in range(500):
+        if batcher.depth == 1:
+            break
+        threading.Event().wait(0.01)
+    batcher.stop()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert "error" in outcome and outcome["error"].status == 503
+    # And a post-stop submission is refused, not queued forever.
+    with pytest.raises(ServiceError) as exc_info:
+        batcher.submit(dataset, query, timeout=1.0)
+    assert exc_info.value.status == 503

@@ -1,0 +1,187 @@
+"""The CLI faces of the service: ``repro serve`` and ``--remote``.
+
+Includes the full daemon lifecycle as a subprocess -- start, discover the
+ephemeral port from the ready line, serve concurrent clients, shut down
+cleanly with exit code 0 -- which is the same choreography the CI serve
+smoke step runs.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.config import ServiceConfig
+from repro.api.result import result_from_dict
+from repro.service import QueryService, ServiceClient
+from repro.storage.catalog import DatasetCatalog
+
+GOAL = "(tram+bus)*.cinema"
+
+
+@pytest.fixture(scope="module")
+def catalog_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-cli-catalog")
+    DatasetCatalog(root).ensure("geo")
+    return str(root)
+
+
+@pytest.fixture(scope="module")
+def service(catalog_root):
+    config = ServiceConfig(
+        catalog_root=catalog_root, snapshots=("geo",), default_snapshot="geo"
+    )
+    with QueryService(config) as running:
+        yield running
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, dict]:
+    code = main(list(argv))
+    envelope = json.loads(capsys.readouterr().out)
+    return code, envelope
+
+
+def test_query_remote_envelope(capsys, service):
+    host, port = service.address
+    code, envelope = run_cli(
+        capsys, "query", "--remote", f"{host}:{port}", "--expr", GOAL
+    )
+    assert code == 0
+    assert envelope["ok"] is True and envelope["command"] == "query"
+    assert envelope["result"]["type"] == "QueryResult"
+    assert envelope["result"]["served_by"] == f"{host}:{port}"
+    # Remote envelopes have no local workspace, hence no engine_stats.
+    assert "engine_stats" not in envelope
+    rebuilt = result_from_dict(
+        {k: v for k, v in envelope["result"].items() if k != "served_by"}
+    )
+    assert rebuilt.nodes() == ["N1", "N2", "N4", "N6"]
+
+
+def test_query_remote_dataset_and_error(capsys, service):
+    host, port = service.address
+    code, envelope = run_cli(
+        capsys,
+        "query",
+        "--remote",
+        f"{host}:{port}",
+        "--dataset",
+        "missing",
+        "--expr",
+        GOAL,
+    )
+    assert code == 1
+    assert envelope["ok"] is False
+    # The server's 404 surfaces client-side as a ProtocolError (4xx class).
+    assert envelope["error"]["type"] == "ProtocolError"
+    assert "missing" in envelope["error"]["message"]
+
+
+def test_query_remote_unreachable_is_structured(capsys):
+    code, envelope = run_cli(
+        capsys, "query", "--remote", "127.0.0.1:1", "--expr", GOAL
+    )
+    assert code == 1
+    assert envelope["ok"] is False
+
+
+def test_query_remote_bad_address(capsys):
+    code, envelope = run_cli(capsys, "query", "--remote", "nonsense", "--expr", GOAL)
+    assert code == 1
+    assert envelope["error"]["type"] == "ServiceError"
+
+
+def test_stats_remote_with_traffic_and_prometheus(capsys, service):
+    host, port = service.address
+    code, envelope = run_cli(
+        capsys,
+        "stats",
+        "--remote",
+        f"{host}:{port}",
+        "--expr",
+        GOAL,
+        "--repeat",
+        "3",
+        "--prometheus",
+    )
+    assert code == 0
+    result = envelope["result"]
+    assert result["type"] == "ServiceStats"
+    assert result["server"]["requests"] >= 4  # 3 queries + the stats call
+    assert result["datasets"]["geo"]["evaluations"] >= 1
+    assert "service_requests_total" in result["prometheus"]
+    assert result["served_by"] == f"{host}:{port}"
+
+
+def test_serve_subprocess_full_lifecycle(catalog_root, tmp_path):
+    """Daemon as a subprocess: ready line, concurrent clients, clean exit."""
+    metrics_file = tmp_path / "metrics.prom"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--catalog",
+            catalog_root,
+            "--port",
+            "0",
+            "--snapshots",
+            "geo",
+            "--metrics-file",
+            str(metrics_file),
+            "--allow-remote-shutdown",
+            "--indent",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+    try:
+        ready = json.loads(process.stdout.readline())
+        assert ready["ok"] is True and ready["command"] == "serve"
+        host = ready["ready"]["host"]
+        port = ready["ready"]["port"]
+        assert ready["ready"]["snapshots"] == ["geo"]
+
+        results = []
+        errors = []
+
+        def worker(tenant):
+            try:
+                with ServiceClient(host, port, tenant=tenant) as client:
+                    results.append(client.query(GOAL).count)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"tenant-{i % 2}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        assert results == [4, 4, 4, 4]
+
+        with ServiceClient(host, port) as client:
+            assert client.shutdown() is True
+        stdout, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+        final = json.loads(stdout)
+        assert final["ok"] is True
+        assert final["result"]["type"] == "ServeReport"
+        assert final["result"]["server"]["requests"] >= 5
+        assert "service_requests_total" in metrics_file.read_text()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()

@@ -1,0 +1,194 @@
+"""Wire-protocol coverage: framing, validation, and result round-trips.
+
+Every :data:`~repro.api.result.RESULT_TYPES` subtype is pushed through the
+actual client/server codec -- encoded as a response frame, read back via
+:func:`~repro.service.protocol.read_frame`, rebuilt through the type-tag
+dispatch -- plus the error-envelope and oversized-frame paths.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    InteractiveConfig,
+    LearnerConfig,
+    Workspace,
+    result_from_dict,
+)
+from repro.errors import OverloadedError, ProtocolError, ServiceError
+from repro.learning import BinarySample, NarySample, Sample
+from repro.service import protocol
+
+
+@pytest.fixture(scope="module")
+def geo_workspace():
+    return Workspace.from_figure("geo")
+
+
+@pytest.fixture(scope="module")
+def all_results(geo_workspace):
+    """One live instance of every RESULT_TYPES subtype."""
+    ws = geo_workspace
+    interactive_cfg = InteractiveConfig(max_interactions=5, pool_size=32)
+    session = ws.interactive_session("(tram+bus)*.cinema", interactive_cfg)
+    interactive_result = session.run()
+    return {
+        "QueryResult": ws.query("(tram+bus)*.cinema"),
+        "LearnerResult": ws.learn(Sample(positives={"N2", "N6"}, negatives={"N5"})),
+        "BinaryLearnerResult": ws.learn(
+            BinarySample(positives={("N2", "N5")}, negatives={("N4", "N5")}),
+            LearnerConfig(semantics="binary", k=2),
+        ),
+        "NaryLearnerResult": ws.learn(
+            NarySample(positives={("N2", "N5", "N3")}, negatives={("N4", "N5", "R1")}),
+            LearnerConfig(semantics="nary", k=2),
+        ),
+        "InteractiveResult": interactive_result,
+        "InteractiveCheckpoint": session.checkpoint(),
+        "StaticExperimentResult": ws.run_experiment(
+            ExperimentConfig(goal="(tram+bus)*.cinema", labeled_fractions=(0.3, 0.6))
+        ),
+        "InteractiveExperimentResult": ws.run_experiment(
+            ExperimentConfig(
+                goal="(tram+bus)*.cinema", scenario="interactive", max_interactions=10
+            )
+        ),
+    }
+
+
+def wire_roundtrip(envelope: dict) -> dict:
+    """Encode an envelope, stream it, read it back -- the full codec path."""
+    frame = protocol.encode_frame(envelope)
+    received = protocol.read_frame(io.BytesIO(frame))
+    assert received is not None
+    return received
+
+
+def test_all_result_types_covered(all_results):
+    from repro.api.result import RESULT_TYPES
+
+    assert set(all_results) == set(RESULT_TYPES)
+
+
+def test_every_result_subtype_roundtrips_through_the_codec(all_results):
+    request = protocol.Request(id=1, op="query", tenant="t")
+    for tag, result in all_results.items():
+        envelope = wire_roundtrip(
+            protocol.ok_response(request, result.to_dict(), elapsed=0.01)
+        )
+        assert envelope["ok"] is True and envelope["id"] == 1
+        rebuilt = result_from_dict(envelope["result"])
+        assert type(rebuilt).__name__ == tag
+        assert rebuilt.to_dict() == result.to_dict()
+
+
+def test_request_frame_roundtrip():
+    frame = protocol.encode_frame(
+        {"id": 9, "op": "query", "tenant": "acme", "params": {"expr": "a.b"}}
+    )
+    assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+    request = protocol.parse_request(protocol.decode_frame(frame))
+    assert request == protocol.Request(
+        id=9, op="query", tenant="acme", params={"expr": "a.b"}
+    )
+
+
+def test_parse_request_validation():
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "no-such-op"})
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "query", "id": [1]})
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "query", "tenant": ""})
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "query", "params": "not-a-dict"})
+    # Defaults: no id, default tenant, empty params.
+    request = protocol.parse_request({"op": "ping"})
+    assert request.tenant == protocol.DEFAULT_TENANT and request.params == {}
+
+
+def test_decode_rejects_non_object_and_bad_json():
+    with pytest.raises(ProtocolError):
+        protocol.decode_frame(b"[1, 2, 3]\n")
+    with pytest.raises(ProtocolError):
+        protocol.decode_frame(b"not json {\n")
+
+
+def test_error_envelope_carries_code_and_status():
+    envelope = wire_roundtrip(
+        protocol.error_response(3, OverloadedError("queue full"), op="query")
+    )
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] == "overloaded"
+    assert envelope["error"]["status"] == 429
+    assert envelope["error"]["type"] == "OverloadedError"
+    # And the client side re-raises it as the same typed exception.
+    with pytest.raises(OverloadedError):
+        protocol.raise_for_error(envelope)
+
+
+def test_raise_for_error_maps_status_classes():
+    def failed(code, status):
+        return {
+            "ok": False,
+            "error": {"code": code, "status": status, "message": "m", "type": "X"},
+        }
+
+    with pytest.raises(ProtocolError):
+        protocol.raise_for_error(failed("bad_request", 400))
+    with pytest.raises(ProtocolError):
+        protocol.raise_for_error(failed("too_large", 413))
+    with pytest.raises(ServiceError) as exc_info:
+        protocol.raise_for_error(failed("internal", 500))
+    assert exc_info.value.status == 500
+    ok = {"ok": True, "result": {}}
+    assert protocol.raise_for_error(ok) is ok
+
+
+def test_unexpected_exception_maps_to_internal():
+    envelope = protocol.error_response(None, ValueError("boom"))
+    assert envelope["error"]["code"] == "internal"
+    assert envelope["error"]["status"] == 500
+
+
+def test_oversized_frame_rejected_on_encode():
+    huge = {"id": 1, "op": "query", "params": {"expr": "x" * 2048}}
+    with pytest.raises(ProtocolError) as exc_info:
+        protocol.encode_frame(huge, max_bytes=1024)
+    assert exc_info.value.status == 413
+
+
+def test_oversized_frame_rejected_on_read_without_desync():
+    # An oversized line followed by a valid frame: the reader must reject
+    # the first *and* still deliver the second (stream stays framed).
+    good = protocol.encode_frame({"op": "ping"})
+    stream = io.BytesIO(b"{\"pad\": \"" + b"x" * 5000 + b"\"}\n" + good)
+    with pytest.raises(ProtocolError) as exc_info:
+        protocol.read_frame(stream, max_bytes=1024)
+    assert exc_info.value.status == 413
+    assert protocol.read_frame(stream, max_bytes=1024) == {"op": "ping"}
+
+
+def test_read_frame_eof_and_oversized_at_eof():
+    assert protocol.read_frame(io.BytesIO(b"")) is None
+    # Oversized data with no terminating newline before EOF still raises.
+    stream = io.BytesIO(b"y" * 5000)
+    with pytest.raises(ProtocolError):
+        protocol.read_frame(stream, max_bytes=1024)
+    assert protocol.read_frame(stream, max_bytes=1024) is None
+
+
+def test_frames_are_single_line_json():
+    payload = protocol.ok_response(
+        protocol.Request(id=None, op="stats", tenant="t"),
+        {"type": "ServiceStats", "ok": True},
+        elapsed=0.0,
+    )
+    frame = protocol.encode_frame(payload)
+    assert json.loads(frame) == payload
+    assert b"\n" not in frame[:-1]

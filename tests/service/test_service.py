@@ -1,0 +1,411 @@
+"""End-to-end daemon tests: concurrency, isolation, batching, shedding.
+
+This file carries the PR's acceptance assertions: a running service
+sustains 8+ concurrent clients across multiple tenants against one shared
+snapshot with zero cross-tenant state leakage, request batching really
+lands in ``evaluate_many``, and overload answers are structured 429-style
+errors rather than hangs.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Workspace
+from repro.api.config import ServiceConfig
+from repro.api.result import QueryResult
+from repro.errors import OverloadedError, ProtocolError, ServiceError
+from repro.learning import Sample
+from repro.service import QueryService, ServiceClient
+from repro.storage.catalog import DatasetCatalog
+
+GOAL = "(tram+bus)*.cinema"
+
+
+@pytest.fixture(scope="module")
+def catalog_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-catalog")
+    catalog = DatasetCatalog(root)
+    catalog.ensure("geo")
+    catalog.ensure("g0")
+    return str(root)
+
+
+def make_service(catalog_root: str, **overrides) -> QueryService:
+    defaults = dict(
+        catalog_root=catalog_root,
+        snapshots=("geo",),
+        default_snapshot="geo",
+        allow_remote_shutdown=True,
+    )
+    defaults.update(overrides)
+    return QueryService(ServiceConfig(**defaults))
+
+
+@pytest.fixture(scope="module")
+def service(catalog_root):
+    with make_service(catalog_root) as running:
+        yield running
+
+
+def client_for(service: QueryService, tenant: str = "default") -> ServiceClient:
+    host, port = service.address
+    return ServiceClient(host, port, tenant=tenant)
+
+
+# -- basic request/response ---------------------------------------------------
+
+
+def test_ping_and_typed_query_roundtrip(service):
+    with client_for(service) as client:
+        assert client.ping() is True
+        result = client.query(GOAL)
+        assert isinstance(result, QueryResult)
+        assert result.nodes() == ["N1", "N2", "N4", "N6"]
+        # Remote answers match a local workspace on the same figure graph.
+        local = Workspace.from_figure("geo").query(GOAL)
+        assert result.selected == local.selected
+
+
+def test_named_snapshot_and_binary_semantics(service):
+    with client_for(service) as client:
+        binary = client.query("tram", snapshot="geo", semantics="binary")
+        assert binary.semantics == "binary"
+        assert all(isinstance(pair, tuple) for pair in binary.selected)
+        # A snapshot that exists in the catalog but was not preloaded is
+        # opened lazily on first use.
+        g0 = client.query("a.b", snapshot="g0")
+        assert g0.semantics == "path"
+        assert "g0" in client.catalog()["hot"]
+
+
+def test_learn_remotely_matches_local(service):
+    with client_for(service) as client:
+        remote = client.learn(["N2", "N6"], ["N5"])
+    local = Workspace.from_figure("geo").learn(
+        Sample(positives={"N2", "N6"}, negatives={"N5"})
+    )
+    assert remote.query.expression == local.query.expression
+
+
+def test_unknown_snapshot_is_structured_404(service):
+    with client_for(service) as client:
+        with pytest.raises(ServiceError) as exc_info:
+            client.query(GOAL, snapshot="no-such-dataset")
+        assert exc_info.value.status == 404 and exc_info.value.code == "not_found"
+        # The connection survives the error.
+        assert client.ping() is True
+
+
+def test_bad_expression_is_structured_400(service):
+    with client_for(service) as client:
+        with pytest.raises(ProtocolError) as exc_info:
+            client.query("((broken")
+        assert exc_info.value.status == 400
+        with pytest.raises(ProtocolError):
+            client.query(GOAL, semantics="nope")
+        assert client.ping() is True
+
+
+def test_oversized_request_rejected_connection_survives(catalog_root):
+    with make_service(catalog_root, max_frame_bytes=2048) as service:
+        host, port = service.address
+        with socket.create_connection((host, port), timeout=10) as raw:
+            reader = raw.makefile("rb")
+            raw.sendall(b'{"op": "query", "params": {"expr": "' + b"a" * 4096 + b'"}}\n')
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is False
+            assert answer["error"]["code"] == "too_large"
+            assert answer["error"]["status"] == 413
+            # Framing recovered: a well-formed request still works.
+            raw.sendall(b'{"id": 2, "op": "ping"}\n')
+            answer = json.loads(reader.readline())
+            assert answer["ok"] is True and answer["id"] == 2
+
+
+# -- the acceptance test: concurrent multi-tenant traffic ---------------------
+
+
+def test_eight_concurrent_clients_two_tenants_no_leakage(catalog_root):
+    """8 clients / 2 tenants against one shared snapshot.
+
+    Every client mixes queries with tenant-private interactive sessions
+    under the *same session name*; correctness of every query result and
+    strict per-tenant session counters prove the shared engine serves all
+    tenants while no session state crosses the tenant boundary.
+    """
+    expressions = [GOAL, "tram", "bus", "tram.tram", "(tram.bus)*.cinema"]
+    local = Workspace.from_figure("geo")
+    expected = {expr: local.query(expr).selected for expr in expressions}
+    interactive_config = {"max_interactions": 2, "pool_size": 32}
+
+    # The single-tenant reference: 4 sequential resumed calls of the same
+    # session.  Each concurrent tenant below must reproduce exactly this
+    # interaction-count trajectory -- leakage across tenants would chain
+    # all 8 calls into one session and blow past it.
+    reference_counts: list[int] = []
+    checkpoint = None
+    reference_ws = Workspace.from_figure("geo")
+    from repro.api import InteractiveConfig
+
+    for _ in range(4):
+        session = reference_ws.interactive_session(
+            GOAL, InteractiveConfig(**interactive_config), resume_from=checkpoint
+        )
+        session.run()
+        checkpoint = session.checkpoint().to_dict()
+        reference_counts.append(len(session.interactions))
+
+    with make_service(catalog_root, max_concurrent=16, per_tenant=8) as service:
+        clients = 8
+        per_client_rounds = 6
+        errors: list[Exception] = []
+        session_counts: list[tuple[str, int]] = []
+        counts_lock = threading.Lock()
+        barrier = threading.Barrier(clients)
+
+        def worker(i: int) -> None:
+            tenant = "acme" if i % 2 == 0 else "rival"
+            try:
+                with client_for(service, tenant=tenant) as client:
+                    barrier.wait()
+                    for round_no in range(per_client_rounds):
+                        expr = expressions[(i + round_no) % len(expressions)]
+                        result = client.query(expr)
+                        assert result.selected == expected[expr], expr
+                    # Same session name for everyone: only the tenant may
+                    # distinguish them.
+                    _result, info = client.interactive(
+                        GOAL, session="shared-name", config=interactive_config
+                    )
+                    with counts_lock:
+                        session_counts.append((tenant, info["interactions"]))
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+
+        # Zero cross-tenant leakage: each tenant's 4 calls walked exactly
+        # the single-tenant trajectory (and no one else's), and no session
+        # materialized under any other tenant.
+        for tenant in ("acme", "rival"):
+            observed = sorted(count for t, count in session_counts if t == tenant)
+            assert observed == sorted(reference_counts), tenant
+            stored = service.sessions.get(tenant, "shared-name")
+            assert stored is not None
+            assert len(stored["interactions"]) == reference_counts[-1]
+        assert service.sessions.get("default", "shared-name") is None
+
+        # Shared-engine economics: one engine answered all tenants, so
+        # repeated expressions were result-cache hits across tenants.
+        with service._datasets_lock:
+            engine = service._datasets["geo"].engine
+        assert engine.stats.snapshot()["result_cache_hits"] > 0
+
+        # And the stats op shows each tenant only its own sessions.
+        with client_for(service, tenant="acme") as client:
+            stats = client.stats()
+            assert stats["tenant_sessions"] == ["shared-name"]
+            assert stats["server"]["requests"] > clients * per_client_rounds
+
+
+def test_batching_hits_evaluate_many(catalog_root):
+    """Concurrent queries demonstrably coalesce into evaluate_many calls."""
+    with make_service(catalog_root) as service:
+        service.batcher.pause()
+        clients = 8
+        results: list = [None] * clients
+        errors: list[Exception] = []
+
+        def worker(i: int) -> None:
+            tenant = "acme" if i % 2 == 0 else "rival"
+            try:
+                with client_for(service, tenant=tenant) as client:
+                    results[i] = client.query(GOAL)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        # Wait until all 8 requests are queued behind the paused batcher,
+        # then release them as one burst.
+        for _ in range(1000):
+            if service.batcher.depth == clients:
+                break
+            threading.Event().wait(0.01)
+        assert service.batcher.depth == clients
+        service.batcher.resume()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+
+        expected = Workspace.from_figure("geo").query(GOAL).selected
+        assert all(result.selected == expected for result in results)
+        batches = service.registry.counter("service_batches_total").value
+        batched = service.registry.counter("service_batched_queries_total").value
+        assert batched == clients
+        # All 8 queued requests fit one batch (batch_max=16 default).
+        assert batches == 1
+        size = service.registry.snapshot()["service_batch_size"]
+        assert size["sum"] == clients
+
+
+def test_load_shedding_returns_structured_429_not_a_hang(catalog_root):
+    with make_service(catalog_root, queue_depth=3, max_concurrent=32) as service:
+        service.batcher.pause()
+        blocked_clients = [client_for(service, tenant=f"t{i}") for i in range(3)]
+        threads = [
+            threading.Thread(target=client.query, args=(GOAL,))
+            for client in blocked_clients
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in range(1000):
+                if service.batcher.depth == 3:
+                    break
+                threading.Event().wait(0.01)
+            assert service.batcher.depth == 3
+            # Queue full: the next client is shed immediately and typed.
+            with client_for(service, tenant="late") as late:
+                with pytest.raises(OverloadedError) as exc_info:
+                    late.query(GOAL)
+                assert exc_info.value.status == 429
+                # The shed connection is still healthy.
+                assert late.ping() is True
+            assert service.registry.counter("service_batch_shed_total").value >= 1
+        finally:
+            service.batcher.resume()
+            for thread in threads:
+                thread.join()
+            for client in blocked_clients:
+                client.close()
+
+
+def test_per_tenant_cap_sheds_noisy_tenant_only(catalog_root):
+    with make_service(catalog_root, per_tenant=1, max_concurrent=32) as service:
+        service.batcher.pause()
+        noisy = client_for(service, tenant="noisy")
+        blocked = threading.Thread(target=noisy.query, args=(GOAL,))
+        try:
+            blocked.start()
+            for _ in range(1000):
+                if service.batcher.depth == 1:
+                    break
+                threading.Event().wait(0.01)
+            assert service.batcher.depth == 1
+            with client_for(service, tenant="noisy") as second:
+                with pytest.raises(OverloadedError):
+                    second.query(GOAL)
+            assert service.registry.counter("service_shed_total").value >= 1
+        finally:
+            service.batcher.resume()
+            blocked.join()
+            noisy.close()
+        # The quiet tenant was never blocked by the noisy tenant's cap.
+        with client_for(service, tenant="quiet") as quiet:
+            assert quiet.query(GOAL).count == 4
+
+
+# -- sessions over the wire ---------------------------------------------------
+
+
+def test_interactive_session_resumes_across_requests(service):
+    with client_for(service, tenant="resume-me") as client:
+        _result, first = client.interactive(
+            GOAL, session="s", config={"max_interactions": 2, "pool_size": 32}
+        )
+        assert first == {"name": "s", "resumed": False, "interactions": 2}
+        _result, second = client.interactive(
+            GOAL, session="s", config={"max_interactions": 2, "pool_size": 32}
+        )
+        assert second["resumed"] is True
+        assert second["interactions"] == 4
+        assert client.stats()["tenant_sessions"] == ["s"]
+        assert client.release_session("s") is True
+        assert client.release_session("s") is False
+        assert client.stats()["tenant_sessions"] == []
+
+
+def test_session_runs_to_goal_matches_local(service):
+    local = Workspace.from_figure("geo").learn_interactive(GOAL)
+    with client_for(service, tenant="goal-seeker") as client:
+        remote, _info = client.interactive(GOAL)
+    assert remote.halted_by == "goal"
+    assert remote.query.expression == local.query.expression
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_stats_and_metrics_surface_service_counters(service):
+    with client_for(service) as client:
+        client.query(GOAL)
+        stats = client.stats()
+        assert stats["server"]["requests"] >= 2
+        assert "geo" in stats["datasets"]
+        assert stats["datasets"]["geo"]["evaluations"] >= 1
+        assert stats["server"]["admission"]["max_concurrent"] == 32
+        text = client.metrics_text()
+    assert "service_requests_total" in text
+    assert "service_request_seconds_bucket" in text
+    assert "service_engine_evaluations" in text
+
+
+def test_http_metrics_endpoint(catalog_root):
+    with make_service(catalog_root, metrics_port=0) as service:
+        with client_for(service) as client:
+            client.query(GOAL)
+        host, port = service.metrics_address
+        body = urllib.request.urlopen(f"http://{host}:{port}/metrics").read().decode()
+        assert "service_requests_total" in body
+        assert "service_datasets 1" in body
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"http://{host}:{port}/nope")
+
+
+def test_metrics_file_written_on_shutdown(catalog_root, tmp_path):
+    metrics_path = tmp_path / "final-metrics.prom"
+    with make_service(catalog_root, metrics_path=str(metrics_path)) as service:
+        with client_for(service) as client:
+            client.query(GOAL)
+    text = metrics_path.read_text()
+    assert "service_requests_total 1" in text
+    assert "service_engine_evaluations" in text
+
+
+# -- shutdown -----------------------------------------------------------------
+
+
+def test_remote_shutdown_when_enabled(catalog_root):
+    service = make_service(catalog_root)
+    service.start()
+    with client_for(service) as client:
+        assert client.shutdown() is True
+    for _ in range(500):
+        if service._stop.is_set():
+            break
+        threading.Event().wait(0.01)
+    assert service._stop.is_set()
+    service.shutdown()  # idempotent
+
+
+def test_remote_shutdown_forbidden_by_default(catalog_root):
+    with make_service(catalog_root, allow_remote_shutdown=False) as service:
+        with client_for(service) as client:
+            with pytest.raises(ServiceError) as exc_info:
+                client.shutdown()
+            assert exc_info.value.status == 403
+            assert client.ping() is True

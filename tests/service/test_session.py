@@ -1,0 +1,97 @@
+"""Admission control and the per-tenant session table."""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import pytest
+
+from repro.errors import OverloadedError, ServiceError
+from repro.service.session import AdmissionController, SessionTable
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestAdmissionController:
+    def test_global_cap_sheds_with_429(self):
+        admission = AdmissionController(max_concurrent=2, per_tenant=2)
+        with ExitStack() as stack:
+            stack.enter_context(admission.admit("a"))
+            stack.enter_context(admission.admit("b"))
+            with pytest.raises(OverloadedError) as exc_info:
+                stack.enter_context(admission.admit("c"))
+            assert exc_info.value.status == 429
+        # Slots released: admission works again.
+        with admission.admit("c"):
+            pass
+
+    def test_per_tenant_cap_protects_other_tenants(self):
+        admission = AdmissionController(max_concurrent=10, per_tenant=1)
+        with admission.admit("noisy"):
+            with pytest.raises(OverloadedError):
+                admission.admit("noisy").__enter__()
+            # The quiet tenant is unaffected by the noisy one's cap.
+            with admission.admit("quiet"):
+                pass
+
+    def test_shed_does_not_leak_slots(self):
+        admission = AdmissionController(max_concurrent=1, per_tenant=1)
+        with admission.admit("a"):
+            for _ in range(3):
+                with pytest.raises(OverloadedError):
+                    admission.admit("b").__enter__()
+        assert admission.snapshot()["inflight"] == 0
+        with admission.admit("b"):
+            assert admission.snapshot()["inflight"] == 1
+
+    def test_registry_instruments_track_inflight_and_sheds(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(max_concurrent=1, per_tenant=1, registry=registry)
+        with admission.admit("a"):
+            assert registry.gauge("service_inflight").value == 1.0
+            with pytest.raises(OverloadedError):
+                admission.admit("a").__enter__()
+        assert registry.gauge("service_inflight").value == 0.0
+        assert registry.counter("service_shed_total").value == 1
+
+
+class TestSessionTable:
+    def test_tenants_are_fully_isolated(self):
+        table = SessionTable()
+        table.put("acme", "s1", {"k": 2})
+        table.put("rival", "s1", {"k": 5})
+        assert table.get("acme", "s1") == {"k": 2}
+        assert table.get("rival", "s1") == {"k": 5}
+        assert table.get("third", "s1") is None
+        assert table.names("acme") == ["s1"]
+        assert table.names("third") == []
+
+    def test_release_only_touches_own_tenant(self):
+        table = SessionTable()
+        table.put("acme", "s1", {})
+        table.put("rival", "s1", {})
+        assert table.release("acme", "s1") is True
+        assert table.release("acme", "s1") is False
+        assert table.get("rival", "s1") == {}
+
+    def test_per_tenant_session_cap(self):
+        table = SessionTable(max_sessions_per_tenant=2)
+        table.put("t", "a", {})
+        table.put("t", "b", {})
+        with pytest.raises(ServiceError) as exc_info:
+            table.put("t", "c", {})
+        assert exc_info.value.status == 429
+        # Replacing an existing session is not a new slot.
+        table.put("t", "a", {"updated": True})
+        # Another tenant has its own budget.
+        table.put("other", "c", {})
+        assert table.total() == 3
+
+    def test_stored_payload_is_copied(self):
+        table = SessionTable()
+        payload = {"interactions": 3}
+        table.put("t", "s", payload)
+        payload["interactions"] = 99
+        fetched = table.get("t", "s")
+        assert fetched == {"interactions": 3}
+        fetched["interactions"] = 0
+        assert table.get("t", "s") == {"interactions": 3}

@@ -113,3 +113,80 @@ class TestEnsure:
     def test_unknown_without_builder(self, catalog):
         with pytest.raises(StorageError, match="no builder"):
             catalog.ensure("not-a-dataset")
+
+
+class TestManifestAtomicity:
+    """Crash and concurrency behavior of the manifest read-modify-write."""
+
+    def test_crash_before_rename_preserves_old_manifest(self, catalog, monkeypatch):
+        catalog.save("geo", geo_graph())
+        before = catalog.entries()
+        assert "geo" in before
+
+        # Simulate a crash after the temp file is written but before the
+        # atomic rename lands: the manifest must still be the old, valid one.
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.storage.catalog.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            catalog.save("g0", BUILTIN_DATASETS["g0"]())
+        monkeypatch.undo()
+
+        fresh = DatasetCatalog(catalog.root)
+        assert fresh.entries() == before  # old manifest intact and readable
+        assert "g0" not in fresh.entries()
+        # The interrupted writer's temp file was cleaned up.
+        leftovers = [p for p in catalog.root.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+        # And the catalog is not wedged: the write succeeds once the crash clears.
+        catalog.save("g0", BUILTIN_DATASETS["g0"]())
+        assert "g0" in DatasetCatalog(catalog.root).entries()
+
+    def test_crash_during_temp_write_preserves_old_manifest(self, catalog, monkeypatch):
+        catalog.save("geo", geo_graph())
+        before = catalog.entries()
+
+        real_fsync = __import__("os").fsync
+
+        def exploding_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.storage.catalog.os.fsync", exploding_fsync)
+        with pytest.raises(OSError, match="No space left"):
+            catalog.save("g0", BUILTIN_DATASETS["g0"]())
+        monkeypatch.setattr("repro.storage.catalog.os.fsync", real_fsync)
+
+        assert DatasetCatalog(catalog.root).entries() == before
+
+    def test_concurrent_registrations_lose_no_entries(self, catalog):
+        import threading
+
+        snapshot_path = catalog.save("geo", geo_graph())
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def register(i):
+            barrier.wait()
+            try:
+                catalog.register(f"copy-{i}", snapshot_path)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=register, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        names = DatasetCatalog(catalog.root).names()
+        assert names == sorted(["geo"] + [f"copy-{i}" for i in range(8)])
+
+    def test_manifest_written_with_fsync_and_unique_temp(self, catalog):
+        catalog.save("geo", geo_graph())
+        # No temp droppings under the fixed legacy name or otherwise.
+        assert not any(p.name.endswith(".tmp") for p in catalog.root.iterdir())
+        manifest = json.loads((catalog.root / "catalog.json").read_text())
+        assert manifest["version"] == 1
+        assert "geo" in manifest["snapshots"]
