@@ -126,6 +126,19 @@ def _build_parser() -> argparse.ArgumentParser:
             help="engine result cache capacity",
         )
         sub.add_argument(
+            "--backend",
+            choices=("auto", "python", "numpy"),
+            default="auto",
+            help="kernel backend (auto: numpy when installed, else python)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="shard whole-graph kernels across this many worker processes "
+            "(snapshot-backed graphs only; 1 = in-process)",
+        )
+        sub.add_argument(
             "--trace",
             metavar="FILE",
             default=None,
@@ -416,6 +429,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch-max", type=int, default=16, help="maximal queries per micro-batch"
     )
     serve.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help="kernel backend of every dataset engine",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard worker processes per dataset engine (1 = in-process)",
+    )
+    serve.add_argument(
         "--metrics-port",
         type=int,
         default=None,
@@ -438,7 +463,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _make_workspace(args: argparse.Namespace) -> Workspace:
     engine_config = EngineConfig(
-        plan_cache_size=args.plan_cache_size, result_cache_size=args.result_cache_size
+        plan_cache_size=args.plan_cache_size,
+        result_cache_size=args.result_cache_size,
+        backend=getattr(args, "backend", "auto"),
+        workers=getattr(args, "workers", 1),
     )
     kwargs: dict = {"engine_config": engine_config}
     if args.trace is not None or args.profile:
@@ -699,6 +727,8 @@ def _cmd_serve(args: argparse.Namespace) -> dict:
         queue_depth=args.queue_depth,
         batch_window=args.batch_window_ms / 1000.0,
         batch_max=args.batch_max,
+        backend=args.backend,
+        workers=args.workers,
         metrics_port=args.metrics_port,
         metrics_path=args.metrics_file,
         allow_remote_shutdown=args.allow_remote_shutdown,

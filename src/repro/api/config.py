@@ -30,6 +30,9 @@ SCENARIOS = ("static", "interactive")
 #: The interactive strategies the paper evaluates (plus the naive baseline).
 STRATEGIES = ("kR", "kS", "random")
 
+#: The kernel backends an :class:`EngineConfig` can select.
+BACKENDS = ("auto", "python", "numpy")
+
 
 class _BaseConfig:
     """Shared JSON plumbing of the four config dataclasses."""
@@ -76,12 +79,20 @@ class EngineConfig(_BaseConfig):
     ``incremental_refresh`` lets a stale CSR index be refreshed from the
     graph's mutation delta log instead of rebuilt; ``refresh_ratio`` is the
     delta-to-index size ratio beyond which refresh falls back to a rebuild.
+
+    ``backend`` selects the whole-graph kernel implementation (``"auto"``:
+    numpy when importable, else the pure-python reference); ``workers``
+    above 1 fans whole-graph evaluations on snapshot-backed graphs with at
+    least ``min_shard_edges`` edges across a process pool.
     """
 
     plan_cache_size: int = 256
     result_cache_size: int = 1024
     incremental_refresh: bool = True
     refresh_ratio: float = 0.25
+    backend: str = "auto"
+    workers: int = 1
+    min_shard_edges: int = 50_000
 
     def __post_init__(self) -> None:
         _require(
@@ -100,6 +111,18 @@ class EngineConfig(_BaseConfig):
             isinstance(self.refresh_ratio, (int, float)) and self.refresh_ratio >= 0,
             f"refresh_ratio must be a non-negative number, got {self.refresh_ratio!r}",
         )
+        _require(
+            self.backend in BACKENDS,
+            f"backend must be one of {BACKENDS}, got {self.backend!r}",
+        )
+        _require(
+            isinstance(self.workers, int) and self.workers >= 1,
+            f"workers must be a positive int, got {self.workers!r}",
+        )
+        _require(
+            isinstance(self.min_shard_edges, int) and self.min_shard_edges >= 0,
+            f"min_shard_edges must be a non-negative int, got {self.min_shard_edges!r}",
+        )
 
     def build(self, telemetry=None):
         """A fresh :class:`~repro.engine.QueryEngine` with this sizing.
@@ -115,6 +138,9 @@ class EngineConfig(_BaseConfig):
             incremental_refresh=self.incremental_refresh,
             refresh_ratio=float(self.refresh_ratio),
             telemetry=telemetry,
+            backend=self.backend,
+            workers=self.workers,
+            min_shard_edges=self.min_shard_edges,
         )
 
 
@@ -227,7 +253,10 @@ class ServiceConfig(_BaseConfig):
     sheds with a structured 429-style ``overloaded`` error instead of
     queueing unboundedly.  ``batch_window``/``batch_max`` shape the
     micro-batcher that coalesces compatible single-query requests into one
-    :meth:`~repro.engine.QueryEngine.evaluate_many` call.  ``metrics_port``
+    :meth:`~repro.engine.QueryEngine.evaluate_many` call.  ``backend`` and
+    ``workers`` flow into every per-dataset engine (see
+    :class:`EngineConfig`), so a daemon over large snapshots can vectorize
+    and shard its kernels.  ``metrics_port``
     serves the registry's Prometheus text over HTTP (``/metrics``);
     ``metrics_path`` additionally writes it to a file on shutdown.
     """
@@ -247,6 +276,8 @@ class ServiceConfig(_BaseConfig):
     max_sessions_per_tenant: int = 16
     plan_cache_size: int = 256
     result_cache_size: int = 4096
+    backend: str = "auto"
+    workers: int = 1
     metrics_port: int | None = None
     metrics_path: str | None = None
     allow_remote_shutdown: bool = False
@@ -304,6 +335,14 @@ class ServiceConfig(_BaseConfig):
             f"result_cache_size must be a positive int, got {self.result_cache_size!r}",
         )
         _require(
+            self.backend in BACKENDS,
+            f"backend must be one of {BACKENDS}, got {self.backend!r}",
+        )
+        _require(
+            isinstance(self.workers, int) and self.workers >= 1,
+            f"workers must be a positive int, got {self.workers!r}",
+        )
+        _require(
             self.metrics_port is None
             or (isinstance(self.metrics_port, int) and 0 <= self.metrics_port <= 65535),
             f"metrics_port must be None or an int in [0, 65535], got {self.metrics_port!r}",
@@ -328,6 +367,8 @@ class ServiceConfig(_BaseConfig):
         return EngineConfig(
             plan_cache_size=self.plan_cache_size,
             result_cache_size=self.result_cache_size,
+            backend=self.backend,
+            workers=self.workers,
         )
 
 

@@ -452,6 +452,8 @@ class Workspace:
             graph_nodes=self._graph.node_count(),
             graph_edges=self._graph.edge_count(),
             graph_labels=len(self._graph.labels()),
+            backend=self._engine.backend,
+            workers=self._engine.workers,
         )
         return snapshot
 

@@ -9,7 +9,10 @@ semantics (:mod:`repro.graphdb.product` stays as the executable reference):
 * :mod:`repro.engine.plan` -- :class:`CompiledPlan`, a query automaton
   flattened into dense int transition tables, fingerprinted for caching;
 * :mod:`repro.engine.cache` -- LRU plan cache and versioned result cache;
-* :mod:`repro.engine.executor` -- the product-BFS kernels on int arrays;
+* :mod:`repro.engine.executor` -- the product-BFS kernels on int arrays
+  (pure-python reference plus the optional numpy-vectorized backend);
+* :mod:`repro.engine.parallel` -- :class:`ParallelExecutor`, sharded
+  process-pool execution over snapshot-backed indexes;
 * :mod:`repro.engine.engine` -- :class:`QueryEngine`, the facade with
   single-query, batch (:meth:`QueryEngine.evaluate_many`) and stats APIs.
 
@@ -25,22 +28,37 @@ from repro.engine.engine import (
     get_default_engine,
     set_default_engine,
 )
-from repro.engine.executor import KernelStats
+from repro.engine.executor import BACKENDS, KernelStats, have_numpy, resolve_backend
 from repro.engine.index import GraphIndex, get_index
+from repro.engine.parallel import (
+    DEFAULT_MIN_SHARD_EDGES,
+    ParallelExecutor,
+    binary_evaluate_sharded,
+    evaluate_all_sharded,
+    shard_bounds,
+)
 from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
 
 __all__ = [
+    "BACKENDS",
     "CompiledPlan",
+    "DEFAULT_MIN_SHARD_EDGES",
     "EngineStats",
     "GraphIndex",
     "KernelStats",
     "LRUCache",
+    "ParallelExecutor",
     "PlanCache",
     "QueryEngine",
     "ResultCache",
     "automaton_fingerprint",
+    "binary_evaluate_sharded",
     "compile_plan",
+    "evaluate_all_sharded",
     "get_default_engine",
     "get_index",
+    "have_numpy",
+    "resolve_backend",
     "set_default_engine",
+    "shard_bounds",
 ]

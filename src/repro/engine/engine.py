@@ -30,6 +30,7 @@ from repro.engine.cache import PlanCache, ResultCache
 from repro.engine.executor import KernelStats
 from repro.engine import executor
 from repro.engine.index import GraphIndex
+from repro.engine.parallel import DEFAULT_MIN_SHARD_EDGES, ParallelExecutor
 from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
 from repro.errors import GraphError, QueryError
 from repro.graphdb.graph import GraphDB, Node
@@ -171,6 +172,21 @@ class QueryEngine:
         creates a disabled one (metrics registry only -- the near-zero-cost
         default).  Pass one with tracing or profiling enabled to capture
         spans and per-query profiles.
+    backend:
+        The whole-graph kernel backend: ``"python"`` (the reference,
+        always available), ``"numpy"`` (vectorized frontier expansion;
+        needs the optional numpy extra) or ``"auto"`` (numpy when
+        importable, else python).  Early-exit kernels always run the
+        python path; pair queries additionally pick the bidirectional
+        search from the index's degree stats.
+    workers:
+        Process-pool size for sharded execution.  At 1 (the default)
+        everything runs in-process; above 1, whole-graph evaluations on
+        snapshot-backed indexes with at least ``min_shard_edges`` edges
+        fan out across workers that ``open_snapshot`` the same file.
+    min_shard_edges:
+        The edge count below which sharding cannot amortize its process
+        fan-out and the engine stays in-process.
     """
 
     def __init__(
@@ -181,12 +197,29 @@ class QueryEngine:
         incremental_refresh: bool = True,
         refresh_ratio: float = 0.25,
         telemetry: Telemetry | None = None,
+        backend: str = "auto",
+        workers: int = 1,
+        min_shard_edges: int = DEFAULT_MIN_SHARD_EDGES,
     ) -> None:
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.incremental_refresh = incremental_refresh
         self.refresh_ratio = refresh_ratio
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.backend = executor.resolve_backend(backend)
+        self.workers = workers
+        self._parallel = (
+            ParallelExecutor(
+                workers=workers,
+                backend=self.backend,
+                min_shard_edges=min_shard_edges,
+                registry=self.telemetry.registry,
+            )
+            if workers > 1
+            else None
+        )
+        self._backend_counters: dict[str, object] = {}
+        self._pair_counters: dict[str, object] = {}
         self.stats = EngineStats(self.telemetry.registry)
         self.stats.attach_caches(self.plan_cache, self.result_cache)
         self._register_cache_metrics()
@@ -307,6 +340,142 @@ class QueryEngine:
             "(PathQuery, BinaryPathQuery)"
         )
 
+    # -- kernel dispatch -----------------------------------------------------
+
+    def _count_backend(self, label: str) -> None:
+        """Bump ``engine_backend_selected_total{backend=...}`` for one call."""
+        counter = self._backend_counters.get(label)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                "engine_backend_selected_total",
+                help="Whole-graph kernel dispatches by selected backend",
+                labels={"backend": label},
+            )
+            self._backend_counters[label] = counter
+        counter.inc()
+
+    def _run_evaluate_all(
+        self,
+        index: GraphIndex,
+        plan: CompiledPlan,
+        *,
+        depth_sizes: list[int] | None = None,
+    ) -> tuple[frozenset[int], str]:
+        """Dispatch one whole-graph monadic evaluation to the best backend.
+
+        Order of preference: sharded pool (snapshot-backed, big enough),
+        then the vectorized kernel, then the pure-python oracle.  Sharding
+        is skipped when a per-depth profile was requested (layer sizes are
+        a whole-walk property the union of shard walks cannot reproduce).
+        A ``None`` from the parallel layer means "pool unavailable" and
+        falls through -- results never depend on pool health.
+        """
+        parallel = self._parallel
+        if parallel is not None and depth_sizes is None and parallel.available_for(index):
+            selected = parallel.evaluate_all(index, plan, self.stats.kernel)
+            if selected is not None:
+                self._count_backend("sharded")
+                return selected, "sharded"
+        if self.backend == "numpy":
+            self._count_backend("numpy")
+            return (
+                executor.numpy_evaluate_all(
+                    index, plan, self.stats.kernel, depth_sizes=depth_sizes
+                ),
+                "numpy",
+            )
+        self._count_backend("python")
+        return (
+            executor.evaluate_all(
+                index, plan, self.stats.kernel, depth_sizes=depth_sizes
+            ),
+            "python",
+        )
+
+    def _run_binary_evaluate(
+        self, index: GraphIndex, plan: CompiledPlan
+    ) -> tuple[frozenset[tuple[int, int]], str]:
+        """Dispatch one whole-graph binary evaluation (same order as monadic)."""
+        parallel = self._parallel
+        if parallel is not None and parallel.available_for(index):
+            pairs = parallel.binary_evaluate(index, plan, self.stats.kernel)
+            if pairs is not None:
+                self._count_backend("sharded")
+                return pairs, "sharded"
+        if self.backend == "numpy":
+            self._count_backend("numpy")
+            return executor.numpy_binary_evaluate(index, plan, self.stats.kernel), "numpy"
+        self._count_backend("python")
+        return executor.binary_evaluate(index, plan, self.stats.kernel), "python"
+
+    def _count_pair_kernel(self, kind: str) -> None:
+        """Bump ``engine_pair_kernel_total{kind=...}`` for one pair query."""
+        counter = self._pair_counters.get(kind)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                "engine_pair_kernel_total",
+                help="Pair-query kernel dispatches by search strategy",
+                labels={"kind": kind},
+            )
+            self._pair_counters[kind] = counter
+        counter.inc()
+
+    def _run_pair_selects(
+        self, index: GraphIndex, plan: CompiledPlan, origin_id: int, end_id: int
+    ) -> bool:
+        """Dispatch one pair query: forward or bidirectional product search.
+
+        The strategy is chosen per query from the index's per-label degree
+        stats (:func:`~repro.engine.executor.choose_pair_kernel`); with the
+        pure-python backend the forward oracle always runs, so parity tests
+        can pin one side against the other.
+        """
+        if self.backend != "python":
+            kind = executor.choose_pair_kernel(index, plan)
+        else:
+            kind = "forward"
+        self._count_pair_kernel(kind)
+        if kind == "bidirectional":
+            return executor.bidirectional_pair_selects(
+                index, plan, origin_id, end_id, self.stats.kernel
+            )
+        return executor.pair_selects(
+            index, plan, origin_id, end_id, self.stats.kernel
+        )
+
+    def _run_table_evaluate_all(
+        self,
+        index: GraphIndex,
+        automaton: TableAutomaton,
+        *,
+        max_depth: int | None = None,
+        depth_sizes: list[int] | None = None,
+    ) -> tuple[frozenset[int], str]:
+        """Dispatch one ephemeral table evaluation (vectorized or python)."""
+        if self.backend == "numpy":
+            self._count_backend("numpy")
+            return (
+                executor.numpy_table_evaluate_all(
+                    index,
+                    automaton,
+                    self.stats.kernel,
+                    max_depth=max_depth,
+                    depth_sizes=depth_sizes,
+                ),
+                "numpy",
+            )
+        self._count_backend("python")
+        return (
+            executor.table_evaluate_all(
+                index,
+                automaton,
+                self.stats.kernel,
+                max_depth=max_depth,
+                depth_sizes=depth_sizes,
+            ),
+            "python",
+        )
+
     # -- monadic semantics ---------------------------------------------------
 
     def evaluate(
@@ -347,8 +516,8 @@ class QueryEngine:
                 automaton = automaton.to_table()
             index = self.index_for(graph)
             self.stats.inc("evaluations")
-            selected_ids = executor.table_evaluate_all(
-                index, automaton, self.stats.kernel, max_depth=max_depth
+            selected_ids, _ = self._run_table_evaluate_all(
+                index, automaton, max_depth=max_depth
             )
             nodes_by_id = index.nodes_by_id
             return frozenset(nodes_by_id[node_id] for node_id in selected_ids)
@@ -361,7 +530,7 @@ class QueryEngine:
             return cached
         index = self.index_for(graph)
         self.stats.inc("evaluations")
-        selected_ids = executor.evaluate_all(index, plan, self.stats.kernel)
+        selected_ids, _ = self._run_evaluate_all(index, plan)
         nodes_by_id = index.nodes_by_id
         result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
         self.result_cache.put(key, result)
@@ -393,10 +562,9 @@ class QueryEngine:
                 self.stats.inc("evaluations")
                 marks = kernel.mark()
                 depth_sizes: list[int] = []
-                selected_ids = executor.table_evaluate_all(
+                selected_ids, backend_used = self._run_table_evaluate_all(
                     index,
                     automaton,
-                    kernel,
                     max_depth=max_depth,
                     depth_sizes=depth_sizes,
                 )
@@ -416,6 +584,7 @@ class QueryEngine:
                     started=started,
                     walk_started=indexed,
                     selected=len(result),
+                    backend=backend_used,
                 )
                 return result
             if max_depth is not None:
@@ -448,8 +617,8 @@ class QueryEngine:
             self.stats.inc("evaluations")
             marks = kernel.mark()
             depth_sizes = []
-            selected_ids = executor.evaluate_all(
-                index, plan, kernel, depth_sizes=depth_sizes
+            selected_ids, backend_used = self._run_evaluate_all(
+                index, plan, depth_sizes=depth_sizes
             )
             nodes_by_id = index.nodes_by_id
             result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
@@ -468,6 +637,7 @@ class QueryEngine:
                 started=started,
                 walk_started=indexed,
                 selected=len(result),
+                backend=backend_used,
             )
             return result
 
@@ -487,6 +657,7 @@ class QueryEngine:
         started: float,
         walk_started: float | None,
         selected: int,
+        backend: str | None = None,
     ) -> None:
         """Stamp span attributes, histogram and (optionally) a profile."""
         ended = perf_counter()
@@ -498,6 +669,8 @@ class QueryEngine:
             states, edges = now_states - marks[0], now_edges - marks[1]
         token = fingerprint_token(plan.fingerprint) if plan is not None else None
         span.set(cache=cache, selected=selected)
+        if backend is not None:
+            span.set(backend=backend)
         if plan_outcome is not None:
             span.set(plan_cache=plan_outcome)
         if token is not None:
@@ -628,10 +801,63 @@ class QueryEngine:
         through the caches, so a batch amortizes the per-graph work across
         the workload -- the intended call pattern for the static experiment
         drivers and for serving query traffic.
+
+        With ``workers > 1`` and a snapshot-backed index above the shard
+        threshold, the batch's result-cache *misses* are deduplicated by
+        plan fingerprint and fanned across the process pool (one chunk of
+        plans per worker); cache hits are answered inline either way.  The
+        fan-out is skipped under active telemetry, which preserves the
+        per-query ``engine.evaluate`` span contract.
         """
         with self.telemetry.span("engine.evaluate_many", count=len(queries)):
-            self.index_for(graph)
+            index = self.index_for(graph)
+            if self._parallel is not None and not self.telemetry.active:
+                result = self._evaluate_many_fanned(graph, index, queries)
+                if result is not None:
+                    return result
             return [self.evaluate(graph, query) for query in queries]
+
+    def _evaluate_many_fanned(
+        self, graph: GraphDB, index: GraphIndex, queries: Sequence[Query]
+    ) -> list[frozenset[Node]] | None:
+        """Fan a batch's deduplicated cache misses across the shard pool.
+
+        Returns ``None`` when the fan-out is not worth it (fewer than two
+        distinct misses, index ineligible) or the pool failed -- the caller
+        then runs the plain per-query loop, which re-consults the caches
+        and loses nothing.
+        """
+        plans = [self.plan_for(query) for query in queries]
+        keys = [
+            ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+            for plan in plans
+        ]
+        cached = [self.result_cache.get(key) for key in keys]
+        misses: dict[object, CompiledPlan] = {}
+        for plan, hit in zip(plans, cached):
+            if hit is None and plan.fingerprint not in misses:
+                misses[plan.fingerprint] = plan
+        if len(misses) < 2 or not self._parallel.available_for(index):
+            return None
+        unique = list(misses.values())
+        fanned = self._parallel.evaluate_plans(index, unique, self.stats.kernel)
+        if fanned is None:
+            return None
+        nodes_by_id = index.nodes_by_id
+        by_fingerprint: dict[object, frozenset[Node]] = {}
+        for plan, selected_ids in zip(unique, fanned):
+            self.stats.inc("evaluations")
+            self._count_backend("sharded")
+            result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
+            self.result_cache.put(
+                ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version),
+                result,
+            )
+            by_fingerprint[plan.fingerprint] = result
+        return [
+            hit if hit is not None else by_fingerprint[plan.fingerprint]
+            for plan, hit in zip(plans, cached)
+        ]
 
     # -- binary semantics ----------------------------------------------------
 
@@ -646,7 +872,7 @@ class QueryEngine:
             return cached
         index = self.index_for(graph)
         self.stats.inc("evaluations")
-        pair_ids = executor.binary_evaluate(index, plan, self.stats.kernel)
+        pair_ids, _ = self._run_binary_evaluate(index, plan)
         nodes_by_id = index.nodes_by_id
         result = frozenset(
             (nodes_by_id[source], nodes_by_id[end]) for source, end in pair_ids
@@ -688,7 +914,7 @@ class QueryEngine:
             indexed = perf_counter()
             self.stats.inc("evaluations")
             marks = kernel.mark()
-            pair_ids = executor.binary_evaluate(index, plan, kernel)
+            pair_ids, backend_used = self._run_binary_evaluate(index, plan)
             nodes_by_id = index.nodes_by_id
             result = frozenset(
                 (nodes_by_id[source], nodes_by_id[end]) for source, end in pair_ids
@@ -708,6 +934,7 @@ class QueryEngine:
                 started=started,
                 walk_started=indexed,
                 selected=len(result),
+                backend=backend_used,
             )
             return result
 
@@ -751,8 +978,8 @@ class QueryEngine:
         if cached is not None:
             return (origin, end) in cached
         self.stats.inc("evaluations")
-        return executor.pair_selects(
-            index, plan, index.node_ids[origin], index.node_ids[end], self.stats.kernel
+        return self._run_pair_selects(
+            index, plan, index.node_ids[origin], index.node_ids[end]
         )
 
     # -- management ----------------------------------------------------------
@@ -763,6 +990,12 @@ class QueryEngine:
         self.result_cache.clear()
         with self._index_lock:
             self._indexes.clear()
+
+    def close(self) -> None:
+        """Release pooled resources (shard worker processes).  Idempotent;
+        an engine without workers is a no-op close."""
+        if self._parallel is not None:
+            self._parallel.shutdown()
 
     def stats_snapshot(self) -> dict[str, int | float]:
         """All counters (kernel work + cache hit rates) as one flat dict."""

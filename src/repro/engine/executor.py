@@ -23,8 +23,55 @@ from repro.automata.kernel import TableAutomaton
 from repro.automata.nfa import NFA
 from repro.engine.index import GraphIndex
 from repro.engine.plan import CompiledPlan
-from repro.errors import GraphError
+from repro.errors import GraphError, QueryError
 from repro.telemetry.metrics import Counter, MetricsRegistry
+
+#: Backend names the executor dispatch understands.  ``auto`` resolves to
+#: ``numpy`` when importable, else ``python``; the pure-python kernels are
+#: always retained as the parity oracle (the ``reference_*`` pattern one
+#: layer up).
+BACKENDS = ("auto", "python", "numpy")
+
+_NUMPY = None  # unresolved; becomes the module or False after first probe
+
+
+def _load_numpy():
+    """The numpy module, or ``False`` when not installed (cached probe)."""
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = False
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+def have_numpy() -> bool:
+    """Whether the optional numpy backend can be used in this process."""
+    return bool(_load_numpy())
+
+
+def resolve_backend(requested: str) -> str:
+    """Resolve a configured backend name to a concrete one.
+
+    ``auto`` picks ``numpy`` when importable and falls back to ``python``
+    silently; asking for ``numpy`` explicitly without numpy installed is an
+    error (the caller opted out of the fallback).
+    """
+    if requested not in BACKENDS:
+        raise QueryError(
+            f"unknown engine backend {requested!r}: expected one of {BACKENDS}"
+        )
+    if requested == "auto":
+        return "numpy" if have_numpy() else "python"
+    if requested == "numpy" and not have_numpy():
+        raise QueryError(
+            "backend 'numpy' requested but numpy is not importable; "
+            "install the [numpy] extra or use backend='auto'"
+        )
+    return requested
 
 
 class KernelStats:
@@ -39,7 +86,7 @@ class KernelStats:
     remain for reads and single-threaded resets (not atomic).
     """
 
-    __slots__ = ("_states", "_edges")
+    __slots__ = ("_states", "_edges", "_lock")
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         if registry is None:
@@ -54,6 +101,11 @@ class KernelStats:
                 "kernel_edges_scanned_total",
                 help="CSR adjacency entries touched by the BFS kernels",
             )
+        # Both instruments share one lock so a flush is a single locked
+        # add -- parallel shard workers' merge path must not serialize on
+        # two locks per kernel call.
+        self._lock = self._states._lock
+        self._edges._lock = self._lock
 
     @property
     def states_expanded(self) -> int:
@@ -72,9 +124,14 @@ class KernelStats:
         self._edges.value = value
 
     def add(self, states: int, edges: int) -> None:
-        """Atomically add one kernel call's work to both counters."""
-        self._states.inc(states)
-        self._edges.inc(edges)
+        """Atomically add one kernel call's work to both counters.
+
+        One lock acquisition covers both instruments (they share a lock),
+        so a call flushes in a single locked section.
+        """
+        with self._lock:
+            self._states.value += states
+            self._edges.value += edges
 
     def mark(self) -> tuple[int, int]:
         """The current ``(states_expanded, edges_scanned)`` pair -- take one
@@ -88,6 +145,8 @@ def evaluate_all(
     stats: KernelStats | None = None,
     *,
     depth_sizes: list[int] | None = None,
+    seed_lo: int = 0,
+    seed_hi: int | None = None,
 ) -> frozenset[int]:
     """Int ids of all nodes the query selects (monadic semantics).
 
@@ -99,6 +158,13 @@ def evaluate_all(
     ``depth_sizes``, when given, receives the number of product pairs
     expanded per BFS layer (layer 0 = the accepting seed pairs) -- the
     per-depth frontier profile telemetry attaches to query results.
+
+    ``seed_lo``/``seed_hi`` restrict the accepting *seed* pairs to a node
+    range -- the sharding hook: co-reachability from a union of seed sets is
+    the union of the per-shard co-reachable sets, so the parallel layer
+    unions the selected sets of disjoint ranges.  (The empty-word and
+    empty-language guards are range-independent by design; the parallel
+    layer answers them before sharding.)
     """
     if plan.is_empty_language:
         return frozenset()
@@ -110,10 +176,11 @@ def evaluate_all(
     rstate_moves = plan.rstate_moves
     bwd_offsets, bwd_targets = index.bwd_offsets, index.bwd_targets
 
+    seed_stop = n if seed_hi is None else seed_hi
     visited = bytearray(n * k)
     queue: deque[int] = deque()
     for final in plan.finals:
-        for node in range(n):
+        for node in range(seed_lo, seed_stop):
             code = node * k + final
             visited[code] = 1
             queue.append(code)
@@ -580,11 +647,19 @@ def lazy_pair_selects(
 
 
 def binary_evaluate(
-    index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+    index: GraphIndex,
+    plan: CompiledPlan,
+    stats: KernelStats | None = None,
+    *,
+    source_lo: int = 0,
+    source_hi: int | None = None,
 ) -> frozenset[tuple[int, int]]:
     """All selected ``(source id, end id)`` pairs (binary semantics).
 
     One forward product BFS per source node, as in the reference.
+    ``source_lo``/``source_hi`` restrict the source nodes walked -- the
+    sharding hook: sources are independent, so disjoint ranges union to the
+    full answer.
     """
     if plan.is_empty_language:
         return frozenset()
@@ -597,7 +672,7 @@ def binary_evaluate(
     result: set[tuple[int, int]] = set()
     expanded = 0
     scanned = 0
-    for source in range(n):
+    for source in range(source_lo, n if source_hi is None else source_hi):
         visited: set[int] = set()
         queue: deque[int] = deque()
         for initial in plan.initials:
@@ -685,6 +760,437 @@ def pair_selects(
                         if target_code not in visited:
                             visited.add(target_code)
                             queue.append(target_code)
+        return False
+    finally:
+        if stats is not None:
+            stats.add(expanded, scanned)
+
+
+# -- the numpy backend --------------------------------------------------------
+#
+# Vectorized twins of the whole-graph kernels above.  A layer of the product
+# BFS is expanded in one shot: the frontier is an int64 array of product
+# codes, the CSR gather turns per-node (start, stop) ranges into one flat
+# neighbour array via repeat/cumsum arithmetic, and dedup is one
+# ``np.unique`` plus a visited-bool mask.  The ``offsets``/``targets``
+# arrays are viewed zero-copy through ``np.frombuffer`` -- both the heap
+# ``array`` form and the storage layer's mmap ``memoryview`` form expose the
+# buffer protocol, so a snapshot-backed index vectorizes without a copy.
+# Results are converted back through ``.tolist()`` (true python ints), which
+# keeps the returned frozensets byte-identical to the pure-python oracle's.
+
+
+def _np_view(buffer):
+    """A read-only int numpy view over a CSR array (zero-copy)."""
+    np = _load_numpy()
+    itemsize = buffer.itemsize
+    return np.frombuffer(buffer, dtype=np.int64 if itemsize == 8 else np.int32)
+
+
+def _np_gather(offsets, targets, nodes, np):
+    """All CSR neighbours of ``nodes`` flattened, with per-node repeats.
+
+    Returns ``(neighbours, counts, total)`` where ``counts[i]`` is node i's
+    degree and ``neighbours`` concatenates every node's targets slice in
+    order (duplicate input nodes contribute duplicate slices, exactly like
+    the scalar loop).
+    """
+    starts = offsets[nodes]
+    counts = offsets[nodes + 1] - starts
+    total = int(counts.sum())
+    if not total:
+        return None, counts, 0
+    # positions[j] = starts[i] + (j - first flat slot of node i): the classic
+    # vectorized CSR expansion -- one arange, two repeats, no python loop.
+    shifts = np.cumsum(counts) - counts
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(shifts, counts)
+        + np.repeat(starts.astype(np.int64), counts)
+    )
+    return targets[positions], counts, total
+
+
+def numpy_evaluate_all(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    stats: KernelStats | None = None,
+    *,
+    depth_sizes: list[int] | None = None,
+    seed_lo: int = 0,
+    seed_hi: int | None = None,
+) -> frozenset[int]:
+    """Vectorized :func:`evaluate_all` (identical results, layered expansion)."""
+    np = _load_numpy()
+    if plan.is_empty_language:
+        return frozenset()
+    n, k = index.num_nodes, plan.num_states
+    if plan.accepts_empty_word:
+        return frozenset(range(n))
+    sym_labels = plan.bind_symbols(index.label_ids)
+    rstate_moves = plan.rstate_moves
+    bwd_offsets = [_np_view(o) for o in index.bwd_offsets]
+    bwd_targets = [_np_view(t) for t in index.bwd_targets]
+
+    visited = np.zeros(n * k, dtype=bool)
+    finals = np.fromiter(plan.finals, dtype=np.int64, count=len(plan.finals))
+    nodes = np.arange(seed_lo, n if seed_hi is None else seed_hi, dtype=np.int64)
+    frontier = (nodes[:, None] * k + finals[None, :]).reshape(-1)
+    visited[frontier] = True
+
+    expanded = 0
+    scanned = 0
+    if depth_sizes is not None and frontier.size:
+        depth_sizes.append(int(frontier.size))
+    while frontier.size:
+        expanded += int(frontier.size)
+        layer_nodes, layer_states = np.divmod(frontier, k)
+        grown: list = []
+        for state in np.unique(layer_states):
+            moves = rstate_moves[state]
+            if not moves:
+                continue
+            at_state = layer_nodes[layer_states == state]
+            for symbol_pos, pred_states in moves:
+                label_id = sym_labels[symbol_pos]
+                if label_id < 0:
+                    continue
+                preds, _, total = _np_gather(
+                    bwd_offsets[label_id], bwd_targets[label_id], at_state, np
+                )
+                if not total:
+                    continue
+                scanned += total
+                base = preds * k
+                for pred_state in pred_states:
+                    grown.append(base + pred_state)
+        if grown:
+            fresh = np.unique(np.concatenate(grown))
+            fresh = fresh[~visited[fresh]]
+            visited[fresh] = True
+            frontier = fresh
+        else:
+            frontier = nodes[:0]
+        if depth_sizes is not None and frontier.size:
+            depth_sizes.append(int(frontier.size))
+    if stats is not None:
+        stats.add(expanded, scanned)
+
+    initials = np.fromiter(plan.initials, dtype=np.int64, count=len(plan.initials))
+    codes = np.arange(n, dtype=np.int64)[:, None] * k + initials[None, :]
+    selected = np.nonzero(visited[codes].any(axis=1))[0]
+    return frozenset(selected.tolist())
+
+
+def numpy_table_evaluate_all(
+    index: GraphIndex,
+    view: TableAutomaton,
+    stats: KernelStats | None = None,
+    *,
+    max_depth: int | None = None,
+    depth_sizes: list[int] | None = None,
+) -> frozenset[int]:
+    """Vectorized :func:`table_evaluate_all` (identical results and layers)."""
+    np = _load_numpy()
+    trans, m, find, finals, initial = view.kernel_walk()
+    if find is not None:
+        raise GraphError(
+            "table_evaluate_all needs a committed table; call MergeFold.to_table() first"
+        )
+    if not finals:
+        return frozenset()
+    n = index.num_nodes
+    span = len(trans) // m if m else 1
+    if (finals >> initial) & 1:
+        return frozenset(range(n))
+    sym_labels = view.bind_labels(index.label_ids)
+    bwd_offsets = [_np_view(o) for o in index.bwd_offsets]
+    bwd_targets = [_np_view(t) for t in index.bwd_targets]
+
+    # Reverse automaton adjacency, exactly as the scalar kernel builds it.
+    rmoves: list[dict[int, list[int]]] = [{} for _ in range(span)]
+    for state in range(span):
+        base = state * m
+        for position in range(m):
+            target = trans[base + position]
+            if target >= 0 and sym_labels[position] >= 0:
+                rmoves[target].setdefault(position, []).append(state)
+    rstate_moves = [list(moves.items()) for moves in rmoves]
+
+    visited = np.zeros(n * span, dtype=bool)
+    final_states = np.fromiter(
+        (s for s in range(span) if (finals >> s) & 1), dtype=np.int64
+    )
+    nodes = np.arange(n, dtype=np.int64)
+    frontier = (final_states[None, :] + nodes[:, None] * span).reshape(-1)
+    visited[frontier] = True
+
+    depth = 0
+    expanded = 0
+    scanned = 0
+    if depth_sizes is not None and frontier.size:
+        depth_sizes.append(int(frontier.size))
+    while frontier.size and (max_depth is None or depth < max_depth):
+        depth += 1
+        expanded += int(frontier.size)
+        layer_nodes, layer_states = np.divmod(frontier, span)
+        grown: list = []
+        for state in np.unique(layer_states):
+            moves = rstate_moves[state]
+            if not moves:
+                continue
+            at_state = layer_nodes[layer_states == state]
+            for position, pred_states in moves:
+                label_id = sym_labels[position]
+                preds, _, total = _np_gather(
+                    bwd_offsets[label_id], bwd_targets[label_id], at_state, np
+                )
+                if not total:
+                    continue
+                scanned += total
+                base = preds * span
+                for pred_state in pred_states:
+                    grown.append(base + pred_state)
+        if grown:
+            fresh = np.unique(np.concatenate(grown))
+            fresh = fresh[~visited[fresh]]
+            visited[fresh] = True
+            frontier = fresh
+        else:
+            frontier = nodes[:0]
+        if depth_sizes is not None and frontier.size:
+            depth_sizes.append(int(frontier.size))
+    if stats is not None:
+        stats.add(expanded, scanned)
+
+    selected = np.nonzero(visited[nodes * span + initial])[0]
+    return frozenset(selected.tolist())
+
+
+def numpy_binary_evaluate(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    stats: KernelStats | None = None,
+    *,
+    source_lo: int = 0,
+    source_hi: int | None = None,
+) -> frozenset[tuple[int, int]]:
+    """Vectorized :func:`binary_evaluate`: sources in chunks, one BFS each.
+
+    A chunk of sources shares one layered product BFS over codes
+    ``(local_source * n + node) * k + state``; the chunk size is bounded so
+    the dense visited mask stays around 16 MB however large the graph is.
+    """
+    np = _load_numpy()
+    if plan.is_empty_language:
+        return frozenset()
+    n, k = index.num_nodes, plan.num_states
+    hi = n if source_hi is None else source_hi
+    sym_labels = plan.bind_symbols(index.label_ids)
+    state_moves = plan.state_moves
+    fwd_offsets = [_np_view(o) for o in index.fwd_offsets]
+    fwd_targets = [_np_view(t) for t in index.fwd_targets]
+    is_final = np.fromiter(plan.is_final, dtype=bool, count=k)
+    initials = np.fromiter(plan.initials, dtype=np.int64, count=len(plan.initials))
+
+    result: set[tuple[int, int]] = set()
+    expanded = 0
+    scanned = 0
+    chunk = max(1, min(1024, (16 << 20) // max(1, n * k)))
+    for chunk_lo in range(source_lo, hi, chunk):
+        sources = np.arange(chunk_lo, min(chunk_lo + chunk, hi), dtype=np.int64)
+        c = int(sources.size)
+        if plan.accepts_empty_word:
+            result.update(zip(sources.tolist(), sources.tolist()))
+        visited = np.zeros(c * n * k, dtype=bool)
+        local = np.arange(c, dtype=np.int64)
+        frontier = (
+            (local[:, None] * n + sources[:, None]) * k + initials[None, :]
+        ).reshape(-1)
+        visited[frontier] = True
+        while frontier.size:
+            expanded += int(frontier.size)
+            rest, layer_states = np.divmod(frontier, k)
+            layer_locals, layer_nodes = np.divmod(rest, n)
+            grown: list = []
+            for state in np.unique(layer_states):
+                moves = state_moves[state]
+                if not moves:
+                    continue
+                mask = layer_states == state
+                at_nodes = layer_nodes[mask]
+                at_locals = layer_locals[mask]
+                for symbol_pos, next_states in moves:
+                    label_id = sym_labels[symbol_pos]
+                    if label_id < 0:
+                        continue
+                    targets, counts, total = _np_gather(
+                        fwd_offsets[label_id], fwd_targets[label_id], at_nodes, np
+                    )
+                    if not total:
+                        continue
+                    scanned += total
+                    base = (np.repeat(at_locals, counts) * n + targets) * k
+                    for target_state in next_states:
+                        grown.append(base + target_state)
+            if grown:
+                fresh = np.unique(np.concatenate(grown))
+                fresh = fresh[~visited[fresh]]
+                visited[fresh] = True
+                frontier = fresh
+                accepting = fresh[is_final[fresh % k]]
+                if accepting.size:
+                    acc_locals, acc_nodes = np.divmod(accepting // k, n)
+                    result.update(
+                        zip(sources[acc_locals].tolist(), acc_nodes.tolist())
+                    )
+            else:
+                frontier = local[:0]
+    if stats is not None:
+        stats.add(expanded, scanned)
+    return frozenset(result)
+
+
+# -- bidirectional pair search ------------------------------------------------
+
+
+def pair_search_cost(index: GraphIndex, plan: CompiledPlan) -> tuple[int, int]:
+    """Estimated first-layer costs ``(forward, backward)`` of a pair query.
+
+    The forward estimate sums the CSR edge counts of the labels leaving the
+    plan's initial states; the backward estimate sums the edge counts of the
+    labels entering its final states.  Both read only the per-label degree
+    stats the index already holds -- no graph walk.
+    """
+    counts = index.label_edge_counts()
+    sym_labels = plan.bind_symbols(index.label_ids)
+
+    def side(states, moves_of) -> int:
+        total = 0
+        for state in states:
+            for symbol_pos, _ in moves_of[state]:
+                label_id = sym_labels[symbol_pos]
+                if label_id >= 0:
+                    total += counts[label_id]
+        return total
+
+    return (
+        side(plan.initials, plan.state_moves),
+        side(plan.finals, plan.rstate_moves),
+    )
+
+
+def choose_pair_kernel(index: GraphIndex, plan: CompiledPlan) -> str:
+    """``"bidirectional"`` or ``"forward"`` for one pair query.
+
+    Meeting in the middle pays whenever both ends have work to do; when the
+    origin side's first-layer fan-out is an order of magnitude below the end
+    side's fan-in, the plain forward early-exit search is already optimal
+    and skips the bidirectional bookkeeping.
+    """
+    forward_cost, backward_cost = pair_search_cost(index, plan)
+    if forward_cost * 8 <= backward_cost:
+        return "forward"
+    return "bidirectional"
+
+
+def bidirectional_pair_selects(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    origin_id: int,
+    end_id: int,
+    stats: KernelStats | None = None,
+) -> bool:
+    """:func:`pair_selects` meeting in the middle.
+
+    Two frontiers -- forward from ``(origin, initials)``, backward from
+    ``(end, finals)`` -- expand in alternating layers; each step grows the
+    side whose frontier has the smaller summed CSR degree (the per-label
+    degree stats again, now per layer).  The query selects the pair iff the
+    visited sets ever intersect; either frontier emptying first proves the
+    negative, usually touching far fewer product pairs than the one-sided
+    search on deep graphs.
+    """
+    if plan.is_empty_language:
+        return False
+    if origin_id == end_id and plan.accepts_empty_word:
+        return True
+    k = plan.num_states
+    sym_labels = plan.bind_symbols(index.label_ids)
+    state_moves, rstate_moves = plan.state_moves, plan.rstate_moves
+    fwd_offsets, fwd_targets = index.fwd_offsets, index.fwd_targets
+    bwd_offsets, bwd_targets = index.bwd_offsets, index.bwd_targets
+
+    fwd_visited = {origin_id * k + initial for initial in plan.initials}
+    bwd_visited = {end_id * k + final for final in plan.finals}
+    fwd_frontier = list(fwd_visited)
+    bwd_frontier = list(bwd_visited)
+
+    def layer_degree(frontier, moves_of, offsets_of) -> int:
+        total = 0
+        for code in frontier:
+            node, state = divmod(code, k)
+            for symbol_pos, _ in moves_of[state]:
+                label_id = sym_labels[symbol_pos]
+                if label_id < 0:
+                    continue
+                offsets = offsets_of[label_id]
+                total += offsets[node + 1] - offsets[node]
+        return total
+
+    expanded = 0
+    scanned = 0
+    try:
+        while fwd_frontier and bwd_frontier:
+            forward_turn = layer_degree(
+                fwd_frontier, state_moves, fwd_offsets
+            ) <= layer_degree(bwd_frontier, rstate_moves, bwd_offsets)
+            if forward_turn:
+                frontier, fwd_frontier = fwd_frontier, []
+                for code in frontier:
+                    node, state = divmod(code, k)
+                    expanded += 1
+                    for symbol_pos, next_states in state_moves[state]:
+                        label_id = sym_labels[symbol_pos]
+                        if label_id < 0:
+                            continue
+                        offsets = fwd_offsets[label_id]
+                        start, stop = offsets[node], offsets[node + 1]
+                        if start == stop:
+                            continue
+                        scanned += stop - start
+                        for target_node in fwd_targets[label_id][start:stop]:
+                            base = target_node * k
+                            for target_state in next_states:
+                                target_code = base + target_state
+                                if target_code in bwd_visited:
+                                    return True
+                                if target_code not in fwd_visited:
+                                    fwd_visited.add(target_code)
+                                    fwd_frontier.append(target_code)
+            else:
+                frontier, bwd_frontier = bwd_frontier, []
+                for code in frontier:
+                    node, state = divmod(code, k)
+                    expanded += 1
+                    for symbol_pos, pred_states in rstate_moves[state]:
+                        label_id = sym_labels[symbol_pos]
+                        if label_id < 0:
+                            continue
+                        offsets = bwd_offsets[label_id]
+                        start, stop = offsets[node], offsets[node + 1]
+                        if start == stop:
+                            continue
+                        scanned += stop - start
+                        for pred_node in bwd_targets[label_id][start:stop]:
+                            base = pred_node * k
+                            for pred_state in pred_states:
+                                pred_code = base + pred_state
+                                if pred_code in fwd_visited:
+                                    return True
+                                if pred_code not in bwd_visited:
+                                    bwd_visited.add(pred_code)
+                                    bwd_frontier.append(pred_code)
         return False
     finally:
         if stats is not None:

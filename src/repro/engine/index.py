@@ -272,6 +272,15 @@ class GraphIndex:
         """The int id of ``node``, or None if it is not indexed."""
         return self.node_ids.get(node)
 
+    def label_edge_counts(self) -> list[int]:
+        """Per-label edge counts (CSR degree stats).
+
+        ``counts[label_id]`` is the number of edges carrying that label --
+        the selectivity statistic the pair-search chooser and the shard
+        planner read instead of walking the graph.
+        """
+        return [len(targets) for targets in self.fwd_targets]
+
     def successors_slice(self, label_id: int, node_id: int):
         """The targets of ``node_id``'s outgoing edges on ``label_id``."""
         offsets = self.fwd_offsets[label_id]

@@ -1,0 +1,350 @@
+"""Sharded process-pool execution of the product-BFS kernels.
+
+The whole-graph kernels (:func:`~repro.engine.executor.evaluate_all`,
+:func:`~repro.engine.executor.binary_evaluate`) have a natural partition:
+
+* ``evaluate_all`` runs one backward BFS from the accepting seed pairs, and
+  co-reachability from a union of seed sets is the union of the per-shard
+  co-reachable sets -- so the seed pairs split into contiguous node ranges
+  and the selected sets union back together;
+* ``binary_evaluate`` walks each source node independently -- the source
+  range splits the same way;
+* a batch of plans (``evaluate_many``) splits by plan.
+
+Workers share the graph through the storage layer: the pool initializer
+``open_snapshot``-s the *same* ``.rgz`` file, so every worker gets a
+zero-copy mmap view of the CSR arrays and nothing graph-sized is ever
+pickled -- only :class:`~repro.engine.plan.CompiledPlan` objects (small,
+plain int tables) and result frozensets cross the process boundary.  That
+is also why sharding is **snapshot-backed only**: a heap-built index has no
+file to re-open, and serializing it would cost more than it saves.
+
+:class:`ParallelExecutor` is the engine-facing facade.  It is conservative
+by construction: below ``min_shard_edges`` the per-process fan-out cannot
+amortize, unsuitable indexes (no ``path``) are declined via
+:meth:`available_for`, and any pool failure (spawn error, dead worker)
+permanently marks the snapshot as broken and reports ``None`` so the
+engine falls back to the in-process kernels -- results are never lost to
+parallelism.  Worker kernel stats are merged into the engine's
+:class:`~repro.engine.executor.KernelStats` with one locked add per call.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine import executor
+from repro.engine.executor import KernelStats
+from repro.engine.index import GraphIndex
+from repro.engine.plan import CompiledPlan
+
+#: Below this many edges a process fan-out cannot amortize its IPC cost.
+DEFAULT_MIN_SHARD_EDGES = 50_000
+
+
+def shard_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """``shards`` contiguous, disjoint ``[lo, hi)`` ranges covering ``0..n``.
+
+    Ranges differ in size by at most one node; empty ranges are dropped, so
+    asking for more shards than nodes degrades gracefully.
+    """
+    shards = max(1, shards)
+    bounds = []
+    for i in range(shards):
+        lo = i * n // shards
+        hi = (i + 1) * n // shards
+        if lo < hi:
+            bounds.append((lo, hi))
+    return bounds or [(0, n)]
+
+
+# -- worker side --------------------------------------------------------------
+#
+# One module-global index per worker process, installed by the pool
+# initializer.  Task payloads reference the graph implicitly through it.
+
+_WORKER_INDEX: GraphIndex | None = None
+
+
+def _worker_init(path: str) -> None:
+    """Pool initializer: map the shared snapshot into this worker."""
+    global _WORKER_INDEX
+    from repro.storage.snapshot import open_snapshot
+
+    _WORKER_INDEX = open_snapshot(path)
+
+
+def _pick_kernels(backend: str):
+    """The (evaluate_all, binary_evaluate) pair for a resolved backend."""
+    if backend == "numpy":
+        return executor.numpy_evaluate_all, executor.numpy_binary_evaluate
+    return executor.evaluate_all, executor.binary_evaluate
+
+
+def _shard_evaluate_all(payload) -> tuple[frozenset[int], tuple[int, int]]:
+    plan, lo, hi, backend = payload
+    whole, _ = _pick_kernels(backend)
+    stats = KernelStats()
+    selected = whole(_WORKER_INDEX, plan, stats, seed_lo=lo, seed_hi=hi)
+    return selected, stats.mark()
+
+
+def _shard_binary_evaluate(payload) -> tuple[frozenset, tuple[int, int]]:
+    plan, lo, hi, backend = payload
+    _, binary = _pick_kernels(backend)
+    stats = KernelStats()
+    selected = binary(_WORKER_INDEX, plan, stats, source_lo=lo, source_hi=hi)
+    return selected, stats.mark()
+
+
+def _shard_evaluate_plans(payload) -> tuple[list[frozenset[int]], tuple[int, int]]:
+    plans, backend = payload
+    whole, _ = _pick_kernels(backend)
+    stats = KernelStats()
+    results = [whole(_WORKER_INDEX, plan, stats) for plan in plans]
+    return results, stats.mark()
+
+
+# -- in-process shard kernels (used by the invariance tests and fallbacks) ----
+
+
+def evaluate_all_sharded(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    shards: int,
+    *,
+    backend: str = "python",
+    stats: KernelStats | None = None,
+) -> frozenset[int]:
+    """Shard ``evaluate_all`` sequentially in-process and union the results.
+
+    The shard kernels are plain callables; the process pool is only
+    transport.  This function runs the identical partition without a pool,
+    which is what the shard-count-invariance tests pin against the
+    single-shard answer.
+    """
+    if plan.is_empty_language or plan.accepts_empty_word:
+        whole, _ = _pick_kernels(backend)
+        return whole(index, plan, stats)
+    whole, _ = _pick_kernels(backend)
+    selected: set[int] = set()
+    for lo, hi in shard_bounds(index.num_nodes, shards):
+        selected.update(whole(index, plan, stats, seed_lo=lo, seed_hi=hi))
+    return frozenset(selected)
+
+
+def binary_evaluate_sharded(
+    index: GraphIndex,
+    plan: CompiledPlan,
+    shards: int,
+    *,
+    backend: str = "python",
+    stats: KernelStats | None = None,
+) -> frozenset[tuple[int, int]]:
+    """Shard ``binary_evaluate`` sequentially in-process; union the pairs."""
+    _, binary = _pick_kernels(backend)
+    selected: set[tuple[int, int]] = set()
+    for lo, hi in shard_bounds(index.num_nodes, shards):
+        selected.update(binary(index, plan, stats, source_lo=lo, source_hi=hi))
+    return frozenset(selected)
+
+
+# -- the engine-facing facade -------------------------------------------------
+
+
+class ParallelExecutor:
+    """Fan whole-graph kernel calls across a per-snapshot process pool.
+
+    One executor belongs to one engine.  Pools are created lazily per
+    snapshot path and reused across calls; a pool that fails to spawn or
+    loses a worker marks its path broken, and every entry point then
+    returns ``None`` (= "run in-process instead") rather than raising.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int,
+        backend: str = "python",
+        min_shard_edges: int = DEFAULT_MIN_SHARD_EDGES,
+        registry=None,
+    ) -> None:
+        self.workers = workers
+        self.backend = backend
+        self.min_shard_edges = min_shard_edges
+        self._pools: dict[str, ProcessPoolExecutor] = {}
+        self._broken: set[str] = set()
+        self._lock = threading.Lock()
+        if registry is not None:
+            self._shards = registry.counter(
+                "kernel_shards_total",
+                help="Node-range shards dispatched to pool workers",
+            )
+            self._fallbacks = registry.counter(
+                "kernel_shard_fallbacks_total",
+                help="Sharded calls that fell back to in-process execution",
+            )
+        else:
+            self._shards = self._fallbacks = None
+
+    # -- eligibility ---------------------------------------------------------
+
+    @staticmethod
+    def snapshot_path(index: GraphIndex) -> str | None:
+        """The backing ``.rgz`` path of a snapshot-mapped index, or None."""
+        path = getattr(index, "path", None)
+        return None if path is None else str(path)
+
+    def available_for(self, index: GraphIndex) -> bool:
+        """Whether sharded execution can run on this index at all."""
+        if self.workers < 2:
+            return False
+        path = self.snapshot_path(index)
+        if path is None or path in self._broken:
+            return False
+        return index.edge_count >= self.min_shard_edges
+
+    # -- pool management -----------------------------------------------------
+
+    def _pool_for(self, path: str) -> ProcessPoolExecutor | None:
+        with self._lock:
+            if path in self._broken:
+                return None
+            pool = self._pools.get(path)
+            if pool is not None:
+                return pool
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init,
+                    initargs=(path,),
+                )
+            except Exception:
+                self._broken.add(path)
+                return None
+            self._pools[path] = pool
+            return pool
+
+    def _discard_pool(self, path: str) -> None:
+        with self._lock:
+            self._broken.add(path)
+            pool = self._pools.pop(path, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if self._fallbacks is not None:
+            self._fallbacks.inc()
+
+    def shutdown(self) -> None:
+        """Stop every worker pool (idempotent)."""
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- sharded kernels -----------------------------------------------------
+
+    def _fan_out(self, index, task, payloads):
+        """Run ``task`` for every payload on the index's pool.
+
+        Returns the list of worker results, or ``None`` when the pool is
+        unavailable or any worker failed (the caller falls back).
+        """
+        path = self.snapshot_path(index)
+        if path is None:
+            return None
+        pool = self._pool_for(path)
+        if pool is None:
+            return None
+        try:
+            results = list(pool.map(task, payloads))
+        except Exception:
+            self._discard_pool(path)
+            return None
+        if self._shards is not None:
+            self._shards.inc(len(payloads))
+        return results
+
+    def evaluate_all(
+        self, index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+    ) -> frozenset[int] | None:
+        """Sharded :func:`~repro.engine.executor.evaluate_all`, or None."""
+        if plan.is_empty_language:
+            return frozenset()
+        if plan.accepts_empty_word:
+            return frozenset(range(index.num_nodes))
+        payloads = [
+            (plan, lo, hi, self.backend)
+            for lo, hi in shard_bounds(index.num_nodes, self.workers)
+        ]
+        shards = self._fan_out(index, _shard_evaluate_all, payloads)
+        if shards is None:
+            return None
+        return self._merge(shards, stats)
+
+    def binary_evaluate(
+        self, index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+    ) -> frozenset[tuple[int, int]] | None:
+        """Sharded :func:`~repro.engine.executor.binary_evaluate`, or None."""
+        if plan.is_empty_language:
+            return frozenset()
+        payloads = [
+            (plan, lo, hi, self.backend)
+            for lo, hi in shard_bounds(index.num_nodes, self.workers)
+        ]
+        shards = self._fan_out(index, _shard_binary_evaluate, payloads)
+        if shards is None:
+            return None
+        return self._merge(shards, stats)
+
+    def evaluate_plans(
+        self,
+        index: GraphIndex,
+        plans: list[CompiledPlan],
+        stats: KernelStats | None = None,
+    ) -> list[frozenset[int]] | None:
+        """A batch of whole-graph evaluations fanned across the pool.
+
+        Plans are split into one chunk per worker (order preserved); this is
+        the transport under :meth:`QueryEngine.evaluate_many
+        <repro.engine.engine.QueryEngine.evaluate_many>` and therefore under
+        the service micro-batcher.
+        """
+        if not plans:
+            return []
+        chunks = [
+            (plans[lo:hi], self.backend)
+            for lo, hi in shard_bounds(len(plans), self.workers)
+        ]
+        outputs = self._fan_out(index, _shard_evaluate_plans, chunks)
+        if outputs is None:
+            return None
+        results: list[frozenset[int]] = []
+        states = edges = 0
+        for chunk_results, (chunk_states, chunk_edges) in outputs:
+            results.extend(chunk_results)
+            states += chunk_states
+            edges += chunk_edges
+        if stats is not None:
+            stats.add(states, edges)
+        return results
+
+    @staticmethod
+    def _merge(shards, stats: KernelStats | None):
+        """Union shard results; flush summed worker stats in one locked add."""
+        merged: set = set()
+        states = edges = 0
+        for selected, (shard_states, shard_edges) in shards:
+            merged.update(selected)
+            states += shard_states
+            edges += shard_edges
+        if stats is not None:
+            stats.add(states, edges)
+        return frozenset(merged)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers}, backend={self.backend!r}, "
+            f"pools={len(self._pools)})"
+        )

@@ -1,11 +1,12 @@
 """The micro-batcher: coalesce concurrent queries into ``evaluate_many``.
 
 Requests for the *same snapshot* that arrive within one batching window are
-drained together and answered by a single
-:meth:`~repro.engine.QueryEngine.evaluate_many` call, which resolves the
-CSR index once and routes every plan/result through the shared caches --
-the amortization the engine's batch API was built for, now applied across
-clients instead of within one driver loop.
+drained together, deduplicated by query expression (a burst of clients
+asking the same question costs one evaluation, fanned back to each), and
+answered by a single :meth:`~repro.engine.QueryEngine.evaluate_many` call,
+which resolves the CSR index once and routes every plan/result through the
+shared caches -- the amortization the engine's batch API was built for, now
+applied across clients instead of within one driver loop.
 
 Submitting threads block on a per-request event; a single worker thread
 owns the engine calls.  Admission is bounded: past ``queue_depth`` pending
@@ -79,8 +80,13 @@ class MicroBatcher:
                 "service_batch_shed_total",
                 help="query requests shed because the batch queue was full",
             )
+            self._deduped = registry.counter(
+                "service_batch_deduped_total",
+                help="batched requests answered by a duplicate batch-mate's evaluation",
+            )
         else:
             self._batches = self._batched = self._batch_size = self._shed = None
+            self._deduped = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -202,15 +208,38 @@ class MicroBatcher:
                 self._wakeup.notify_all()
             return batch
 
+    @staticmethod
+    def _dedupe_key(pending: _Pending):
+        """Group batch-mates asking the same question (burst traffic is
+        repetitive: many clients polling one query).  Queries without a
+        stable expression fall back to identity -- never deduplicated."""
+        expression = getattr(pending.query, "expression", None)
+        return expression if isinstance(expression, str) else pending
+
     def _execute(self, batch: list[_Pending]) -> None:
         dataset = batch[0].dataset
         if self._batches is not None:
             self._batches.inc()
             self._batched.inc(len(batch))
             self._batch_size.observe(len(batch))
+        # Evaluate each distinct expression once and fan the answer back to
+        # every duplicate submitter.
+        leaders: dict[object, int] = {}
+        unique: list[_Pending] = []
+        positions: list[int] = []
+        for pending in batch:
+            key = self._dedupe_key(pending)
+            slot = leaders.get(key)
+            if slot is None:
+                leaders[key] = len(unique)
+                slot = len(unique)
+                unique.append(pending)
+            positions.append(slot)
+        if self._deduped is not None and len(unique) < len(batch):
+            self._deduped.inc(len(batch) - len(unique))
         try:
             selected = dataset.engine.evaluate_many(
-                dataset.graph, [pending.query for pending in batch]
+                dataset.graph, [pending.query for pending in unique]
             )
         except Exception:
             # One bad query must not fail its batch-mates: fall back to
@@ -222,6 +251,6 @@ class MicroBatcher:
                     pending.error = error
                 pending.event.set()
             return
-        for pending, result in zip(batch, selected):
-            pending.result = result
+        for pending, slot in zip(batch, positions):
+            pending.result = selected[slot]
             pending.event.set()

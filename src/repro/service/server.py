@@ -533,7 +533,10 @@ class QueryService:
         for dataset in hot:
             for key, value in dataset.workspace.stats().items():
                 # Only the integer counters aggregate meaningfully; derived
-                # ratios (hit rates) do not sum across engines.
+                # ratios (hit rates) and config knobs (backend, workers) do
+                # not sum across engines.
+                if key == "workers":
+                    continue
                 if isinstance(value, int) and not isinstance(value, bool):
                     totals[key] = totals.get(key, 0) + value
         for key in sorted(totals):

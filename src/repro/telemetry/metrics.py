@@ -60,13 +60,45 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _series_name(name: str, labels: dict[str, str] | None) -> str:
+    """The full series key ``name{k="v",...}`` (labels sorted, values quoted).
+
+    Label values may be any string without ``"``/``\\``/newlines; label
+    *names* follow the metric-name charset.  The base name alone remains a
+    distinct series, so a family can mix labeled and unlabeled use only if
+    callers are consistent -- same rule Prometheus clients enforce.
+    """
+    _check_name(name)
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if any(ch in value for ch in '"\\\n'):
+            raise TelemetryError(f"invalid label value {value!r} for {name!r}")
+        parts.append(f'{_check_name(key)}="{value}"')
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def _family(name: str) -> str:
+    """The metric family of a series key (the part before any ``{``)."""
+    return name.split("{", 1)[0]
+
+
 class Counter:
-    """A monotonically increasing integer (resettable only via ``value``)."""
+    """A monotonically increasing integer (resettable only via ``value``).
+
+    ``labels`` turns the instrument into one series of a labeled family:
+    the stored name becomes ``name{k="v",...}`` and the registry keys and
+    renders it per series while emitting HELP/TYPE once per family.
+    """
 
     __slots__ = ("name", "help", "value", "_lock")
 
-    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
-        self.name = _check_name(name)
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None  # noqa: A002
+    ) -> None:
+        self.name = _series_name(name, labels)
         self.help = help
         self.value = 0
         self._lock = threading.Lock()
@@ -189,9 +221,12 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
-        """The counter of that name, created on first use."""
-        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None  # noqa: A002
+    ) -> Counter:
+        """The counter of that name (and label set), created on first use."""
+        key = _series_name(name, labels)
+        return self._get_or_create(key, Counter, lambda: Counter(name, help, labels))
 
     def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
         """The gauge of that name, created on first use."""
@@ -252,15 +287,23 @@ class MetricsRegistry:
             metrics = dict(self._metrics)
             callbacks = dict(self._callbacks)
         lines: list[str] = []
-        for name in sorted(metrics):
+        seen_families: set[str] = set()
+        # Sort by (family, series) so a labeled family's series stay
+        # contiguous under their one HELP/TYPE header.
+        for name in sorted(metrics, key=lambda n: (_family(n), n)):
             metric = metrics[name]
-            if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+            family = _family(name)
+            fresh_family = family not in seen_families
+            seen_families.add(family)
+            if metric.help and fresh_family:
+                lines.append(f"# HELP {family} {metric.help}")
             if isinstance(metric, Counter):
-                lines.append(f"# TYPE {name} counter")
+                if fresh_family:
+                    lines.append(f"# TYPE {family} counter")
                 lines.append(f"{name} {metric.value}")
             elif isinstance(metric, Gauge):
-                lines.append(f"# TYPE {name} gauge")
+                if fresh_family:
+                    lines.append(f"# TYPE {family} gauge")
                 lines.append(f"{name} {_fmt(metric.value)}")
             else:
                 lines.append(f"# TYPE {name} histogram")

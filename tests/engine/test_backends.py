@@ -1,0 +1,220 @@
+"""Cross-backend parity: every kernel backend returns byte-identical results.
+
+The pure-python kernels in :mod:`repro.engine.executor` are the oracle; the
+numpy-vectorized kernels, the bidirectional pair search and the sharded
+(seed-range-partitioned) execution must reproduce their answers exactly --
+selected sets, per-depth layer sizes AND the kernel work counters -- on a
+randomized population of seeded graphs that includes the documented edge
+cases (empty language, empty-word acceptance, query labels the graph never
+uses, graphs with isolated nodes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.kernel import TableDFA
+from repro.engine import executor
+from repro.engine.executor import KernelStats
+from repro.engine.index import GraphIndex
+from repro.engine.parallel import (
+    binary_evaluate_sharded,
+    evaluate_all_sharded,
+    shard_bounds,
+)
+from repro.engine.plan import compile_plan
+from repro.graphdb import GraphDB
+from repro.regex import compile_query
+
+numpy = pytest.importorskip("numpy")
+
+LABELS = ["a", "b", "c"]
+
+#: Expressions covering the kernel edge cases: plain walks, stars (empty-word
+#: acceptance), an empty language on most graphs ("b.b.c.c"), eps-only, and
+#: a label ("z") the graphs never carry.
+EXPRESSIONS = [
+    "a",
+    "(a.b)*.c",
+    "a*.(c+b.c)",
+    "b.b.c.c",
+    "eps",
+    "a*",
+    "(a+b)*.c",
+    "c.b*",
+    "z",
+]
+
+
+def random_graph(rng: random.Random) -> GraphDB:
+    graph = GraphDB(LABELS)
+    node_count = rng.randint(0, 18)
+    if node_count and rng.random() < 0.2:
+        graph.add_nodes([f"iso{i}" for i in range(rng.randint(1, 3))])
+    for _ in range(rng.randint(0, 60)):
+        if node_count == 0:
+            break
+        graph.add_edge(
+            rng.randrange(node_count), rng.choice(LABELS), rng.randrange(node_count)
+        )
+    return graph
+
+
+def seeded_graphs(count: int) -> list[GraphDB]:
+    return [random_graph(random.Random(seed)) for seed in range(count)]
+
+
+GRAPHS = seeded_graphs(50)
+ALPHABET = LABELS + ["z"]
+
+
+def plan_for(expression: str):
+    return compile_plan(compile_query(expression, ALPHABET))
+
+
+class TestNumpyEvaluateAll:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_matches_python_on_population(self, expression):
+        plan = plan_for(expression)
+        for graph in GRAPHS:
+            index = GraphIndex.build(graph)
+            py_stats, np_stats = KernelStats(), KernelStats()
+            py_depths: list[int] = []
+            np_depths: list[int] = []
+            expected = executor.evaluate_all(
+                index, plan, py_stats, depth_sizes=py_depths
+            )
+            got = executor.numpy_evaluate_all(
+                index, plan, np_stats, depth_sizes=np_depths
+            )
+            assert got == expected
+            assert np_depths == py_depths
+            assert np_stats.mark() == py_stats.mark()
+
+
+class TestNumpyBinaryEvaluate:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_matches_python_on_population(self, expression):
+        plan = plan_for(expression)
+        for graph in GRAPHS:
+            index = GraphIndex.build(graph)
+            py_stats, np_stats = KernelStats(), KernelStats()
+            expected = executor.binary_evaluate(index, plan, py_stats)
+            got = executor.numpy_binary_evaluate(index, plan, np_stats)
+            assert got == expected
+            assert np_stats.mark() == py_stats.mark()
+
+
+class TestNumpyTableEvaluateAll:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @pytest.mark.parametrize("max_depth", [None, 0, 2])
+    def test_matches_python_on_population(self, expression, max_depth):
+        table, _ = TableDFA.from_dfa(compile_query(expression, ALPHABET))
+        for graph in GRAPHS[:25]:
+            index = GraphIndex.build(graph)
+            py_stats, np_stats = KernelStats(), KernelStats()
+            py_depths: list[int] = []
+            np_depths: list[int] = []
+            expected = executor.table_evaluate_all(
+                index, table, py_stats, max_depth=max_depth, depth_sizes=py_depths
+            )
+            got = executor.numpy_table_evaluate_all(
+                index, table, np_stats, max_depth=max_depth, depth_sizes=np_depths
+            )
+            assert got == expected
+            assert np_depths == py_depths
+            assert np_stats.mark() == py_stats.mark()
+
+
+class TestBidirectionalPairSearch:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_matches_forward_oracle(self, expression):
+        plan = plan_for(expression)
+        for seed, graph in enumerate(GRAPHS):
+            index = GraphIndex.build(graph)
+            if index.num_nodes == 0:
+                continue
+            rng = random.Random(1000 + seed)
+            for _ in range(6):
+                origin = rng.randrange(index.num_nodes)
+                end = rng.randrange(index.num_nodes)
+                expected = executor.pair_selects(index, plan, origin, end)
+                got = executor.bidirectional_pair_selects(index, plan, origin, end)
+                assert got == expected, (expression, seed, origin, end)
+
+    def test_kernel_choice_is_deterministic(self):
+        plan = plan_for("(a.b)*.c")
+        index = GraphIndex.build(GRAPHS[3])
+        kind = executor.choose_pair_kernel(index, plan)
+        assert kind in ("forward", "bidirectional")
+        assert executor.choose_pair_kernel(index, plan) == kind
+
+
+class TestShardInvariance:
+    """The union of shard results must not depend on the shard count."""
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("expression", ["(a.b)*.c", "a*", "b.b.c.c", "z", "c.b*"])
+    def test_evaluate_all_shard_counts(self, backend, expression):
+        plan = plan_for(expression)
+        for graph in GRAPHS[:20]:
+            index = GraphIndex.build(graph)
+            single = evaluate_all_sharded(index, plan, 1, backend=backend)
+            for shards in (2, 4, 8):
+                assert (
+                    evaluate_all_sharded(index, plan, shards, backend=backend)
+                    == single
+                )
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("expression", ["(a.b)*.c", "a*", "b.b.c.c", "z"])
+    def test_binary_evaluate_shard_counts(self, backend, expression):
+        plan = plan_for(expression)
+        for graph in GRAPHS[:20]:
+            index = GraphIndex.build(graph)
+            single = binary_evaluate_sharded(index, plan, 1, backend=backend)
+            for shards in (2, 4, 8):
+                assert (
+                    binary_evaluate_sharded(index, plan, shards, backend=backend)
+                    == single
+                )
+
+    def test_sharded_matches_unsharded_python_oracle(self):
+        plan = plan_for("(a+b)*.c")
+        for graph in GRAPHS[:20]:
+            index = GraphIndex.build(graph)
+            expected = executor.evaluate_all(index, plan)
+            assert evaluate_all_sharded(index, plan, 4) == expected
+            assert binary_evaluate_sharded(index, plan, 4) == executor.binary_evaluate(
+                index, plan
+            )
+
+
+class TestShardBounds:
+    def test_partition_covers_range_disjointly(self):
+        for n in (0, 1, 2, 7, 64, 1001):
+            for shards in (1, 2, 3, 8, 100):
+                bounds = shard_bounds(n, shards)
+                covered = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert covered == list(range(n))
+                assert all(lo < hi for lo, hi in bounds if n)
+
+    def test_degenerate_inputs(self):
+        assert shard_bounds(0, 4) == [(0, 0)]
+        assert shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        assert shard_bounds(10, 0) == [(0, 10)]
+
+
+class TestBackendResolution:
+    def test_auto_prefers_numpy_when_available(self):
+        assert executor.resolve_backend("auto") == "numpy"
+        assert executor.resolve_backend("python") == "python"
+        assert executor.resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            executor.resolve_backend("fortran")

@@ -1,0 +1,228 @@
+"""The sharded process-pool execution layer (:mod:`repro.engine.parallel`).
+
+Pool behaviour is exercised over real temporary snapshots: the workers
+``open_snapshot`` the same file the parent mapped, so these tests cover the
+whole zero-copy transport -- plan pickling, worker initialization, shard
+fan-out, stats merging -- and the conservative fallbacks (heap graphs,
+small graphs, broken pools must all quietly run in-process).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.engine import executor
+from repro.engine.engine import QueryEngine
+from repro.engine.executor import KernelStats
+from repro.engine.index import GraphIndex
+from repro.engine.parallel import ParallelExecutor
+from repro.engine.plan import compile_plan
+from repro.graphdb import GraphDB
+from repro.regex import compile_query
+from repro.storage.snapshot import open_snapshot, write_snapshot
+from repro.storage.view import GraphView
+from repro.telemetry.metrics import MetricsRegistry
+
+LABELS = ["a", "b", "c"]
+ALPHABET = LABELS + ["z"]
+
+
+def build_graph(seed: int, nodes: int, edges: int) -> GraphDB:
+    rng = random.Random(seed)
+    graph = GraphDB(LABELS)
+    for _ in range(edges):
+        graph.add_edge(
+            f"n{rng.randrange(nodes)}", rng.choice(LABELS), f"n{rng.randrange(nodes)}"
+        )
+    return graph
+
+
+@pytest.fixture(scope="module")
+def snapshot_view(tmp_path_factory):
+    graph = build_graph(11, 400, 2500)
+    path = tmp_path_factory.mktemp("parallel") / "graph.rgz"
+    write_snapshot(GraphIndex.build(graph), path)
+    return GraphView(open_snapshot(path)), graph
+
+
+class TestPlanPickling:
+    def test_round_trip_preserves_tables(self):
+        plan = compile_plan(compile_query("(a.b)*.c", ALPHABET))
+        _ = plan.rdelta  # force the lazy reverse tables before pickling
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.num_states == plan.num_states
+        assert clone.delta == plan.delta
+        assert clone.initials == plan.initials
+        assert clone.finals == plan.finals
+        assert clone.symbols == plan.symbols
+        # the lazy reverse tables are dropped in transit and rebuilt on use
+        assert clone._rdelta is None
+        assert clone.rdelta == plan.rdelta
+
+    def test_pickled_plan_evaluates_identically(self):
+        graph = build_graph(3, 40, 200)
+        index = GraphIndex.build(graph)
+        plan = compile_plan(compile_query("a*.(c+b.c)", ALPHABET))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert executor.evaluate_all(index, clone) == executor.evaluate_all(index, plan)
+
+
+class TestEligibility:
+    def test_heap_index_is_declined(self):
+        pool = ParallelExecutor(workers=4, min_shard_edges=0)
+        index = GraphIndex.build(build_graph(1, 30, 100))
+        assert not pool.available_for(index)
+        plan = compile_plan(compile_query("a", ALPHABET))
+        assert pool.evaluate_all(index, plan) is None
+        assert pool.binary_evaluate(index, plan) is None
+        assert pool.evaluate_plans(index, [plan]) is None
+
+    def test_small_snapshot_is_declined(self, snapshot_view):
+        view, _ = snapshot_view
+        pool = ParallelExecutor(workers=4, min_shard_edges=10**9)
+        assert not pool.available_for(view.prebuilt_index)
+
+    def test_single_worker_is_declined(self, snapshot_view):
+        view, _ = snapshot_view
+        pool = ParallelExecutor(workers=1, min_shard_edges=0)
+        assert not pool.available_for(view.prebuilt_index)
+
+    def test_broken_path_is_remembered(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        registry = MetricsRegistry()
+        pool = ParallelExecutor(workers=2, min_shard_edges=0, registry=registry)
+        assert pool.available_for(index)
+        pool._discard_pool(pool.snapshot_path(index))
+        assert not pool.available_for(index)
+        assert registry.counter("kernel_shard_fallbacks_total").value == 1
+
+
+class TestPoolExecution:
+    def test_evaluate_all_matches_oracle(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        pool = ParallelExecutor(workers=2, min_shard_edges=0)
+        try:
+            for expression in ["(a.b)*.c", "a*", "b.b.c.c", "z", "(a+b)*.c"]:
+                plan = compile_plan(compile_query(expression, ALPHABET))
+                expected = executor.evaluate_all(index, plan)
+                stats = KernelStats()
+                got = pool.evaluate_all(index, plan, stats)
+                assert got == expected, expression
+        finally:
+            pool.shutdown()
+
+    def test_binary_evaluate_matches_oracle(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        pool = ParallelExecutor(workers=2, min_shard_edges=0)
+        try:
+            plan = compile_plan(compile_query("a.b*", ALPHABET))
+            assert pool.binary_evaluate(index, plan) == executor.binary_evaluate(
+                index, plan
+            )
+        finally:
+            pool.shutdown()
+
+    def test_evaluate_plans_preserves_order(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        pool = ParallelExecutor(workers=2, min_shard_edges=0)
+        try:
+            plans = [
+                compile_plan(compile_query(e, ALPHABET))
+                for e in ["a", "b.c", "c*", "(a.b)*.c", "z"]
+            ]
+            expected = [executor.evaluate_all(index, plan) for plan in plans]
+            assert pool.evaluate_plans(index, plans) == expected
+            assert pool.evaluate_plans(index, []) == []
+        finally:
+            pool.shutdown()
+
+    def test_worker_stats_are_merged(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        pool = ParallelExecutor(workers=2, min_shard_edges=0)
+        try:
+            plan = compile_plan(compile_query("(a+b)*.c", ALPHABET))
+            stats = KernelStats()
+            pool.evaluate_all(index, plan, stats)
+            states, edges = stats.mark()
+            assert states > 0 and edges > 0
+        finally:
+            pool.shutdown()
+
+    def test_shards_counter_is_bumped(self, snapshot_view):
+        view, _ = snapshot_view
+        index = view.prebuilt_index
+        registry = MetricsRegistry()
+        pool = ParallelExecutor(workers=2, min_shard_edges=0, registry=registry)
+        try:
+            plan = compile_plan(compile_query("a.b", ALPHABET))
+            pool.evaluate_all(index, plan)
+            assert registry.counter("kernel_shards_total").value == 2
+        finally:
+            pool.shutdown()
+
+
+class TestEngineIntegration:
+    def test_sharded_engine_matches_python_engine(self, snapshot_view):
+        view, _ = snapshot_view
+        reference = QueryEngine(backend="python")
+        sharded = QueryEngine(workers=2, min_shard_edges=0)
+        try:
+            for expression in ["(a.b)*.c", "a*", "b.b.c.c"]:
+                query = compile_query(expression, ALPHABET)
+                assert sharded.evaluate(view, query) == reference.evaluate(view, query)
+                assert sharded.binary_evaluate(view, query) == reference.binary_evaluate(
+                    view, query
+                )
+        finally:
+            sharded.close()
+
+    def test_evaluate_many_fans_out_and_dedupes(self, snapshot_view):
+        view, _ = snapshot_view
+        engine = QueryEngine(workers=2, min_shard_edges=0)
+        reference = QueryEngine(backend="python")
+        try:
+            queries = [
+                compile_query(e, ALPHABET)
+                for e in ["a.b", "c*", "a.b", "(a+b)*.c", "c*"]
+            ]
+            got = engine.evaluate_many(view, queries)
+            expected = [reference.evaluate(view, q) for q in queries]
+            assert got == expected
+            rendered = engine.telemetry.registry.render_prometheus()
+            assert 'engine_backend_selected_total{backend="sharded"}' in rendered
+        finally:
+            engine.close()
+
+    def test_heap_graph_engine_falls_back_in_process(self):
+        graph = build_graph(5, 60, 300)
+        engine = QueryEngine(workers=4, min_shard_edges=0)
+        reference = QueryEngine(backend="python")
+        try:
+            query = compile_query("(a.b)*.c", ALPHABET)
+            assert engine.evaluate(graph, query) == reference.evaluate(graph, query)
+            rendered = engine.telemetry.registry.render_prometheus()
+            assert 'backend="sharded"' not in rendered
+        finally:
+            engine.close()
+
+    def test_workers_surface_in_workspace_stats(self, tmp_path):
+        from repro.api import Workspace
+        from repro.api.config import EngineConfig
+
+        graph = build_graph(7, 50, 260)
+        path = tmp_path / "ws.rgz"
+        write_snapshot(GraphIndex.build(graph), path)
+        workspace = Workspace.open_snapshot(
+            str(path), engine_config=EngineConfig(backend="python", workers=3)
+        )
+        stats = workspace.stats()
+        assert stats["backend"] == "python"
+        assert stats["workers"] == 3

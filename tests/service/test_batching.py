@@ -220,3 +220,71 @@ def test_stop_fails_pending_requests_cleanly(dataset):
     with pytest.raises(ServiceError) as exc_info:
         batcher.submit(dataset, query, timeout=1.0)
     assert exc_info.value.status == 503
+
+
+def test_duplicate_queries_deduplicate_within_batch(batcher, dataset):
+    """A burst of identical expressions costs one evaluation, fanned back."""
+    expressions = ["tram", "tram", "bus", "tram", "bus"]
+    queries = [PathQuery.parse(expr, dataset.graph.alphabet) for expr in expressions]
+    expected = [dataset.engine.evaluate(dataset.graph, query) for query in queries]
+
+    batcher.pause()
+    results, errors = {}, {}
+    threads = []
+
+    def worker(i):
+        try:
+            results[i] = batcher.submit(dataset, queries[i], timeout=30.0)
+        except Exception as error:  # noqa: BLE001
+            errors[i] = error
+
+    for i in range(len(queries)):
+        thread = threading.Thread(target=worker, args=(i,))
+        threads.append(thread)
+        thread.start()
+    for _ in range(500):
+        if batcher.depth == len(queries):
+            break
+        threading.Event().wait(0.01)
+    batcher.resume()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert [results[i] for i in range(len(queries))] == expected
+    # 5 submissions, 2 distinct expressions -> 3 piggybacked on a batch-mate.
+    deduped = batcher.registry.counter("service_batch_deduped_total").value
+    assert deduped == 3
+
+
+def test_queries_without_expression_never_deduplicate(batcher, dataset):
+    """Dedupe keys fall back to identity for expression-less queries."""
+    tram = PathQuery.parse("tram", dataset.graph.alphabet)
+    bare = [q.dfa for q in (tram, tram)]  # raw DFAs carry no .expression
+    expected = dataset.engine.evaluate(dataset.graph, tram)
+
+    batcher.pause()
+    results, errors = {}, {}
+    threads = []
+
+    def worker(i):
+        try:
+            results[i] = batcher.submit(dataset, bare[i], timeout=30.0)
+        except Exception as error:  # noqa: BLE001
+            errors[i] = error
+
+    for i in range(len(bare)):
+        thread = threading.Thread(target=worker, args=(i,))
+        threads.append(thread)
+        thread.start()
+    for _ in range(500):
+        if batcher.depth == len(bare):
+            break
+        threading.Event().wait(0.01)
+    batcher.resume()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert results[0] == results[1] == expected
+    assert batcher.registry.counter("service_batch_deduped_total").value == 0

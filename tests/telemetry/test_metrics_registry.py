@@ -162,3 +162,42 @@ class TestRegistry:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestLabeledSeries:
+    def test_labels_become_distinct_series_under_one_family(self):
+        registry = MetricsRegistry()
+        registry.counter("dispatch_total", help="dispatches", labels={"backend": "python"}).inc(2)
+        registry.counter("dispatch_total", help="dispatches", labels={"backend": "numpy"}).inc(5)
+        text = registry.render_prometheus()
+        assert text.count("# HELP dispatch_total") == 1
+        assert text.count("# TYPE dispatch_total counter") == 1
+        assert 'dispatch_total{backend="numpy"} 5' in text
+        assert 'dispatch_total{backend="python"} 2' in text
+        # series of one family render adjacent and sorted
+        numpy_at = text.index('backend="numpy"')
+        python_at = text.index('backend="python"')
+        assert numpy_at < python_at
+
+    def test_same_labels_get_or_create_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", labels={"kind": "a"})
+        second = registry.counter("hits_total", labels={"kind": "a"})
+        assert first is second
+        assert registry.counter("hits_total", labels={"kind": "b"}) is not first
+
+    def test_label_keys_sort_deterministically(self):
+        registry = MetricsRegistry()
+        one = registry.counter("multi_total", labels={"b": "2", "a": "1"})
+        two = registry.counter("multi_total", labels={"a": "1", "b": "2"})
+        assert one is two
+        assert one.name == 'multi_total{a="1",b="2"}'
+
+    def test_invalid_label_names_and_values_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="invalid metric name"):
+            registry.counter("x_total", labels={"bad-key": "v"})
+        with pytest.raises(TelemetryError, match="label value"):
+            registry.counter("x_total", labels={"key": 'quo"te'})
+        with pytest.raises(TelemetryError, match="label value"):
+            registry.counter("x_total", labels={"key": "line\nbreak"})
