@@ -14,6 +14,7 @@ uniform.
 """
 
 from repro.api.config import (
+    PLANNERS,
     SCENARIOS,
     SEMANTICS,
     STRATEGIES,
@@ -27,6 +28,7 @@ from repro.api.config import (
 )
 from repro.api.result import (
     RESULT_TYPES,
+    ExplainResult,
     QueryResult,
     Result,
     result_from_dict,
@@ -49,9 +51,11 @@ __all__ = [
     "SEMANTICS",
     "SCENARIOS",
     "STRATEGIES",
+    "PLANNERS",
     # results
     "Result",
     "QueryResult",
+    "ExplainResult",
     "RESULT_TYPES",
     "result_from_dict",
     "result_from_json",

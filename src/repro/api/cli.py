@@ -19,6 +19,8 @@ Subcommands
 -----------
 ``learn``        learn a query from ``--positives``/``--negatives`` labels;
 ``query``        evaluate a regular path query on the graph;
+``explain``      plan a query without running it (rewrites, cost estimates,
+                 chosen kernel, cache disposition);
 ``experiment``   run a Section 5 experiment (static sweep or interactive loop);
 ``interactive``  run one interactive session against a goal query, with
                  optional ``--checkpoint FILE`` resume/save;
@@ -55,6 +57,7 @@ import time
 from pathlib import Path
 
 from repro.api.config import (
+    PLANNERS,
     STRATEGIES,
     EngineConfig,
     ExperimentConfig,
@@ -139,6 +142,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "(snapshot-backed graphs only; 1 = in-process)",
         )
         sub.add_argument(
+            "--planner",
+            choices=PLANNERS,
+            default="auto",
+            help="cost-based query planner (auto: rewrite automata and pick "
+            "kernels by estimated cost; off: verbatim compilation)",
+        )
+        sub.add_argument(
+            "--cache-budget",
+            type=int,
+            default=None,
+            metavar="BYTES",
+            help="byte budget shared by the engine caches (default: entry-count "
+            "capacity only)",
+        )
+        sub.add_argument(
             "--trace",
             metavar="FILE",
             default=None,
@@ -186,6 +204,19 @@ def _build_parser() -> argparse.ArgumentParser:
     add_graph_source(query, remote=True)
     query.add_argument("--expr", required=True, help="the regular path query expression")
     query.add_argument(
+        "--semantics",
+        choices=("path", "binary"),
+        default="path",
+        help="monadic node selection (path) or classical pair selection (binary)",
+    )
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="plan a query without running it (rewrites, costs, chosen kernel)",
+    )
+    add_graph_source(explain)
+    explain.add_argument("--expr", required=True, help="the regular path query expression")
+    explain.add_argument(
         "--semantics",
         choices=("path", "binary"),
         default="path",
@@ -441,6 +472,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard worker processes per dataset engine (1 = in-process)",
     )
     serve.add_argument(
+        "--planner",
+        choices=PLANNERS,
+        default="auto",
+        help="cost-based query planner of every dataset engine",
+    )
+    serve.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget of every dataset engine's caches",
+    )
+    serve.add_argument(
+        "--no-share-caches",
+        action="store_true",
+        help="give each dataset workspace private caches instead of sharing "
+        "them by snapshot content identity",
+    )
+    serve.add_argument(
         "--metrics-port",
         type=int,
         default=None,
@@ -467,6 +517,8 @@ def _make_workspace(args: argparse.Namespace) -> Workspace:
         result_cache_size=args.result_cache_size,
         backend=getattr(args, "backend", "auto"),
         workers=getattr(args, "workers", 1),
+        planner=getattr(args, "planner", "auto"),
+        cache_budget_bytes=getattr(args, "cache_budget", None),
     )
     kwargs: dict = {"engine_config": engine_config}
     if args.trace is not None or args.profile:
@@ -520,6 +572,10 @@ def _cmd_learn(args: argparse.Namespace, workspace: Workspace) -> Result:
 
 def _cmd_query(args: argparse.Namespace, workspace: Workspace) -> Result:
     return workspace.query(args.expr, semantics=args.semantics)
+
+
+def _cmd_explain(args: argparse.Namespace, workspace: Workspace) -> Result:
+    return workspace.explain(args.expr, semantics=args.semantics)
 
 
 def _cmd_experiment(args: argparse.Namespace, workspace: Workspace) -> Result:
@@ -729,6 +785,9 @@ def _cmd_serve(args: argparse.Namespace) -> dict:
         batch_max=args.batch_max,
         backend=args.backend,
         workers=args.workers,
+        planner=args.planner,
+        cache_budget_bytes=args.cache_budget,
+        share_caches=not args.no_share_caches,
         metrics_port=args.metrics_port,
         metrics_path=args.metrics_file,
         allow_remote_shutdown=args.allow_remote_shutdown,
@@ -805,6 +864,7 @@ def main(argv: list[str] | None = None) -> int:
             handler = {
                 "learn": _cmd_learn,
                 "query": _cmd_query,
+                "explain": _cmd_explain,
                 "experiment": _cmd_experiment,
                 "interactive": _cmd_interactive,
                 "bench": _cmd_bench,

@@ -33,9 +33,16 @@ STRATEGIES = ("kR", "kS", "random")
 #: The kernel backends an :class:`EngineConfig` can select.
 BACKENDS = ("auto", "python", "numpy")
 
+#: The planner modes an :class:`EngineConfig` can select.
+PLANNERS = ("auto", "off")
+
 
 class _BaseConfig:
     """Shared JSON plumbing of the four config dataclasses."""
+
+    #: Renamed fields still accepted (with a :class:`DeprecationWarning`)
+    #: by :meth:`from_dict`; subclasses override.  ``{old_name: new_name}``.
+    _LEGACY_FIELDS: dict = {}
 
     def to_dict(self) -> dict:
         """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
@@ -50,6 +57,23 @@ class _BaseConfig:
         """Build (and validate) a config from :meth:`to_dict` output."""
         if not isinstance(payload, dict):
             raise ConfigError(f"{cls.__name__} payload must be a dict, got {type(payload).__name__}")
+        if cls._LEGACY_FIELDS and any(old in payload for old in cls._LEGACY_FIELDS):
+            import warnings
+
+            payload = dict(payload)
+            for old, new in cls._LEGACY_FIELDS.items():
+                if old not in payload:
+                    continue
+                if new in payload:
+                    raise ConfigError(
+                        f"{cls.__name__} got both {old!r} (deprecated) and {new!r}"
+                    )
+                warnings.warn(
+                    f"{cls.__name__} field {old!r} is deprecated; use {new!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                payload[new] = payload.pop(old)
         known = {spec.name: spec for spec in fields(cls)}
         unknown = sorted(set(payload) - set(known))
         if unknown:
@@ -84,7 +108,21 @@ class EngineConfig(_BaseConfig):
     numpy when importable, else the pure-python reference); ``workers``
     above 1 fans whole-graph evaluations on snapshot-backed graphs with at
     least ``min_shard_edges`` edges across a process pool.
+
+    ``planner`` turns the cost-based planning layer on (``"auto"``, the
+    default: parity-pinned automaton rewriting, selectivity-ordered
+    early-exit plans, and -- with ``backend="auto"`` -- per-query kernel
+    choice from the CSR cost model) or ``"off"`` (verbatim compilation,
+    fixed dispatch).  ``max_rewrite_passes`` bounds the rewriter;
+    ``cache_budget_bytes`` adds a byte budget to the result cache's LRU
+    eviction (None: entry-count bound only).
     """
+
+    _LEGACY_FIELDS = {
+        "planner_mode": "planner",
+        "rewrite_passes": "max_rewrite_passes",
+        "cache_budget": "cache_budget_bytes",
+    }
 
     plan_cache_size: int = 256
     result_cache_size: int = 1024
@@ -93,6 +131,9 @@ class EngineConfig(_BaseConfig):
     backend: str = "auto"
     workers: int = 1
     min_shard_edges: int = 50_000
+    planner: str = "auto"
+    max_rewrite_passes: int = 3
+    cache_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -123,6 +164,19 @@ class EngineConfig(_BaseConfig):
             isinstance(self.min_shard_edges, int) and self.min_shard_edges >= 0,
             f"min_shard_edges must be a non-negative int, got {self.min_shard_edges!r}",
         )
+        _require(
+            self.planner in PLANNERS,
+            f"planner must be one of {PLANNERS}, got {self.planner!r}",
+        )
+        _require(
+            isinstance(self.max_rewrite_passes, int) and self.max_rewrite_passes >= 0,
+            f"max_rewrite_passes must be a non-negative int, got {self.max_rewrite_passes!r}",
+        )
+        _require(
+            self.cache_budget_bytes is None
+            or (isinstance(self.cache_budget_bytes, int) and self.cache_budget_bytes >= 1),
+            f"cache_budget_bytes must be None or a positive int, got {self.cache_budget_bytes!r}",
+        )
 
     def build(self, telemetry=None):
         """A fresh :class:`~repro.engine.QueryEngine` with this sizing.
@@ -141,6 +195,9 @@ class EngineConfig(_BaseConfig):
             backend=self.backend,
             workers=self.workers,
             min_shard_edges=self.min_shard_edges,
+            planner=self.planner,
+            max_rewrite_passes=self.max_rewrite_passes,
+            cache_budget_bytes=self.cache_budget_bytes,
         )
 
 
@@ -278,6 +335,9 @@ class ServiceConfig(_BaseConfig):
     result_cache_size: int = 4096
     backend: str = "auto"
     workers: int = 1
+    planner: str = "auto"
+    cache_budget_bytes: int | None = None
+    share_caches: bool = True
     metrics_port: int | None = None
     metrics_path: str | None = None
     allow_remote_shutdown: bool = False
@@ -343,6 +403,19 @@ class ServiceConfig(_BaseConfig):
             f"workers must be a positive int, got {self.workers!r}",
         )
         _require(
+            self.planner in PLANNERS,
+            f"planner must be one of {PLANNERS}, got {self.planner!r}",
+        )
+        _require(
+            self.cache_budget_bytes is None
+            or (isinstance(self.cache_budget_bytes, int) and self.cache_budget_bytes >= 1),
+            f"cache_budget_bytes must be None or a positive int, got {self.cache_budget_bytes!r}",
+        )
+        _require(
+            isinstance(self.share_caches, bool),
+            f"share_caches must be a bool, got {self.share_caches!r}",
+        )
+        _require(
             self.metrics_port is None
             or (isinstance(self.metrics_port, int) and 0 <= self.metrics_port <= 65535),
             f"metrics_port must be None or an int in [0, 65535], got {self.metrics_port!r}",
@@ -369,6 +442,8 @@ class ServiceConfig(_BaseConfig):
             result_cache_size=self.result_cache_size,
             backend=self.backend,
             workers=self.workers,
+            planner=self.planner,
+            cache_budget_bytes=self.cache_budget_bytes,
         )
 
 

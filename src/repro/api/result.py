@@ -138,10 +138,103 @@ class QueryResult:
             raise SerializationError(f"malformed QueryResult payload: {error}") from error
 
 
+@dataclass(frozen=True)
+class ExplainResult:
+    """The outcome of one :meth:`repro.api.Workspace.explain` call.
+
+    A query *plan*, not an answer: which rewrites the planner applied (and
+    their parity status), the compiled plan's fingerprint and shape, the
+    cost model's per-strategy estimates, the kernel/backend the engine
+    would dispatch, and the result cache's disposition for this exact
+    (plan, graph version) key.  ``selected`` never appears -- explaining
+    runs no kernel.  Implements the :class:`Result` protocol.
+    """
+
+    query: PathQuery | BinaryPathQuery
+    semantics: str
+    plan: dict
+    planner: dict
+    estimates: tuple
+    pair_estimates: tuple
+    chosen: dict
+    cache: dict
+    graph: dict
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Result protocol: planning always produces a plan."""
+        return True
+
+    @property
+    def rewrites(self) -> tuple:
+        """The rewrite pass names the planner applied, in order."""
+        return tuple(self.planner.get("rewrites", ()))
+
+    @property
+    def strategy(self) -> str:
+        """The whole-graph strategy the engine would dispatch."""
+        return self.chosen.get("strategy", "python")
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplainResult({self.query.expression!r}, semantics={self.semantics!r}, "
+            f"strategy={self.strategy!r}, rewrites={list(self.rewrites)!r})"
+        )
+
+    # -- serialization (Result protocol) -------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot; round-trips through :meth:`from_dict`."""
+        return {
+            "type": "ExplainResult",
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "semantics": self.semantics,
+            "query": self.query.to_dict(),
+            "plan": self.plan,
+            "planner": self.planner,
+            "estimates": list(self.estimates),
+            "pair_estimates": list(self.pair_estimates),
+            "chosen": self.chosen,
+            "cache": self.cache,
+            "graph": self.graph,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExplainResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            semantics = payload.get("semantics", "path")
+            if semantics == "binary":
+                query: PathQuery | BinaryPathQuery = BinaryPathQuery.from_dict(
+                    payload["query"]
+                )
+            else:
+                query = PathQuery.from_dict(payload["query"])
+            return cls(
+                query=query,
+                semantics=semantics,
+                plan=dict(payload["plan"]),
+                planner=dict(payload["planner"]),
+                estimates=tuple(payload.get("estimates", ())),
+                pair_estimates=tuple(payload.get("pair_estimates", ())),
+                chosen=dict(payload["chosen"]),
+                cache=dict(payload.get("cache", {})),
+                graph=dict(payload.get("graph", {})),
+                elapsed=payload.get("elapsed", 0.0),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SerializationError(
+                f"malformed ExplainResult payload: {error}"
+            ) from error
+
+
 #: ``"type"`` tag -> concrete result class, the dispatch table of
 #: :func:`result_from_dict`.
 RESULT_TYPES: dict[str, type] = {
     "QueryResult": QueryResult,
+    "ExplainResult": ExplainResult,
     "LearnerResult": LearnerResult,
     "BinaryLearnerResult": BinaryLearnerResult,
     "NaryLearnerResult": NaryLearnerResult,
@@ -187,6 +280,7 @@ def result_from_json(text: str) -> Result:
 __all__ = [
     "Result",
     "QueryResult",
+    "ExplainResult",
     "RESULT_TYPES",
     "result_from_dict",
     "result_from_json",

@@ -32,7 +32,7 @@ from repro.api.config import (
     StorageConfig,
     TelemetryConfig,
 )
-from repro.api.result import QueryResult
+from repro.api.result import ExplainResult, QueryResult
 from repro.engine.engine import QueryEngine
 from repro.errors import ConfigError, QueryError, SerializationError
 from repro.evaluation.interactive import InteractiveExperimentResult, run_interactive_experiment
@@ -259,6 +259,59 @@ class Workspace:
             selected=selected,
             elapsed=time.perf_counter() - started,
             profile=self._engine.take_profile(),
+        )
+
+    def explain(
+        self, expr: str | Regex | PathQuery | BinaryPathQuery, *, semantics: str = "path"
+    ) -> ExplainResult:
+        """Plan a query without running it (``EXPLAIN`` for path queries).
+
+        Accepts everything :meth:`query` accepts and returns an
+        :class:`~repro.api.ExplainResult`: the planner's rewrite report
+        (parity-pinned against the unrewritten automaton), the compiled
+        plan's fingerprint and shape, the cost model's per-strategy
+        estimates, the kernel the engine would dispatch, and the result
+        cache's disposition.  No kernel runs; the plan cache is warmed
+        exactly as evaluation would warm it.
+        """
+        if semantics not in ("path", "binary"):
+            raise ConfigError(f"semantics must be 'path' or 'binary', got {semantics!r}")
+        if not isinstance(expr, (str, Regex, PathQuery, BinaryPathQuery)):
+            raise QueryError(
+                "expected an expression string (or Regex AST, PathQuery, "
+                f"BinaryPathQuery), got {type(expr).__name__}"
+            )
+        started = time.perf_counter()
+        with self.telemetry.span("workspace.explain", semantics=semantics) as span:
+            if semantics == "binary":
+                if isinstance(expr, BinaryPathQuery):
+                    query: PathQuery | BinaryPathQuery = expr
+                else:
+                    source = expr.expression if isinstance(expr, PathQuery) else expr
+                    query = BinaryPathQuery.parse(source, self._graph.alphabet)
+            elif isinstance(expr, PathQuery):
+                query = expr
+            elif isinstance(expr, BinaryPathQuery):
+                query = PathQuery.parse(expr.expression, self._graph.alphabet)
+            else:
+                query = PathQuery.parse(expr, self._graph.alphabet)
+            report = self._engine.explain(self._graph, query, semantics=semantics)
+            span.set(
+                expression=query.expression,
+                strategy=report["chosen"]["strategy"],
+                rewrites=len(report["planner"].get("rewrites", [])),
+            )
+        return ExplainResult(
+            query=query,
+            semantics=semantics,
+            plan=report["plan"],
+            planner=report["planner"],
+            estimates=tuple(report["estimates"]),
+            pair_estimates=tuple(report["pair_estimates"]),
+            chosen=report["chosen"],
+            cache=report["cache"],
+            graph=report["graph"],
+            elapsed=time.perf_counter() - started,
         )
 
     def learn(

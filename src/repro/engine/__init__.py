@@ -8,7 +8,12 @@ semantics (:mod:`repro.graphdb.product` stays as the executable reference):
   counter;
 * :mod:`repro.engine.plan` -- :class:`CompiledPlan`, a query automaton
   flattened into dense int transition tables, fingerprinted for caching;
-* :mod:`repro.engine.cache` -- LRU plan cache and versioned result cache;
+* :mod:`repro.engine.cache` -- LRU plan cache and versioned result cache,
+  with byte-budget eviction and a process-wide shared-cache registry keyed
+  by snapshot content identity;
+* :mod:`repro.engine.costs` / :mod:`repro.engine.planner` -- the CSR-stats
+  cost model and the parity-pinned automaton rewriter behind the
+  cost-based planning layer (``EngineConfig.planner``);
 * :mod:`repro.engine.executor` -- the product-BFS kernels on int arrays
   (pure-python reference plus the optional numpy-vectorized backend);
 * :mod:`repro.engine.parallel` -- :class:`ParallelExecutor`, sharded
@@ -21,7 +26,16 @@ consistency checks, the experiment drivers) route through the shared default
 engine; results are bit-for-bit identical to the reference construction.
 """
 
-from repro.engine.cache import LRUCache, PlanCache, ResultCache
+from repro.engine.cache import (
+    LRUCache,
+    PlanCache,
+    ResultCache,
+    clear_shared_caches,
+    estimate_entry_bytes,
+    shared_cache_keys,
+    shared_caches,
+)
+from repro.engine.costs import CostEstimate, CostModel, cheapest
 from repro.engine.engine import (
     EngineStats,
     QueryEngine,
@@ -29,6 +43,12 @@ from repro.engine.engine import (
     set_default_engine,
 )
 from repro.engine.executor import BACKENDS, KernelStats, have_numpy, resolve_backend
+from repro.engine.planner import (
+    PLANNER_MODES,
+    RewriteOutcome,
+    rewrite_table,
+    selectivity_ordered,
+)
 from repro.engine.index import GraphIndex, get_index
 from repro.engine.parallel import (
     DEFAULT_MIN_SHARD_EDGES,
@@ -42,23 +62,34 @@ from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
 __all__ = [
     "BACKENDS",
     "CompiledPlan",
+    "CostEstimate",
+    "CostModel",
     "DEFAULT_MIN_SHARD_EDGES",
     "EngineStats",
     "GraphIndex",
     "KernelStats",
     "LRUCache",
+    "PLANNER_MODES",
     "ParallelExecutor",
     "PlanCache",
     "QueryEngine",
     "ResultCache",
+    "RewriteOutcome",
     "automaton_fingerprint",
     "binary_evaluate_sharded",
+    "cheapest",
+    "clear_shared_caches",
     "compile_plan",
+    "estimate_entry_bytes",
     "evaluate_all_sharded",
     "get_default_engine",
     "get_index",
     "have_numpy",
     "resolve_backend",
+    "rewrite_table",
+    "selectivity_ordered",
     "set_default_engine",
     "shard_bounds",
+    "shared_cache_keys",
+    "shared_caches",
 ]

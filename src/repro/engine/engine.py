@@ -26,12 +26,15 @@ from weakref import WeakKeyDictionary
 from repro.automata.dfa import DFA
 from repro.automata.kernel import MergeFold, TableAutomaton
 from repro.automata.nfa import NFA
-from repro.engine.cache import PlanCache, ResultCache
+from repro.engine.cache import PlanCache, ResultCache, shared_caches
 from repro.engine.executor import KernelStats
 from repro.engine import executor
+from repro.engine import planner as planning
+from repro.engine.costs import CostEstimate, CostModel
 from repro.engine.index import GraphIndex
 from repro.engine.parallel import DEFAULT_MIN_SHARD_EDGES, ParallelExecutor
 from repro.engine.plan import CompiledPlan, automaton_fingerprint, compile_plan
+from repro.engine.planner import PLANNER_MODES
 from repro.errors import GraphError, QueryError
 from repro.graphdb.graph import GraphDB, Node
 from repro.telemetry import Telemetry
@@ -187,6 +190,20 @@ class QueryEngine:
     min_shard_edges:
         The edge count below which sharding cannot amortize its process
         fan-out and the engine stays in-process.
+    planner:
+        ``"auto"`` (the default) turns on the cost-based planning layer:
+        automata are rewritten against the graph's label set before
+        compilation (parity-pinned -- see :mod:`repro.engine.planner`),
+        early-exit plans are selectivity-ordered, and -- when the backend
+        is also ``"auto"`` -- whole-graph kernels are chosen per query
+        from the CSR cost model instead of being forced by the resolved
+        backend.  ``"off"`` restores verbatim compilation and the fixed
+        dispatch order.
+    max_rewrite_passes:
+        How many prune/minimize rounds the rewriter may run per automaton.
+    cache_budget_bytes:
+        Optional byte budget for the result cache (estimated sizes); LRU
+        entries are evicted past it.  ``None`` bounds by entry count only.
     """
 
     def __init__(
@@ -200,12 +217,26 @@ class QueryEngine:
         backend: str = "auto",
         workers: int = 1,
         min_shard_edges: int = DEFAULT_MIN_SHARD_EDGES,
+        planner: str = "auto",
+        max_rewrite_passes: int = 3,
+        cache_budget_bytes: int | None = None,
     ) -> None:
+        if planner not in PLANNER_MODES:
+            raise ValueError(
+                f"unknown planner mode {planner!r}: expected one of {PLANNER_MODES}"
+            )
         self.plan_cache = PlanCache(plan_cache_size)
-        self.result_cache = ResultCache(result_cache_size)
+        self.result_cache = ResultCache(
+            result_cache_size, budget_bytes=cache_budget_bytes
+        )
         self.incremental_refresh = incremental_refresh
         self.refresh_ratio = refresh_ratio
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.planner = planner
+        self.max_rewrite_passes = max_rewrite_passes
+        #: The backend as requested; ``self.backend`` is the resolved one.
+        #: Cost-based kernel choice only overrides an *unforced* request.
+        self.backend_requested = backend
         self.backend = executor.resolve_backend(backend)
         self.workers = workers
         self._parallel = (
@@ -220,6 +251,12 @@ class QueryEngine:
         )
         self._backend_counters: dict[str, object] = {}
         self._pair_counters: dict[str, object] = {}
+        self._rewrite_counters: dict[str, object] = {}
+        # Planner memos, keyed by (graph uid, version) generations; tiny
+        # and cleared wholesale when full (8/64 generations is plenty --
+        # an engine rarely serves more than a handful of live graphs).
+        self._cost_models: dict[tuple, CostModel] = {}
+        self._ordered_plans: dict[tuple, CompiledPlan] = {}
         self.stats = EngineStats(self.telemetry.registry)
         self.stats.attach_caches(self.plan_cache, self.result_cache)
         self._register_cache_metrics()
@@ -234,15 +271,41 @@ class QueryEngine:
         self._index_lock = threading.RLock()
 
     def _register_cache_metrics(self) -> None:
-        """Expose live cache hit economics as computed gauges."""
+        """Expose live cache hit economics as computed gauges.
+
+        The callbacks read through ``self`` (not the cache objects bound at
+        construction), so :meth:`adopt_shared_caches` swapping the caches
+        re-points every gauge automatically.
+        """
         registry = self.telemetry.registry
-        for prefix, cache in (
-            ("engine_plan_cache", self.plan_cache),
-            ("engine_result_cache", self.result_cache),
-        ):
-            registry.callback(f"{prefix}_hits", lambda c=cache: c.hits)
-            registry.callback(f"{prefix}_misses", lambda c=cache: c.misses)
-            registry.callback(f"{prefix}_size", lambda c=cache: len(c))
+        registry.callback("engine_plan_cache_hits", lambda: self.plan_cache.hits)
+        registry.callback("engine_plan_cache_misses", lambda: self.plan_cache.misses)
+        registry.callback("engine_plan_cache_size", lambda: len(self.plan_cache))
+        registry.callback("engine_result_cache_hits", lambda: self.result_cache.hits)
+        registry.callback(
+            "engine_result_cache_misses", lambda: self.result_cache.misses
+        )
+        registry.callback("engine_result_cache_size", lambda: len(self.result_cache))
+
+    def adopt_shared_caches(self, content_key: object) -> None:
+        """Swap this engine's caches for the process-wide pair of ``content_key``.
+
+        The service layer calls this when a workspace opens a snapshot
+        whose content identity (see ``MappedGraphIndex.content_uid``)
+        another workspace already serves: both engines then share one plan
+        cache and one result cache (both thread-safe), so a query answered
+        for one tenant is a warm hit for every sibling.  The registered
+        cache gauges read through ``self`` and follow the swap.
+        """
+        plan_cache, result_cache = shared_caches(
+            content_key,
+            plan_capacity=self.plan_cache.capacity,
+            result_capacity=self.result_cache.capacity,
+            budget_bytes=self.result_cache.budget_bytes,
+        )
+        self.plan_cache = plan_cache
+        self.result_cache = result_cache
+        self.stats.attach_caches(plan_cache, result_cache)
 
     # -- resolution ----------------------------------------------------------
 
@@ -327,6 +390,164 @@ class QueryEngine:
             self.stats.inc("plan_compilations")
         return plan
 
+    # -- cost-based planning -------------------------------------------------
+
+    @property
+    def _adaptive(self) -> bool:
+        """Whether whole-graph kernels are chosen per query by cost.
+
+        An explicitly forced backend (``backend="numpy"``/``"python"``) is
+        honored verbatim -- parity suites and benchmarks depend on that --
+        so the cost model only arbitrates when both knobs are ``"auto"``.
+        """
+        return self.planner == "auto" and self.backend_requested == "auto"
+
+    @staticmethod
+    def _graph_identity(graph: GraphDB) -> tuple:
+        """The (uid, version) pair result-cache keys are scoped by.
+
+        Snapshot-backed graphs substitute their stable content identity
+        (path + payload checksum) for the process-minted uid, which is
+        what lets two workspaces over the same snapshot share results.
+        """
+        content = getattr(graph, "content_uid", None)
+        if content is not None:
+            return (content, graph.version)
+        return (graph.uid, graph.version)
+
+    def _resolve_plan(
+        self, graph: GraphDB, query: Query
+    ) -> tuple[CompiledPlan, dict | None]:
+        """The (cached) plan of ``query`` on ``graph``, planner applied.
+
+        With the planner off this is exactly :meth:`plan_for`.  Otherwise
+        the plan cache is keyed by ``(automaton fingerprint, graph label
+        set)`` -- the rewrite depends on which labels the graph carries --
+        and the entry carries the rewrite report alongside the plan.
+        Either path performs exactly one plan-cache lookup per call (the
+        cache-miss telemetry contract).
+        """
+        if self.planner != "auto":
+            return self.plan_for(query), None
+        automaton = self._coerce_automaton(query)
+        if isinstance(automaton, MergeFold):
+            automaton = automaton.to_table()
+        fingerprint = automaton_fingerprint(automaton)
+        labels_of = getattr(graph, "labels", None)
+        if not callable(labels_of):
+            return self.plan_for(query), None
+        labels = frozenset(labels_of())
+        key = ("planned", fingerprint, labels)
+        entry = self.plan_cache.get(key)
+        if entry is not None:
+            return entry
+        report: dict | None = None
+        try:
+            table = planning.coerce_table(automaton)
+        except QueryError:
+            table = None
+        if table is None:
+            plan = compile_plan(automaton, fingerprint=fingerprint)
+        else:
+            outcome = planning.rewrite_table(
+                table, labels, max_passes=self.max_rewrite_passes
+            )
+            if outcome.parity == "verified":
+                plan = compile_plan(
+                    outcome.table, fingerprint=outcome.table.fingerprint()
+                )
+            else:
+                plan = compile_plan(automaton, fingerprint=fingerprint)
+            report = outcome.to_dict()
+            report["fingerprint"] = fingerprint_token(plan.fingerprint)
+            self._count_rewrites(outcome)
+        self.stats.inc("plan_compilations")
+        entry = (plan, report)
+        self.plan_cache.put(key, entry)
+        return entry
+
+    def _count_rewrites(self, outcome: planning.RewriteOutcome) -> None:
+        """Bump ``engine_planner_rewrites_total{rewrite=...}`` per pass."""
+        for name in outcome.applied:
+            counter = self._rewrite_counters.get(name)
+            if counter is None:
+                counter = self.telemetry.registry.counter(
+                    "engine_planner_rewrites_total",
+                    help="Automaton rewrites applied (or refused) by the planner",
+                    labels={"rewrite": name},
+                )
+                self._rewrite_counters[name] = counter
+            counter.inc()
+
+    def _cost_model(self, index: GraphIndex) -> CostModel:
+        """The memoized :class:`CostModel` of one index generation."""
+        key = (index.graph_uid, index.graph_version)
+        model = self._cost_models.get(key)
+        if model is None:
+            model = CostModel(index)
+            if len(self._cost_models) >= 8:
+                self._cost_models.clear()
+            self._cost_models[key] = model
+        return model
+
+    def _ordered_plan(self, index: GraphIndex, plan: CompiledPlan) -> CompiledPlan:
+        """The selectivity-ordered clone of ``plan`` for early-exit kernels."""
+        if self.planner != "auto":
+            return plan
+        key = (plan.fingerprint, index.graph_uid, index.graph_version)
+        ordered = self._ordered_plans.get(key)
+        if ordered is None:
+            ordered = planning.selectivity_ordered(plan, index)
+            if len(self._ordered_plans) >= 64:
+                self._ordered_plans.clear()
+            self._ordered_plans[key] = ordered
+        return ordered
+
+    def _estimates(
+        self, index: GraphIndex, plan: CompiledPlan, *, binary: bool, shard_ok: bool
+    ) -> list[CostEstimate]:
+        """Per-strategy cost candidates for one whole-graph dispatch."""
+        model = self._cost_model(index)
+        estimate = model.binary_estimates if binary else model.evaluate_all_estimates
+        return estimate(
+            plan,
+            numpy_ok=self.backend == "numpy",
+            shard_ok=shard_ok,
+            workers=self.workers,
+        )
+
+    def _dispatch_order(
+        self,
+        index: GraphIndex,
+        plan: CompiledPlan,
+        *,
+        binary: bool,
+        allow_shard: bool = True,
+    ) -> list[str]:
+        """Strategy names to try, best first (shared by dispatch and explain).
+
+        Adaptive mode ranks the cost model's candidates cheapest-first;
+        otherwise this reproduces the fixed order (sharded when available,
+        then the resolved backend).  ``"python"`` is always last, so a
+        failed shard fan-out can never strand a query.
+        """
+        shard_ok = (
+            allow_shard
+            and self._parallel is not None
+            and self._parallel.available_for(index)
+        )
+        if self._adaptive:
+            estimates = self._estimates(index, plan, binary=binary, shard_ok=shard_ok)
+            return [
+                estimate.strategy
+                for estimate in sorted(estimates, key=lambda e: e.cost)
+            ]
+        order = ["sharded"] if shard_ok else []
+        if self.backend == "numpy":
+            order.append("numpy")
+        order.append("python")
+        return order
+
     @staticmethod
     def _coerce_automaton(query: Query) -> DFA | NFA | TableAutomaton:
         if isinstance(query, (DFA, NFA, TableAutomaton)):
@@ -363,50 +584,66 @@ class QueryEngine:
     ) -> tuple[frozenset[int], str]:
         """Dispatch one whole-graph monadic evaluation to the best backend.
 
-        Order of preference: sharded pool (snapshot-backed, big enough),
-        then the vectorized kernel, then the pure-python oracle.  Sharding
-        is skipped when a per-depth profile was requested (layer sizes are
-        a whole-walk property the union of shard walks cannot reproduce).
-        A ``None`` from the parallel layer means "pool unavailable" and
-        falls through -- results never depend on pool health.
+        The candidate order comes from :meth:`_dispatch_order` -- the fixed
+        sharded/vectorized/python preference, or (adaptive mode) the cost
+        model's cheapest-first ranking.  Sharding is skipped when a
+        per-depth profile was requested (layer sizes are a whole-walk
+        property the union of shard walks cannot reproduce).  A ``None``
+        from the parallel layer means "pool unavailable" and falls through
+        to the next candidate -- results never depend on pool health.
         """
-        parallel = self._parallel
-        if parallel is not None and depth_sizes is None and parallel.available_for(index):
-            selected = parallel.evaluate_all(index, plan, self.stats.kernel)
-            if selected is not None:
+        for strategy in self._dispatch_order(
+            index, plan, binary=False, allow_shard=depth_sizes is None
+        ):
+            if strategy == "sharded":
+                selected = self._parallel.evaluate_all(index, plan, self.stats.kernel)
+                if selected is None:
+                    continue
                 self._count_backend("sharded")
                 return selected, "sharded"
-        if self.backend == "numpy":
-            self._count_backend("numpy")
+            if strategy == "numpy":
+                self._count_backend("numpy")
+                return (
+                    executor.numpy_evaluate_all(
+                        index, plan, self.stats.kernel, depth_sizes=depth_sizes
+                    ),
+                    "numpy",
+                )
+            self._count_backend("python")
             return (
-                executor.numpy_evaluate_all(
+                executor.evaluate_all(
                     index, plan, self.stats.kernel, depth_sizes=depth_sizes
                 ),
-                "numpy",
+                "python",
             )
-        self._count_backend("python")
-        return (
-            executor.evaluate_all(
-                index, plan, self.stats.kernel, depth_sizes=depth_sizes
-            ),
-            "python",
-        )
+        raise AssertionError("dispatch order always ends in 'python'")
 
     def _run_binary_evaluate(
         self, index: GraphIndex, plan: CompiledPlan
     ) -> tuple[frozenset[tuple[int, int]], str]:
-        """Dispatch one whole-graph binary evaluation (same order as monadic)."""
-        parallel = self._parallel
-        if parallel is not None and parallel.available_for(index):
-            pairs = parallel.binary_evaluate(index, plan, self.stats.kernel)
-            if pairs is not None:
+        """Dispatch one whole-graph binary evaluation (same ranking as monadic).
+
+        The adaptive path is what keeps the chunked numpy kernel off sparse
+        selective queries: its dense per-chunk visited mask costs
+        ``sources * n * k`` regardless of selectivity, so the cost model
+        hands those to the per-source python search instead.
+        """
+        for strategy in self._dispatch_order(index, plan, binary=True):
+            if strategy == "sharded":
+                pairs = self._parallel.binary_evaluate(index, plan, self.stats.kernel)
+                if pairs is None:
+                    continue
                 self._count_backend("sharded")
                 return pairs, "sharded"
-        if self.backend == "numpy":
-            self._count_backend("numpy")
-            return executor.numpy_binary_evaluate(index, plan, self.stats.kernel), "numpy"
-        self._count_backend("python")
-        return executor.binary_evaluate(index, plan, self.stats.kernel), "python"
+            if strategy == "numpy":
+                self._count_backend("numpy")
+                return (
+                    executor.numpy_binary_evaluate(index, plan, self.stats.kernel),
+                    "numpy",
+                )
+            self._count_backend("python")
+            return executor.binary_evaluate(index, plan, self.stats.kernel), "python"
+        raise AssertionError("dispatch order always ends in 'python'")
 
     def _count_pair_kernel(self, kind: str) -> None:
         """Bump ``engine_pair_kernel_total{kind=...}`` for one pair query."""
@@ -426,14 +663,18 @@ class QueryEngine:
         """Dispatch one pair query: forward or bidirectional product search.
 
         The strategy is chosen per query from the index's per-label degree
-        stats (:func:`~repro.engine.executor.choose_pair_kernel`); with the
-        pure-python backend the forward oracle always runs, so parity tests
-        can pin one side against the other.
+        stats through the shared cost model
+        (:meth:`~repro.engine.costs.CostModel.choose_pair_strategy`); with
+        the pure-python backend the forward oracle always runs, so parity
+        tests can pin one side against the other.  With the planner on the
+        search additionally walks the selectivity-ordered plan clone (same
+        reachable sets, rare labels first).
         """
         if self.backend != "python":
-            kind = executor.choose_pair_kernel(index, plan)
+            kind = self._cost_model(index).choose_pair_strategy(plan)
         else:
             kind = "forward"
+        plan = self._ordered_plan(index, plan)
         self._count_pair_kernel(kind)
         if kind == "bidirectional":
             return executor.bidirectional_pair_selects(
@@ -523,8 +764,8 @@ class QueryEngine:
             return frozenset(nodes_by_id[node_id] for node_id in selected_ids)
         if max_depth is not None:
             raise QueryError("max_depth is only supported with ephemeral=True")
-        plan = self.plan_for(query)
-        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        plan, _ = self._resolve_plan(graph, query)
+        key = ResultCache.key("eval", plan.fingerprint, *self._graph_identity(graph))
         cached = self.result_cache.get(key)
         if cached is not None:
             return cached
@@ -590,10 +831,12 @@ class QueryEngine:
             if max_depth is not None:
                 raise QueryError("max_depth is only supported with ephemeral=True")
             plan_misses = self.plan_cache.misses
-            plan = self.plan_for(query)
+            plan, report = self._resolve_plan(graph, query)
             plan_outcome = "miss" if self.plan_cache.misses > plan_misses else "hit"
             compiled = perf_counter()
-            key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+            key = ResultCache.key(
+                "eval", plan.fingerprint, *self._graph_identity(graph)
+            )
             cached = self.result_cache.get(key)
             if cached is not None:
                 self._observe(
@@ -610,6 +853,7 @@ class QueryEngine:
                     started=started,
                     walk_started=None,
                     selected=len(cached),
+                    planner=report,
                 )
                 return cached
             index = self.index_for(graph)
@@ -638,6 +882,7 @@ class QueryEngine:
                 walk_started=indexed,
                 selected=len(result),
                 backend=backend_used,
+                planner=report,
             )
             return result
 
@@ -658,6 +903,7 @@ class QueryEngine:
         walk_started: float | None,
         selected: int,
         backend: str | None = None,
+        planner: dict | None = None,
     ) -> None:
         """Stamp span attributes, histogram and (optionally) a profile."""
         ended = perf_counter()
@@ -687,7 +933,7 @@ class QueryEngine:
             help="Wall time of engine evaluations (perf_counter)",
         ).observe(total_seconds)
         if self.telemetry.profiling:
-            self.last_profile = QueryProfile(
+            profile = QueryProfile(
                 operation=operation,
                 plan=token,
                 index_version=index.graph_version if index is not None else None,
@@ -703,6 +949,9 @@ class QueryEngine:
                 depth_sizes=depth_sizes,
                 selected=selected,
             ).to_dict()
+            if planner is not None:
+                profile["planner"] = planner
+            self.last_profile = profile
 
     def take_profile(self) -> dict | None:
         """Pop the profile of the most recent evaluation (or None).
@@ -719,15 +968,20 @@ class QueryEngine:
         """Whether the query selects one given node of ``graph``."""
         if node not in graph:
             raise GraphError(f"node {node!r} is not in the graph")
-        plan = self.plan_for(query)
+        plan, _ = self._resolve_plan(graph, query)
         # A finished whole-graph evaluation answers membership for free.
-        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        key = ResultCache.key("eval", plan.fingerprint, *self._graph_identity(graph))
         cached = self.result_cache.get(key)
         if cached is not None:
             return node in cached
         index = self.index_for(graph)
         self.stats.inc("evaluations")
-        return executor.selects(index, plan, index.node_ids[node], self.stats.kernel)
+        return executor.selects(
+            index,
+            self._ordered_plan(index, plan),
+            index.node_ids[node],
+            self.stats.kernel,
+        )
 
     def any_selects(
         self,
@@ -782,14 +1036,17 @@ class QueryEngine:
             )
         if max_depth is not None:
             raise QueryError("max_depth is only supported with ephemeral=True")
-        plan = self.plan_for(query)
-        key = ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
+        plan, _ = self._resolve_plan(graph, query)
+        key = ResultCache.key("eval", plan.fingerprint, *self._graph_identity(graph))
         cached = self.result_cache.get(key)
         if cached is not None:
             return any(node in cached for node in start_nodes)
         self.stats.inc("evaluations")
         return executor.any_selects(
-            index, plan, (node_ids[node] for node in start_nodes), self.stats.kernel
+            index,
+            self._ordered_plan(index, plan),
+            (node_ids[node] for node in start_nodes),
+            self.stats.kernel,
         )
 
     def evaluate_many(
@@ -827,10 +1084,10 @@ class QueryEngine:
         then runs the plain per-query loop, which re-consults the caches
         and loses nothing.
         """
-        plans = [self.plan_for(query) for query in queries]
+        plans = [self._resolve_plan(graph, query)[0] for query in queries]
+        identity = self._graph_identity(graph)
         keys = [
-            ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version)
-            for plan in plans
+            ResultCache.key("eval", plan.fingerprint, *identity) for plan in plans
         ]
         cached = [self.result_cache.get(key) for key in keys]
         misses: dict[object, CompiledPlan] = {}
@@ -850,8 +1107,7 @@ class QueryEngine:
             self._count_backend("sharded")
             result = frozenset(nodes_by_id[node_id] for node_id in selected_ids)
             self.result_cache.put(
-                ResultCache.key("eval", plan.fingerprint, graph.uid, graph.version),
-                result,
+                ResultCache.key("eval", plan.fingerprint, *identity), result
             )
             by_fingerprint[plan.fingerprint] = result
         return [
@@ -865,8 +1121,8 @@ class QueryEngine:
         """The set of node pairs selected under the binary semantics."""
         if self.telemetry.active:
             return self._binary_evaluate_observed(graph, query)
-        plan = self.plan_for(query)
-        key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+        plan, _ = self._resolve_plan(graph, query)
+        key = ResultCache.key("binary", plan.fingerprint, *self._graph_identity(graph))
         cached = self.result_cache.get(key)
         if cached is not None:
             return cached
@@ -888,10 +1144,12 @@ class QueryEngine:
         started = perf_counter()
         with self.telemetry.span("engine.binary_evaluate") as span:
             plan_misses = self.plan_cache.misses
-            plan = self.plan_for(query)
+            plan, report = self._resolve_plan(graph, query)
             plan_outcome = "miss" if self.plan_cache.misses > plan_misses else "hit"
             compiled = perf_counter()
-            key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+            key = ResultCache.key(
+                "binary", plan.fingerprint, *self._graph_identity(graph)
+            )
             cached = self.result_cache.get(key)
             if cached is not None:
                 self._observe(
@@ -908,6 +1166,7 @@ class QueryEngine:
                     started=started,
                     walk_started=None,
                     selected=len(cached),
+                    planner=report,
                 )
                 return cached
             index = self.index_for(graph)
@@ -935,6 +1194,7 @@ class QueryEngine:
                 walk_started=indexed,
                 selected=len(result),
                 backend=backend_used,
+                planner=report,
             )
             return result
 
@@ -972,8 +1232,8 @@ class QueryEngine:
                 index.node_ids[end],
                 self.stats.kernel,
             )
-        plan = self.plan_for(query)
-        key = ResultCache.key("binary", plan.fingerprint, graph.uid, graph.version)
+        plan, _ = self._resolve_plan(graph, query)
+        key = ResultCache.key("binary", plan.fingerprint, *self._graph_identity(graph))
         cached = self.result_cache.get(key)
         if cached is not None:
             return (origin, end) in cached
@@ -982,12 +1242,83 @@ class QueryEngine:
             index, plan, index.node_ids[origin], index.node_ids[end]
         )
 
+    # -- explain -------------------------------------------------------------
+
+    def explain(
+        self, graph: GraphDB, query: Query, *, semantics: str = "path"
+    ) -> dict:
+        """Plan one query without running it: rewrites, costs, chosen kernel.
+
+        Returns one JSON-safe dict: the planner's rewrite report, the
+        compiled plan's shape and fingerprint, the per-strategy cost
+        estimates of the requested semantics (plus the pair-search
+        candidates), the strategy the engine would actually dispatch, and
+        the result cache's disposition for this exact (plan, graph
+        version) key.  Resolving the plan warms the plan cache exactly as
+        evaluation would; the result cache is only membership-probed (no
+        hit/miss counting), so explaining is observationally free.
+        """
+        if semantics not in ("path", "binary"):
+            raise QueryError(
+                f"unknown semantics {semantics!r}: expected 'path' or 'binary'"
+            )
+        binary = semantics == "binary"
+        plan, report = self._resolve_plan(graph, query)
+        index = self.index_for(graph)
+        model = self._cost_model(index)
+        shard_ok = self._parallel is not None and self._parallel.available_for(index)
+        estimates = self._estimates(index, plan, binary=binary, shard_ok=shard_ok)
+        if self._adaptive:
+            chosen = min(estimates, key=lambda e: e.cost).strategy
+        elif shard_ok:
+            chosen = "sharded"
+        else:
+            chosen = self.backend
+        pair_kind = (
+            model.choose_pair_strategy(plan) if self.backend != "python" else "forward"
+        )
+        operation = "binary" if binary else "eval"
+        key = ResultCache.key(operation, plan.fingerprint, *self._graph_identity(graph))
+        if report is None:
+            report = {"rewrites": [], "parity": "off"}
+        return {
+            "semantics": semantics,
+            "planner": {"mode": self.planner, **report},
+            "plan": {
+                "fingerprint": fingerprint_token(plan.fingerprint),
+                "states": plan.num_states,
+                "symbols": list(plan.symbols),
+            },
+            "estimates": [estimate.to_dict() for estimate in estimates],
+            "pair_estimates": [
+                estimate.to_dict() for estimate in model.pair_estimates(plan)
+            ],
+            "chosen": {
+                "strategy": chosen,
+                "backend": self.backend,
+                "pair_strategy": pair_kind,
+                "workers": self.workers,
+            },
+            "cache": {
+                "disposition": "hit" if key in self.result_cache else "miss",
+                "plan": self.plan_cache.metrics(),
+                "result": self.result_cache.metrics(),
+            },
+            "graph": {
+                "nodes": index.num_nodes,
+                "edges": index.edge_count,
+                "labels": len(index.labels_by_id),
+            },
+        }
+
     # -- management ----------------------------------------------------------
 
     def clear_caches(self) -> None:
-        """Drop every cached plan, result and index."""
+        """Drop every cached plan, result and index (and the planner memos)."""
         self.plan_cache.clear()
         self.result_cache.clear()
+        self._cost_models.clear()
+        self._ordered_plans.clear()
         with self._index_lock:
             self._indexes.clear()
 

@@ -1083,15 +1083,15 @@ def pair_search_cost(index: GraphIndex, plan: CompiledPlan) -> tuple[int, int]:
 def choose_pair_kernel(index: GraphIndex, plan: CompiledPlan) -> str:
     """``"bidirectional"`` or ``"forward"`` for one pair query.
 
-    Meeting in the middle pays whenever both ends have work to do; when the
-    origin side's first-layer fan-out is an order of magnitude below the end
-    side's fan-in, the plain forward early-exit search is already optimal
-    and skips the bidirectional bookkeeping.
+    Delegates to the shared cost model
+    (:meth:`repro.engine.costs.CostModel.choose_pair_strategy`), which owns
+    the dispatch rule; this wrapper survives for callers that hold an index
+    but no model.  Imported lazily -- the executor must stay importable
+    before the costs module during package init.
     """
-    forward_cost, backward_cost = pair_search_cost(index, plan)
-    if forward_cost * 8 <= backward_cost:
-        return "forward"
-    return "bidirectional"
+    from repro.engine.costs import CostModel
+
+    return CostModel(index).choose_pair_strategy(plan)
 
 
 def bidirectional_pair_selects(

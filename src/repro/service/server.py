@@ -140,6 +140,12 @@ class QueryService:
             workspace = Workspace(
                 view, engine_config=self.config.engine_config(), name=name
             )
+            # Two catalog names backed by byte-identical snapshots share one
+            # plan/result cache pair, so a plan compiled (or a result cached)
+            # for one tenant's dataset pays for every alias of those bytes.
+            content_uid = getattr(view, "content_uid", None)
+            if self.config.share_caches and content_uid is not None:
+                workspace.engine.adopt_shared_caches(content_uid)
             dataset = _Dataset(name, workspace)
             self._datasets[name] = dataset
             return dataset

@@ -46,12 +46,26 @@ class MappedGraphIndex(GraphIndex):
     mutable graph) always yields a plain heap-backed :class:`GraphIndex`.
     """
 
-    __slots__ = ("path", "meta", "_mmap", "_file", "_closed")
+    __slots__ = ("path", "meta", "content_uid", "_mmap", "_file", "_closed")
 
-    def __init__(self, *, path: Path, meta: dict, mapping, file, **kwargs) -> None:
+    def __init__(
+        self,
+        *,
+        path: Path,
+        meta: dict,
+        mapping,
+        file,
+        content_uid: tuple | None = None,
+        **kwargs,
+    ) -> None:
         super().__init__(**kwargs)
         self.path = path
         self.meta = meta
+        # Content identity: every `open_snapshot` of the same file mints a
+        # fresh process-local `graph_uid`, so cross-workspace cache sharing
+        # keys on (path, payload checksum) instead -- stable across opens
+        # and across engines within one process.
+        self.content_uid = content_uid
         self._mmap = mapping
         self._file = file
         self._closed = False
@@ -334,6 +348,7 @@ def _decode(
         meta=meta,
         mapping=mapping,
         file=None,  # filled by open_snapshot for the zero-copy case
+        content_uid=("rgz", str(source.resolve()), header.payload_crc32),
         graph_uid=mint_graph_uid(),
         graph_version=0,
         nodes_by_id=nodes_by_id,

@@ -55,6 +55,15 @@ class GraphView:
     def version(self) -> int:
         return self._index.graph_version
 
+    @property
+    def content_uid(self) -> tuple | None:
+        """The snapshot's stable (path, checksum) identity, if mapped.
+
+        Heap-built indexes have no content identity and return ``None``;
+        the engine then falls back to the process-minted ``uid``.
+        """
+        return getattr(self._index, "content_uid", None)
+
     # -- read API ------------------------------------------------------------
 
     @property

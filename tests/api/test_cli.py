@@ -71,6 +71,50 @@ def test_query_subcommand(capsys):
     assert envelope["result"]["selected"] == ["N1", "N2", "N4", "N6"]
 
 
+def test_explain_subcommand(capsys):
+    code, envelope = run_cli(
+        capsys, "explain", "--figure", "geo", "--expr", "(tram+bus)*.cinema"
+    )
+    assert code == 0
+    result = envelope["result"]
+    assert result["type"] == "ExplainResult"
+    assert result["planner"]["mode"] == "auto"
+    assert result["chosen"]["strategy"] in ("python", "numpy", "sharded")
+    assert [e["strategy"] for e in result["estimates"]].count("python") == 1
+    assert result["cache"]["disposition"] == "miss"
+    # Explaining never evaluates: the engine ran no kernel.
+    assert envelope["engine_stats"]["evaluations"] == 0
+    rebuilt = result_from_dict(result)
+    assert rebuilt.ok
+
+
+def test_explain_planner_off_and_cache_budget(capsys):
+    code, envelope = run_cli(
+        capsys,
+        "explain",
+        "--figure",
+        "geo",
+        "--expr",
+        "bus.cinema",
+        "--planner",
+        "off",
+        "--cache-budget",
+        "65536",
+    )
+    assert code == 0
+    result = envelope["result"]
+    assert result["planner"]["mode"] == "off"
+    assert result["planner"]["rewrites"] == []
+    assert result["cache"]["result"]["budget_bytes"] == 65536
+
+
+def test_query_planner_flag_answers_identically(capsys):
+    argv = ["query", "--figure", "geo", "--expr", "(tram+bus)*.cinema"]
+    _, on = run_cli(capsys, *argv)
+    _, off = run_cli(capsys, *argv, "--planner", "off")
+    assert on["result"]["selected"] == off["result"]["selected"]
+
+
 def test_query_on_graph_file(tmp_path, capsys):
     path = tmp_path / "geo.json"
     save_graph(geo_graph(), path)

@@ -115,6 +115,20 @@ def test_query_result_roundtrip(geo_workspace):
     assert rebuilt_binary.selected == binary.selected
 
 
+def test_explain_result_roundtrip(geo_workspace):
+    result = geo_workspace.explain("(tram+bus)*.cinema")
+    assert_protocol(result)
+    assert result.strategy in ("python", "numpy", "sharded")
+    rebuilt = roundtrip(result)
+    assert rebuilt.to_dict() == result.to_dict()
+    assert rebuilt.query.expression == result.query.expression
+    assert rebuilt.rewrites == result.rewrites
+    binary = geo_workspace.explain("tram", semantics="binary")
+    rebuilt_binary = roundtrip(binary)
+    assert rebuilt_binary.to_dict() == binary.to_dict()
+    assert rebuilt_binary.semantics == "binary"
+
+
 def test_result_from_json_dispatch(geo_workspace):
     result = geo_workspace.learn(Sample(positives={"N2"}, negatives={"C1"}))
     rebuilt = result_from_json(result_to_json(result))

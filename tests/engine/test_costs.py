@@ -1,0 +1,181 @@
+"""The shared kernel cost model, exercised on degree-skewed graphs.
+
+The absolute estimates are unitless; what these tests pin is (a) the free
+statistics feeding them -- transition-weighted scan work, first-layer
+fan-outs -- computed exactly, and (b) the *orderings* the engine consumes:
+python wins small graphs, the vectorized kernel wins dense whole-graph
+walks, the chunked numpy binary kernel is kept off sparse selective
+workloads, and the pair-strategy rule reproduces the executor's historical
+``forward*8 <= backward`` decision.
+"""
+
+from __future__ import annotations
+
+from repro.engine.costs import (
+    NUMPY_CALL_WEIGHT,
+    SHARD_CALL_WEIGHT,
+    CostEstimate,
+    CostModel,
+    cheapest,
+)
+from repro.engine.index import GraphIndex
+from repro.engine.plan import compile_plan
+from repro.graphdb import GraphDB
+from repro.regex import compile_query
+
+ALPHABET = ["r", "d", "z"]
+
+
+def skewed_graph(rare: int = 2, dense: int = 200) -> GraphDB:
+    """A graph where label "r" is rare and label "d" is everywhere."""
+    graph = GraphDB(["r", "d"])
+    for i in range(dense):
+        graph.add_edge(f"s{i}", "d", "hub")
+    for i in range(rare):
+        graph.add_edge(f"t{i}", "r", f"u{i}")
+    return graph
+
+
+def chain_graph(length: int) -> GraphDB:
+    graph = GraphDB(["r", "d"])
+    for i in range(length):
+        graph.add_edge(i, "d", i + 1)
+    graph.add_edge(0, "r", 1)
+    return graph
+
+
+def model_for(graph: GraphDB) -> CostModel:
+    return CostModel(GraphIndex.build(graph))
+
+
+def plan_for(expression: str):
+    return compile_plan(compile_query(expression, ALPHABET))
+
+
+class TestSharedQuantities:
+    def test_scan_work_is_transition_weighted_edge_count(self):
+        graph = skewed_graph(rare=3, dense=50)
+        model = model_for(graph)
+        index = GraphIndex.build(graph)
+        rare_count = index.label_edge_counts()[index.label_ids["r"]]
+        assert rare_count == 3
+        # A single-transition automaton scans exactly its label's edges.
+        assert model.scan_work(plan_for("r")) == 3
+        assert model.scan_work(plan_for("d")) == 50
+
+    def test_absent_labels_contribute_nothing(self):
+        model = model_for(skewed_graph())
+        assert model.scan_work(plan_for("z")) == 0
+        assert model.scan_work(plan_for("z.z")) == 0
+
+    def test_first_layer_costs_split_by_direction(self):
+        model = model_for(skewed_graph(rare=2, dense=200))
+        forward, backward = model.first_layer_costs(plan_for("r.d"))
+        assert forward == 2  # "r" edges leave the initial state
+        assert backward == 200  # "d" edges enter the final state
+
+    def test_repr_mentions_shape(self):
+        text = repr(model_for(skewed_graph()))
+        assert "CostModel" in text and "nodes=" in text
+
+
+class TestPairStrategy:
+    def test_rare_origin_side_goes_forward(self):
+        # forward*8 <= backward: the historical executor rule, preserved.
+        model = model_for(skewed_graph(rare=2, dense=200))
+        assert model.choose_pair_strategy(plan_for("r.d")) == "forward"
+
+    def test_balanced_sides_meet_in_the_middle(self):
+        model = model_for(skewed_graph(rare=2, dense=200))
+        assert model.choose_pair_strategy(plan_for("d.r")) == "bidirectional"
+        assert model.choose_pair_strategy(plan_for("d.d")) == "bidirectional"
+
+    def test_pair_estimates_cover_all_strategies(self):
+        estimates = model_for(skewed_graph()).pair_estimates(plan_for("r.d"))
+        assert [e.strategy for e in estimates] == [
+            "forward",
+            "backward",
+            "bidirectional",
+        ]
+
+
+class TestEvaluateAllEstimates:
+    def test_python_always_listed_first(self):
+        model = model_for(skewed_graph())
+        plan = plan_for("d*")
+        for numpy_ok in (False, True):
+            estimates = model.evaluate_all_estimates(plan, numpy_ok=numpy_ok)
+            assert estimates[0].strategy == "python"
+
+    def test_numpy_and_sharded_are_gated(self):
+        model = model_for(skewed_graph())
+        plan = plan_for("d*")
+        strategies = {
+            e.strategy for e in model.evaluate_all_estimates(plan, numpy_ok=False)
+        }
+        assert strategies == {"python"}
+        strategies = {
+            e.strategy
+            for e in model.evaluate_all_estimates(
+                plan, numpy_ok=True, shard_ok=True, workers=4
+            )
+        }
+        assert strategies == {"python", "numpy", "sharded"}
+        # workers=1 cannot shard even when the pool is allowed.
+        strategies = {
+            e.strategy
+            for e in model.evaluate_all_estimates(plan, shard_ok=True, workers=1)
+        }
+        assert strategies == {"python"}
+
+    def test_python_wins_small_graphs(self):
+        model = model_for(skewed_graph(rare=2, dense=30))
+        estimates = model.evaluate_all_estimates(plan_for("d*"), numpy_ok=True)
+        assert cheapest(estimates).strategy == "python"
+
+    def test_numpy_wins_large_dense_walks(self):
+        model = model_for(chain_graph(8000))
+        estimates = model.evaluate_all_estimates(plan_for("d*"), numpy_ok=True)
+        assert cheapest(estimates).strategy == "numpy"
+
+    def test_shard_pays_only_past_the_ipc_constant(self):
+        model = model_for(chain_graph(500))
+        estimates = model.evaluate_all_estimates(
+            plan_for("d*"), shard_ok=True, workers=8
+        )
+        by_name = {e.strategy: e for e in estimates}
+        assert by_name["sharded"].cost > SHARD_CALL_WEIGHT
+        assert cheapest(estimates).strategy == "python"
+
+
+class TestBinaryEstimates:
+    def test_sparse_selective_prefers_python(self):
+        # One "r" edge guards the initial state: almost every source dies in
+        # its first layer, which the dense numpy visited mask cannot exploit.
+        model = model_for(chain_graph(2000))
+        estimates = model.binary_estimates(plan_for("r.d*"), numpy_ok=True)
+        assert cheapest(estimates).strategy == "python"
+
+    def test_dense_unselective_prefers_numpy(self):
+        model = model_for(chain_graph(6000))
+        estimates = model.binary_estimates(plan_for("d.d*"), numpy_ok=True)
+        assert cheapest(estimates).strategy == "numpy"
+
+    def test_numpy_estimate_carries_mask_accounting(self):
+        model = model_for(chain_graph(100))
+        estimates = model.binary_estimates(plan_for("d*"), numpy_ok=True)
+        numpy_estimate = next(e for e in estimates if e.strategy == "numpy")
+        assert numpy_estimate.detail["chunks"] >= 1
+        assert numpy_estimate.detail["mask_bytes"] > 0
+        assert numpy_estimate.cost >= NUMPY_CALL_WEIGHT
+
+
+class TestEstimateObjects:
+    def test_cheapest_breaks_ties_by_listing_order(self):
+        first = CostEstimate("python", 10.0)
+        second = CostEstimate("numpy", 10.0)
+        assert cheapest([first, second]) is first
+
+    def test_to_dict_flattens_detail(self):
+        estimate = CostEstimate("numpy", 2.5, {"chunks": 3.0})
+        assert estimate.to_dict() == {"strategy": "numpy", "cost": 2.5, "chunks": 3.0}

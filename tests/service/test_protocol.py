@@ -39,6 +39,7 @@ def all_results(geo_workspace):
     interactive_result = session.run()
     return {
         "QueryResult": ws.query("(tram+bus)*.cinema"),
+        "ExplainResult": ws.explain("(tram+bus)*.cinema"),
         "LearnerResult": ws.learn(Sample(positives={"N2", "N6"}, negatives={"N5"})),
         "BinaryLearnerResult": ws.learn(
             BinarySample(positives={("N2", "N5")}, negatives={("N4", "N5")}),
