@@ -24,6 +24,13 @@ the gate (a silently skipped benchmark is a regression of the harness);
 fresh-only benchmarks are reported but pass (they get a baseline when it is
 next regenerated with ``--write-baseline``).
 
+``--summary FILE`` additionally merges this invocation's comparisons into a
+consolidated trajectory artifact (read-modify-write JSON): one entry per
+``(suite, name)`` with the compared metric, both values, the verdict, and
+the fresh report's timestamp.  CI calls the gate once per benchmark suite
+with the same ``--summary`` file and uploads the merged result, so one
+artifact shows every suite's speedup ratios for the run.
+
 Exit code 0 when every comparison is within tolerance, 1 otherwise.  The
 default tolerance is 0.25 (fail on >25% slowdowns) and can also be set via
 the ``REPRO_BENCH_TOLERANCE`` environment variable.
@@ -128,6 +135,48 @@ def compare_reports(
     return comparisons
 
 
+def merge_summary(
+    path: Path, suite: str, comparisons: list[Comparison], *, generated: str | None
+) -> dict:
+    """Merge one suite's comparisons into the consolidated summary file.
+
+    Entries are keyed by ``(suite, name)``: re-running a suite replaces its
+    rows and leaves every other suite's untouched, so CI can call the gate
+    once per suite against one shared ``--summary`` file.
+    """
+    summary: dict = {"entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
+                summary = loaded
+        except json.JSONDecodeError:
+            pass  # a corrupt artifact is rebuilt, not fatal
+    kept = [
+        entry
+        for entry in summary["entries"]
+        if not (isinstance(entry, dict) and entry.get("suite") == suite)
+    ]
+    for comparison in comparisons:
+        kept.append(
+            {
+                "suite": suite,
+                "name": comparison.name,
+                "metric": comparison.metric,
+                "baseline": comparison.baseline,
+                "fresh": comparison.fresh,
+                "ok": comparison.ok,
+                "advisory": comparison.advisory,
+                "datetime": generated,
+            }
+        )
+    kept.sort(key=lambda entry: (entry.get("suite", ""), entry.get("name", "")))
+    summary["entries"] = kept
+    summary["generated"] = generated
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return summary
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -151,6 +200,13 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline",
         action="store_true",
         help="copy the fresh report over the baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--summary",
+        metavar="FILE",
+        default=None,
+        help="merge this suite's comparisons into a consolidated trajectory "
+        "JSON (keyed by suite+name; safe to share across gate calls)",
     )
     args = parser.parse_args(argv)
 
@@ -179,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(Path(args.baseline).read_text())
     comparisons = compare_reports(baseline, fresh, tolerance=args.tolerance)
+    if args.summary is not None:
+        suite = Path(args.baseline).stem
+        merge_summary(
+            Path(args.summary), suite, comparisons, generated=fresh.get("datetime")
+        )
+        print(f"summary merged: {args.summary} (suite {suite})")
     print(f"benchmark regression gate (tolerance {args.tolerance:.0%}):")
     for comparison in comparisons:
         print("  " + comparison.render())

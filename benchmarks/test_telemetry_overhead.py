@@ -18,7 +18,7 @@ from time import perf_counter
 from repro.datasets.synthetic import scale_free_graph
 from repro.engine import QueryEngine
 from repro.evaluation.workloads import synthetic_queries
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry, TraceContext
 
 NODE_COUNT = 2_000
 ALPHABET_SIZE = 12
@@ -87,3 +87,57 @@ def test_disabled_telemetry_overhead(benchmark, tmp_path):
     # Sanity floor, deliberately loose for shared CI runners: the disabled
     # path must never be meaningfully slower than full tracing+profiling.
     assert disabled_per_round <= enabled_per_round * 1.25
+
+
+def test_trace_propagation_overhead(benchmark, tmp_path):
+    """Distributed-context stamping vs. the disabled fast path.
+
+    Same warm workload, but the traced engine runs under an attached
+    :class:`TraceContext` -- the serving daemon's steady state, where every
+    span record additionally carries trace/span/parent/tenant fields.
+    ``extra_info["speedup"] = context/disabled`` is the gated ratio: a drop
+    below the baseline means the *disabled* path picked up propagation
+    cost, which must stay impossible (no context -> no extra fields -> no
+    extra work).
+    """
+    graph, queries = _workload()
+
+    disabled = QueryEngine()
+    telemetry = Telemetry(trace_path=tmp_path / "bench-ctx-trace.jsonl")
+    traced = QueryEngine(telemetry=telemetry)
+    ctx = TraceContext.mint(tenant="bench")
+
+    with telemetry.context(ctx):
+        assert _run(disabled, graph, queries) == _run(traced, graph, queries)
+
+        total = ROUNDS * ITERATIONS
+        started = perf_counter()
+        for _ in range(total):
+            _run(traced, graph, queries)
+        context_per_round = (perf_counter() - started) / total
+
+    benchmark.pedantic(
+        _run, args=(disabled, graph, queries), rounds=ROUNDS, iterations=ITERATIONS
+    )
+    disabled_per_round = benchmark.stats.stats.median
+
+    overhead = context_per_round / disabled_per_round if disabled_per_round else 1.0
+    benchmark.extra_info["context_seconds_per_round"] = context_per_round
+    benchmark.extra_info["disabled_seconds_per_round"] = disabled_per_round
+    benchmark.extra_info["speedup"] = overhead
+
+    # The context really propagated: every record is stamped with the trace
+    # id and the tenant, none with a default.
+    telemetry.flush()
+    records = telemetry.events()
+    assert records
+    assert all(r["trace"] == ctx.trace_id for r in records)
+    assert all(r["tenant"] == "bench" for r in records)
+
+    print()
+    print(f"telemetry disabled:     {disabled_per_round * 1e6:9.1f} us/round")
+    print(
+        f"tracing + propagation:  {context_per_round * 1e6:9.1f} us/round  "
+        f"({overhead:.2f}x)"
+    )
+    assert disabled_per_round <= context_per_round * 1.25

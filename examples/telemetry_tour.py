@@ -9,6 +9,13 @@ uses), the unified metrics registry, and its Prometheus text exposition.
 The same data is available from the shell as ``python -m repro query
 --trace run.jsonl --profile`` / ``repro trace`` / ``repro stats``.
 
+The tour then goes distributed: an in-process query daemon is started with
+tracing and a slow-query log, a *traced* client sends a query through it,
+and the client's and the server's trace files are joined into one
+cross-process span tree (what ``repro trace --id`` renders), the slow log
+is summarized (``repro slow``), and the per-tenant accounting table is
+read back (``repro stats --remote --tenants``).
+
 Run with:  PYTHONPATH=src python examples/telemetry_tour.py
 """
 
@@ -18,7 +25,17 @@ import tempfile
 from pathlib import Path
 
 from repro import InteractiveConfig, TelemetryConfig, Workspace
-from repro.telemetry import read_trace, summarize_trace, tail_trace
+from repro.api.config import ServiceConfig
+from repro.service import QueryService, ServiceClient
+from repro.storage.catalog import DatasetCatalog
+from repro.telemetry import (
+    Telemetry,
+    build_trace_tree,
+    read_trace,
+    summarize_slow,
+    summarize_trace,
+    tail_trace,
+)
 
 
 def main() -> None:
@@ -106,6 +123,62 @@ def main() -> None:
             print(f"  {line}")
 
     ws.telemetry.close()
+    print()
+
+    # 8. Distributed: the daemon traces server-side, the client traces its
+    #    side, and the TraceContext rides the NDJSON frame so both files
+    #    describe ONE trace.  A nanosecond slow threshold logs every query
+    #    so the slow log has something to show.
+    catalog_root = workdir / "catalog"
+    DatasetCatalog(catalog_root).ensure("geo")
+    server_trace = workdir / "server-trace.jsonl"
+    client_trace = workdir / "client-trace.jsonl"
+    slow_log = workdir / "slow.jsonl"
+    config = ServiceConfig(
+        catalog_root=str(catalog_root),
+        snapshots=("geo",),
+        default_snapshot="geo",
+        trace_path=str(server_trace),
+        slow_log_path=str(slow_log),
+        slow_query_seconds=1e-9,
+    )
+    with QueryService(config) as service:
+        host, port = service.address
+        telemetry = Telemetry(trace_path=client_trace)
+        with ServiceClient(host, port, tenant="acme", telemetry=telemetry) as client:
+            envelope = client.request("query", {"expr": "(tram+bus)*.cinema"})
+        telemetry.close()
+        trace_id = envelope["trace"]["trace_id"]
+        print(f"distributed trace id: {trace_id} (echoed in the envelope)")
+
+        # Per-tenant accounting, as `repro stats --remote --tenants` shows it.
+        with ServiceClient(host, port, tenant="acme") as client:
+            tenants = client.stats()["server"]["tenants"]
+        acme = tenants["acme"]
+        print(f"tenant 'acme' account: {acme['queries']} queries, "
+              f"{acme['kernel_units']} kernel units, "
+              f"{acme['wall_milliseconds']} ms wall")
+
+    # The daemon's sink closes on shutdown; join both files into one tree.
+    records = list(read_trace(client_trace)) + list(read_trace(server_trace))
+    tree = build_trace_tree(records, trace_id)
+    print(f"one trace, {tree['spans']} spans across two processes:")
+
+    def show(node, depth=0):
+        print(f"  {'  ' * depth}{node['name']:24s} {node['seconds'] * 1e6:9.1f} us")
+        for child in node["children"]:
+            show(child, depth + 1)
+
+    for root in tree["roots"]:
+        show(root)
+
+    # The slow log carries the trace id plus the full profile and plan
+    # explanation -- `repro slow --file slow.jsonl` prints this digest.
+    slow = summarize_slow(read_trace(slow_log))
+    print(f"slow log: {slow['entries']} entries, "
+          f"slowest {slow['slowest']['expr']!r} "
+          f"({slow['slowest']['elapsed'] * 1e3:.2f} ms, "
+          f"trace {slow['slowest']['trace']})")
 
 
 if __name__ == "__main__":

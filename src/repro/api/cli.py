@@ -30,14 +30,21 @@ Subcommands
 ``info``         describe a snapshot's header/sections or list a catalog;
 ``stats``        report engine/cache/storage economics (optionally after
                  driving ``--expr`` traffic, optionally as Prometheus text);
-``trace``        tail or summarize a JSONL span trace file;
+``trace``        tail or summarize a JSONL span trace file, or reconstruct
+                 one distributed trace (``--id``) across several files;
+``slow``         tail or summarize a daemon's slow-query log
+                 (``serve --slow-log``);
 ``serve``        run the long-lived query-service daemon over a snapshot
-                 catalog (:mod:`repro.service`).
+                 catalog (:mod:`repro.service`), optionally with a span
+                 trace (``--trace``) and a slow-query log (``--slow-log``).
 
 ``query`` and ``stats`` also accept ``--remote HOST:PORT`` instead of a
 graph source, sending the request to a running ``repro serve`` daemon
 (with ``--tenant`` and ``--dataset`` selecting the tenant id and the
-server-side snapshot).
+server-side snapshot).  A remote ``query --trace FILE`` records the
+client side of a distributed trace whose context propagates to the
+daemon's (and its shard workers') spans; ``stats --remote --tenants``
+reports the daemon's per-tenant accounting table.
 
 Graphs come from ``--graph FILE`` (edge-list ``.tsv`` or ``.json``, see
 :mod:`repro.graphdb.io`), ``--figure {geo,g0}`` (the paper's figure
@@ -140,6 +147,14 @@ def _build_parser() -> argparse.ArgumentParser:
             default=1,
             help="shard whole-graph kernels across this many worker processes "
             "(snapshot-backed graphs only; 1 = in-process)",
+        )
+        sub.add_argument(
+            "--min-shard-edges",
+            type=int,
+            default=50_000,
+            metavar="N",
+            help="smallest graph (in edges) worth sharding across --workers "
+            "(default 50000; 0 = always shard)",
         )
         sub.add_argument(
             "--planner",
@@ -405,18 +420,51 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also summarize span timings and cache economics from this JSONL trace",
     )
+    stats.add_argument(
+        "--tenants",
+        action="store_true",
+        help="with --remote: report the daemon's per-tenant accounting table",
+    )
 
     trace = subparsers.add_parser(
         "trace",
-        help="tail or summarize a structured JSONL span trace file",
+        help="tail, summarize or reconstruct a structured JSONL span trace",
     )
     trace.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
-    trace.add_argument("--file", required=True, metavar="FILE", help="the JSONL trace file")
+    trace.add_argument(
+        "--file",
+        required=True,
+        action="append",
+        metavar="FILE",
+        help="a JSONL trace file (repeatable: e.g. the client's and the "
+        "server's files of one distributed trace)",
+    )
     trace.add_argument(
         "--tail",
         type=int,
         default=None,
         help="show the last N trace records instead of the summary",
+    )
+    trace.add_argument(
+        "--id",
+        dest="trace_id",
+        metavar="TRACE_ID",
+        default=None,
+        help="reconstruct one distributed trace as a span tree (records "
+        "tagged with this trace id across every --file)",
+    )
+
+    slow = subparsers.add_parser(
+        "slow",
+        help="tail or summarize a daemon's slow-query log (serve --slow-log)",
+    )
+    slow.add_argument("--indent", type=int, default=2, help="JSON indentation of the envelope")
+    slow.add_argument("--file", required=True, metavar="FILE", help="the slow-query JSONL log")
+    slow.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        help="show the last N slow-query entries instead of the summary",
     )
 
     serve = subparsers.add_parser(
@@ -472,6 +520,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard worker processes per dataset engine (1 = in-process)",
     )
     serve.add_argument(
+        "--min-shard-edges",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="smallest graph (in edges) worth sharding across --workers "
+        "(default 50000; 0 = always shard)",
+    )
+    serve.add_argument(
         "--planner",
         choices=PLANNERS,
         default="auto",
@@ -503,6 +559,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the final Prometheus text here on shutdown",
     )
     serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the daemon's structured JSONL span trace to FILE "
+        "(request spans parent onto client-supplied trace contexts)",
+    )
+    serve.add_argument(
+        "--slow-log",
+        metavar="FILE",
+        default=None,
+        help="append queries slower than --slow-query-ms to FILE as JSONL "
+        "(full profile + plan explanation; 'repro slow' reads it)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="slow-query latency threshold in milliseconds (default 1000)",
+    )
+    serve.add_argument(
         "--allow-remote-shutdown",
         action="store_true",
         help="let clients stop the server via the shutdown op (tests/CI)",
@@ -517,6 +594,7 @@ def _make_workspace(args: argparse.Namespace) -> Workspace:
         result_cache_size=args.result_cache_size,
         backend=getattr(args, "backend", "auto"),
         workers=getattr(args, "workers", 1),
+        min_shard_edges=getattr(args, "min_shard_edges", 50_000),
         planner=getattr(args, "planner", "auto"),
         cache_budget_bytes=getattr(args, "cache_budget", None),
     )
@@ -689,6 +767,10 @@ def _cmd_ingest(args: argparse.Namespace) -> dict:
 def _cmd_stats(args: argparse.Namespace, workspace: Workspace) -> dict:
     from repro.telemetry.export import read_trace, summarize_trace
 
+    if args.tenants:
+        raise ConfigError(
+            "--tenants reports a daemon's accounting table; it needs --remote"
+        )
     if args.repeat < 1:
         raise ConfigError("--repeat must be at least 1")
     for expression in args.expr or ():
@@ -713,44 +795,103 @@ def _cmd_stats(args: argparse.Namespace, workspace: Workspace) -> dict:
 
 
 def _cmd_trace(args: argparse.Namespace) -> dict:
-    from repro.telemetry.export import read_trace, summarize_trace, tail_trace
+    from repro.telemetry.export import (
+        build_trace_tree,
+        read_trace,
+        summarize_trace,
+        tail_trace,
+    )
+
+    files = [str(name) for name in args.file]
+    if args.trace_id is not None:
+        # One distributed trace may span several files (the client's, the
+        # server's); chain them all before reconstructing the span tree.
+        records: list[dict] = []
+        for name in files:
+            records.extend(read_trace(name))
+        return {
+            "type": "TraceReport",
+            "ok": True,
+            "files": files,
+            "tree": build_trace_tree(records, args.trace_id),
+        }
+    if args.tail is not None:
+        if args.tail < 1:
+            raise ConfigError("--tail must be at least 1")
+        if len(files) > 1:
+            raise ConfigError("--tail reads a single --file")
+        return {
+            "type": "TraceReport",
+            "ok": True,
+            "file": files[0],
+            "records": tail_trace(files[0], args.tail),
+        }
+    records = []
+    for name in files:
+        records.extend(read_trace(name))
+    payload: dict = {"type": "TraceReport", "ok": True}
+    if len(files) == 1:
+        payload["file"] = files[0]
+    else:
+        payload["files"] = files
+    payload["summary"] = summarize_trace(records)
+    return payload
+
+
+def _cmd_slow(args: argparse.Namespace) -> dict:
+    from repro.telemetry import summarize_slow
+    from repro.telemetry.export import read_trace, tail_trace
 
     if args.tail is not None:
         if args.tail < 1:
             raise ConfigError("--tail must be at least 1")
         return {
-            "type": "TraceReport",
+            "type": "SlowQueryReport",
             "ok": True,
             "file": str(args.file),
-            "records": tail_trace(args.file, args.tail),
+            "entries": tail_trace(args.file, args.tail),
         }
     return {
-        "type": "TraceReport",
+        "type": "SlowQueryReport",
         "ok": True,
         "file": str(args.file),
-        "summary": summarize_trace(read_trace(args.file)),
+        "summary": summarize_slow(read_trace(args.file)),
     }
 
 
-def _remote_client(args: argparse.Namespace):
+def _remote_client(args: argparse.Namespace, telemetry=None):
     from repro.service.client import ServiceClient, parse_address
 
     host, port = parse_address(args.remote)
-    return ServiceClient(host, port, tenant=args.tenant)
+    return ServiceClient(host, port, tenant=args.tenant, telemetry=telemetry)
 
 
 def _cmd_query_remote(args: argparse.Namespace) -> dict:
-    with _remote_client(args) as client:
-        envelope = client.request(
-            "query",
-            {
-                "expr": args.expr,
-                "semantics": args.semantics,
-                **({"snapshot": args.dataset} if args.dataset else {}),
-            },
-        )
+    # --trace on a remote query records the *client side* of the distributed
+    # trace: the minted context travels on the wire, the daemon's spans
+    # parent onto it, and 'repro trace --id' joins the two files back up.
+    telemetry = (
+        TelemetryConfig(trace_path=args.trace).build()
+        if getattr(args, "trace", None) is not None
+        else None
+    )
+    try:
+        with _remote_client(args, telemetry=telemetry) as client:
+            envelope = client.request(
+                "query",
+                {
+                    "expr": args.expr,
+                    "semantics": args.semantics,
+                    **({"snapshot": args.dataset} if args.dataset else {}),
+                },
+            )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     payload = envelope["result"]
     payload["served_by"] = args.remote
+    if envelope.get("trace") is not None:
+        payload["trace"] = envelope["trace"]
     return payload
 
 
@@ -762,6 +903,10 @@ def _cmd_stats_remote(args: argparse.Namespace) -> dict:
             for _ in range(args.repeat):
                 client.query(expression, snapshot=args.dataset)
         payload: dict = dict(client.stats())
+        if args.tenants:
+            # Surface the accounting table on its own key so scripts can
+            # read it without digging through the server block.
+            payload["tenants"] = payload.get("server", {}).get("tenants", {})
         if args.prometheus:
             payload["prometheus"] = client.metrics_text()
     payload["served_by"] = args.remote
@@ -785,12 +930,16 @@ def _cmd_serve(args: argparse.Namespace) -> dict:
         batch_max=args.batch_max,
         backend=args.backend,
         workers=args.workers,
+        min_shard_edges=args.min_shard_edges,
         planner=args.planner,
         cache_budget_bytes=args.cache_budget,
         share_caches=not args.no_share_caches,
         metrics_port=args.metrics_port,
         metrics_path=args.metrics_file,
         allow_remote_shutdown=args.allow_remote_shutdown,
+        trace_path=args.trace,
+        slow_log_path=args.slow_log,
+        slow_query_seconds=args.slow_query_ms / 1000.0,
     )
     service = QueryService(config)
     host, port = service.start()
@@ -853,6 +1002,8 @@ def main(argv: list[str] | None = None) -> int:
             outcome = _cmd_info(args)
         elif args.command == "trace":
             outcome = _cmd_trace(args)
+        elif args.command == "slow":
+            outcome = _cmd_slow(args)
         elif args.command == "serve":
             outcome = _cmd_serve(args)
         elif args.command == "query" and getattr(args, "remote", None):
@@ -881,7 +1032,7 @@ def main(argv: list[str] | None = None) -> int:
             "elapsed": time.perf_counter() - started,
             "result": payload,
         }
-        if args.command not in ("ingest", "info", "trace", "serve") and not getattr(
+        if args.command not in ("ingest", "info", "trace", "slow", "serve") and not getattr(
             args, "remote", None
         ):
             envelope["engine_stats"] = workspace.stats()

@@ -316,6 +316,14 @@ class ServiceConfig(_BaseConfig):
     and shard its kernels.  ``metrics_port``
     serves the registry's Prometheus text over HTTP (``/metrics``);
     ``metrics_path`` additionally writes it to a file on shutdown.
+
+    ``trace_path`` turns on distributed tracing: server-side spans (and
+    shard-worker spans from every dataset engine) land in one rotating
+    JSONL sink, parented onto client-supplied trace contexts.
+    ``slow_log_path`` turns on the slow-query log: queries slower than
+    ``slow_query_seconds`` get their profile and plan explanation written
+    as structured JSONL (``repro slow`` reads it).  ``min_shard_edges``
+    flows into the per-dataset engines' sharding threshold.
     """
 
     host: str = "127.0.0.1"
@@ -341,6 +349,10 @@ class ServiceConfig(_BaseConfig):
     metrics_port: int | None = None
     metrics_path: str | None = None
     allow_remote_shutdown: bool = False
+    trace_path: str | None = None
+    slow_log_path: str | None = None
+    slow_query_seconds: float = 1.0
+    min_shard_edges: int = 50_000
 
     def __post_init__(self) -> None:
         _require(
@@ -428,6 +440,22 @@ class ServiceConfig(_BaseConfig):
             isinstance(self.allow_remote_shutdown, bool),
             f"allow_remote_shutdown must be a bool, got {self.allow_remote_shutdown!r}",
         )
+        _require(
+            self.trace_path is None or isinstance(self.trace_path, str),
+            f"trace_path must be None or a path string, got {self.trace_path!r}",
+        )
+        _require(
+            self.slow_log_path is None or isinstance(self.slow_log_path, str),
+            f"slow_log_path must be None or a path string, got {self.slow_log_path!r}",
+        )
+        _require(
+            isinstance(self.slow_query_seconds, (int, float)) and self.slow_query_seconds > 0,
+            f"slow_query_seconds must be a positive number, got {self.slow_query_seconds!r}",
+        )
+        _require(
+            isinstance(self.min_shard_edges, int) and self.min_shard_edges >= 0,
+            f"min_shard_edges must be a non-negative int, got {self.min_shard_edges!r}",
+        )
 
     def catalog(self):
         """A :class:`~repro.storage.DatasetCatalog` at this config's root."""
@@ -444,6 +472,7 @@ class ServiceConfig(_BaseConfig):
             workers=self.workers,
             planner=self.planner,
             cache_budget_bytes=self.cache_budget_bytes,
+            min_shard_edges=self.min_shard_edges,
         )
 
 

@@ -236,7 +236,13 @@ class Workspace:
                 f"BinaryPathQuery), got {type(expr).__name__}"
             )
         started = time.perf_counter()
-        with self.telemetry.span("workspace.query", semantics=semantics) as span:
+        # Locally traced runs mint a root TraceContext here (no-op when one
+        # is already attached -- e.g. under the serving daemon -- or when
+        # tracing is off), so their records carry a trace id and join
+        # ``repro trace --id`` exactly like remote queries.
+        with self.telemetry.ensure_context(), self.telemetry.span(
+            "workspace.query", semantics=semantics
+        ) as span:
             if semantics == "binary":
                 if isinstance(expr, BinaryPathQuery):
                     query = expr

@@ -575,6 +575,25 @@ class QueryEngine:
             self._backend_counters[label] = counter
         counter.inc()
 
+    def _shard_trace(self):
+        """The (wire context, ingest hook) pair for traced shard dispatch.
+
+        ``(None, None)`` unless tracing is on *and* a
+        :class:`~repro.telemetry.TraceContext` is attached to this thread
+        -- the checks live here, inside the sharded branch only, so the
+        telemetry-disabled dispatch path stays byte-identical.  Shard
+        workers parent their spans onto this thread's innermost open span
+        (the ``engine.evaluate`` span) and their records flow back through
+        ``Tracer.ingest`` into the coordinator's sink.
+        """
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return None, None
+        ctx = tracer.current_context()
+        if ctx is None:
+            return None, None
+        return ctx.child(tracer.current_ref()).to_dict(), tracer.ingest
+
     def _run_evaluate_all(
         self,
         index: GraphIndex,
@@ -596,7 +615,10 @@ class QueryEngine:
             index, plan, binary=False, allow_shard=depth_sizes is None
         ):
             if strategy == "sharded":
-                selected = self._parallel.evaluate_all(index, plan, self.stats.kernel)
+                trace, ingest = self._shard_trace()
+                selected = self._parallel.evaluate_all(
+                    index, plan, self.stats.kernel, trace=trace, ingest=ingest
+                )
                 if selected is None:
                     continue
                 self._count_backend("sharded")
@@ -630,7 +652,10 @@ class QueryEngine:
         """
         for strategy in self._dispatch_order(index, plan, binary=True):
             if strategy == "sharded":
-                pairs = self._parallel.binary_evaluate(index, plan, self.stats.kernel)
+                trace, ingest = self._shard_trace()
+                pairs = self._parallel.binary_evaluate(
+                    index, plan, self.stats.kernel, trace=trace, ingest=ingest
+                )
                 if pairs is None:
                     continue
                 self._count_backend("sharded")
@@ -860,7 +885,12 @@ class QueryEngine:
             indexed = perf_counter()
             self.stats.inc("evaluations")
             marks = kernel.mark()
-            depth_sizes = []
+            # Per-depth layer sizes are a whole-walk property only the
+            # in-process kernels can report, so capturing them pins the
+            # walk in-process.  Collect them under profiling only: a
+            # traced-but-unprofiled query stays shard-eligible, which is
+            # what lets distributed traces reach the worker pool.
+            depth_sizes = [] if self.telemetry.profiling else None
             selected_ids, backend_used = self._run_evaluate_all(
                 index, plan, depth_sizes=depth_sizes
             )
@@ -896,7 +926,7 @@ class QueryEngine:
         plan_outcome: str | None,
         index: GraphIndex | None,
         marks: tuple[int, int] | None,
-        depth_sizes: list[int],
+        depth_sizes: list[int] | None,
         compile_seconds: float,
         index_seconds: float,
         started: float,
@@ -906,6 +936,8 @@ class QueryEngine:
         planner: dict | None = None,
     ) -> None:
         """Stamp span attributes, histogram and (optionally) a profile."""
+        if depth_sizes is None:
+            depth_sizes = []
         ended = perf_counter()
         total_seconds = ended - started
         walk_seconds = (ended - walk_started) if walk_started is not None else 0.0

@@ -31,8 +31,12 @@ parallelism.  Worker kernel stats are merged into the engine's
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
+import uuid
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 
 from repro.engine import executor
 from repro.engine.executor import KernelStats
@@ -82,28 +86,109 @@ def _pick_kernels(backend: str):
     return executor.evaluate_all, executor.binary_evaluate
 
 
-def _shard_evaluate_all(payload) -> tuple[frozenset[int], tuple[int, int]]:
-    plan, lo, hi, backend = payload
+# Cross-process span identity for traced shard work: a random per-process
+# origin token plus one atomic counter yields ``origin:span_id`` refs that
+# merge into the coordinator's trace without id coordination (the same
+# scheme Tracer uses -- see repro.telemetry.tracing).  Workers have no
+# tracer or sink of their own: they build finished-span record dicts and
+# ship them back with the shard results; the coordinator ingests them.
+
+_WORKER_ORIGIN: str | None = None
+_WORKER_SPAN_IDS = itertools.count(1)
+
+
+def _worker_origin() -> str:
+    global _WORKER_ORIGIN
+    if _WORKER_ORIGIN is None:
+        _WORKER_ORIGIN = uuid.uuid4().hex[:8]
+    return _WORKER_ORIGIN
+
+
+def _span_record(name: str, seconds: float, attrs: dict, trace: dict) -> dict:
+    """A finished-span record for traced shard work (Tracer record schema).
+
+    ``start`` is 0.0: worker clocks do not share the coordinator tracer's
+    epoch, so only ``seconds`` is meaningful across the process boundary.
+    """
+    span_id = next(_WORKER_SPAN_IDS)
+    record = {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": 0,
+        "depth": 0,
+        "start": 0.0,
+        "seconds": round(seconds, 9),
+        "attrs": attrs,
+        "trace": trace.get("trace_id"),
+        "span": f"{_worker_origin()}:{span_id}",
+    }
+    if trace.get("parent_span") is not None:
+        record["parent"] = trace["parent_span"]
+    if trace.get("tenant") is not None:
+        record["tenant"] = trace["tenant"]
+    return record
+
+
+def _shard_evaluate_all(payload) -> tuple[frozenset[int], tuple[int, int], tuple]:
+    plan, lo, hi, backend, trace = payload
     whole, _ = _pick_kernels(backend)
     stats = KernelStats()
+    started = perf_counter()
     selected = whole(_WORKER_INDEX, plan, stats, seed_lo=lo, seed_hi=hi)
-    return selected, stats.mark()
+    marks = stats.mark()
+    if trace is None:
+        return selected, marks, ()
+    attrs = {
+        "lo": lo,
+        "hi": hi,
+        "backend": backend,
+        "pid": os.getpid(),
+        "states_expanded": marks[0],
+        "edges_scanned": marks[1],
+    }
+    record = _span_record("shard.evaluate_all", perf_counter() - started, attrs, trace)
+    return selected, marks, (record,)
 
 
-def _shard_binary_evaluate(payload) -> tuple[frozenset, tuple[int, int]]:
-    plan, lo, hi, backend = payload
+def _shard_binary_evaluate(payload) -> tuple[frozenset, tuple[int, int], tuple]:
+    plan, lo, hi, backend, trace = payload
     _, binary = _pick_kernels(backend)
     stats = KernelStats()
+    started = perf_counter()
     selected = binary(_WORKER_INDEX, plan, stats, source_lo=lo, source_hi=hi)
-    return selected, stats.mark()
+    marks = stats.mark()
+    if trace is None:
+        return selected, marks, ()
+    attrs = {
+        "lo": lo,
+        "hi": hi,
+        "backend": backend,
+        "pid": os.getpid(),
+        "states_expanded": marks[0],
+        "edges_scanned": marks[1],
+    }
+    record = _span_record("shard.binary_evaluate", perf_counter() - started, attrs, trace)
+    return selected, marks, (record,)
 
 
-def _shard_evaluate_plans(payload) -> tuple[list[frozenset[int]], tuple[int, int]]:
-    plans, backend = payload
+def _shard_evaluate_plans(payload) -> tuple[list[frozenset[int]], tuple[int, int], tuple]:
+    plans, backend, trace = payload
     whole, _ = _pick_kernels(backend)
     stats = KernelStats()
+    started = perf_counter()
     results = [whole(_WORKER_INDEX, plan, stats) for plan in plans]
-    return results, stats.mark()
+    marks = stats.mark()
+    if trace is None:
+        return results, marks, ()
+    attrs = {
+        "plans": len(plans),
+        "backend": backend,
+        "pid": os.getpid(),
+        "states_expanded": marks[0],
+        "edges_scanned": marks[1],
+    }
+    record = _span_record("shard.evaluate_plans", perf_counter() - started, attrs, trace)
+    return results, marks, (record,)
 
 
 # -- in-process shard kernels (used by the invariance tests and fallbacks) ----
@@ -267,42 +352,63 @@ class ParallelExecutor:
         return results
 
     def evaluate_all(
-        self, index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+        self,
+        index: GraphIndex,
+        plan: CompiledPlan,
+        stats: KernelStats | None = None,
+        *,
+        trace: dict | None = None,
+        ingest=None,
     ) -> frozenset[int] | None:
-        """Sharded :func:`~repro.engine.executor.evaluate_all`, or None."""
+        """Sharded :func:`~repro.engine.executor.evaluate_all`, or None.
+
+        ``trace`` is a :class:`~repro.telemetry.TraceContext` wire dict
+        shipped inside every task payload; workers then return finished
+        span records which are fed to the ``ingest`` callable (usually
+        ``Tracer.ingest``) during the merge.
+        """
         if plan.is_empty_language:
             return frozenset()
         if plan.accepts_empty_word:
             return frozenset(range(index.num_nodes))
         payloads = [
-            (plan, lo, hi, self.backend)
+            (plan, lo, hi, self.backend, trace)
             for lo, hi in shard_bounds(index.num_nodes, self.workers)
         ]
         shards = self._fan_out(index, _shard_evaluate_all, payloads)
         if shards is None:
             return None
-        return self._merge(shards, stats)
+        return self._merge(shards, stats, ingest)
 
     def binary_evaluate(
-        self, index: GraphIndex, plan: CompiledPlan, stats: KernelStats | None = None
+        self,
+        index: GraphIndex,
+        plan: CompiledPlan,
+        stats: KernelStats | None = None,
+        *,
+        trace: dict | None = None,
+        ingest=None,
     ) -> frozenset[tuple[int, int]] | None:
         """Sharded :func:`~repro.engine.executor.binary_evaluate`, or None."""
         if plan.is_empty_language:
             return frozenset()
         payloads = [
-            (plan, lo, hi, self.backend)
+            (plan, lo, hi, self.backend, trace)
             for lo, hi in shard_bounds(index.num_nodes, self.workers)
         ]
         shards = self._fan_out(index, _shard_binary_evaluate, payloads)
         if shards is None:
             return None
-        return self._merge(shards, stats)
+        return self._merge(shards, stats, ingest)
 
     def evaluate_plans(
         self,
         index: GraphIndex,
         plans: list[CompiledPlan],
         stats: KernelStats | None = None,
+        *,
+        trace: dict | None = None,
+        ingest=None,
     ) -> list[frozenset[int]] | None:
         """A batch of whole-graph evaluations fanned across the pool.
 
@@ -314,7 +420,7 @@ class ParallelExecutor:
         if not plans:
             return []
         chunks = [
-            (plans[lo:hi], self.backend)
+            (plans[lo:hi], self.backend, trace)
             for lo, hi in shard_bounds(len(plans), self.workers)
         ]
         outputs = self._fan_out(index, _shard_evaluate_plans, chunks)
@@ -322,23 +428,34 @@ class ParallelExecutor:
             return None
         results: list[frozenset[int]] = []
         states = edges = 0
-        for chunk_results, (chunk_states, chunk_edges) in outputs:
+        for chunk_results, (chunk_states, chunk_edges), records in outputs:
             results.extend(chunk_results)
             states += chunk_states
             edges += chunk_edges
+            if ingest is not None:
+                for record in records:
+                    ingest(record)
         if stats is not None:
             stats.add(states, edges)
         return results
 
     @staticmethod
-    def _merge(shards, stats: KernelStats | None):
-        """Union shard results; flush summed worker stats in one locked add."""
+    def _merge(shards, stats: KernelStats | None, ingest=None):
+        """Union shard results; flush summed worker stats in one locked add.
+
+        Worker-emitted span records ride back with the shard results and
+        are handed to ``ingest`` here, so traced shard work lands in the
+        coordinator's sink in the same pass that merges the answers.
+        """
         merged: set = set()
         states = edges = 0
-        for selected, (shard_states, shard_edges) in shards:
+        for selected, (shard_states, shard_edges), records in shards:
             merged.update(selected)
             states += shard_states
             edges += shard_edges
+            if ingest is not None:
+                for record in records:
+                    ingest(record)
         if stats is not None:
             stats.add(states, edges)
         return frozenset(merged)

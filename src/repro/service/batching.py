@@ -25,17 +25,24 @@ import time
 
 
 class _Pending:
-    """One submitted query waiting for its batch to execute."""
+    """One submitted query waiting for its batch to execute.
 
-    __slots__ = ("dataset", "query", "event", "result", "error", "abandoned")
+    ``trace`` is the request's :class:`~repro.telemetry.TraceContext` (or
+    None): the batch executes in the worker thread, where the submitting
+    thread's ambient context is invisible, so it must ride the queue
+    explicitly.
+    """
 
-    def __init__(self, dataset, query) -> None:
+    __slots__ = ("dataset", "query", "event", "result", "error", "abandoned", "trace")
+
+    def __init__(self, dataset, query, trace=None) -> None:
         self.dataset = dataset
         self.query = query
         self.event = threading.Event()
         self.result = None
         self.error: Exception | None = None
         self.abandoned = False
+        self.trace = trace
 
 
 class MicroBatcher:
@@ -139,17 +146,18 @@ class MicroBatcher:
 
     # -- the client-facing call ----------------------------------------------
 
-    def submit(self, dataset, query, *, timeout: float | None = None):
+    def submit(self, dataset, query, *, timeout: float | None = None, trace=None):
         """Evaluate ``query`` on ``dataset``, coalesced with its neighbours.
 
         Blocks until the owning batch executed; raises
         :class:`~repro.errors.OverloadedError` immediately when the queue
         is full, and a 504-style timeout error when the batch did not
-        complete within ``timeout`` seconds.
+        complete within ``timeout`` seconds.  ``trace`` carries the
+        request's trace context into the worker thread.
         """
         from repro.errors import OverloadedError, ServiceError
 
-        pending = _Pending(dataset, query)
+        pending = _Pending(dataset, query, trace)
         with self._wakeup:
             if self._stopped:
                 raise ServiceError("service shutting down", code="shutting_down", status=503)
@@ -222,6 +230,32 @@ class MicroBatcher:
             self._batches.inc()
             self._batched.inc(len(batch))
             self._batch_size.observe(len(batch))
+        # Traced requests opt out of coalescing: their spans must attribute
+        # to exactly one request's trace, and the batch kernel would smear
+        # one evaluation across several contexts.  Tracing is an opt-in
+        # diagnostic mode -- fidelity beats batching there.
+        traced = [pending for pending in batch if pending.trace is not None]
+        if traced:
+            batch = [pending for pending in batch if pending.trace is None]
+            telemetry = getattr(
+                getattr(dataset, "workspace", None), "telemetry", None
+            )
+            for pending in traced:
+                try:
+                    if telemetry is not None:
+                        with telemetry.context(pending.trace):
+                            pending.result = dataset.engine.evaluate(
+                                dataset.graph, pending.query
+                            )
+                    else:
+                        pending.result = dataset.engine.evaluate(
+                            dataset.graph, pending.query
+                        )
+                except Exception as error:  # noqa: BLE001 - delivered to the caller
+                    pending.error = error
+                pending.event.set()
+            if not batch:
+                return
         # Evaluate each distinct expression once and fan the answer back to
         # every duplicate submitter.
         leaders: dict[object, int] = {}

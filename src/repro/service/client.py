@@ -9,6 +9,13 @@ request raises the same :class:`~repro.errors.ServiceError` hierarchy
 (:class:`~repro.errors.OverloadedError` for a shed, carrying the server's
 ``code``/``status``).  The client is thread-safe: a lock serializes
 request/response pairs on the shared socket.
+
+With a :class:`~repro.telemetry.Telemetry` attached
+(``ServiceClient(host, port, telemetry=tel)``), every request mints a
+:class:`~repro.telemetry.TraceContext`, opens a ``client.request`` span,
+and ships the context on the wire's ``trace`` field -- the server and its
+shard workers parent their spans onto it, so the client's trace file plus
+the server's reconstruct the whole distributed tree (``repro trace --id``).
 """
 
 from __future__ import annotations
@@ -32,9 +39,11 @@ class ServiceClient:
         tenant: str = protocol.DEFAULT_TENANT,
         timeout: float | None = 60.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        telemetry=None,
     ) -> None:
         self.tenant = tenant
         self.max_frame_bytes = max_frame_bytes
+        self.telemetry = telemetry
         try:
             self._socket = socket.create_connection((host, port), timeout=timeout)
         except OSError as error:
@@ -53,17 +62,33 @@ class ServiceClient:
         Raises the typed :class:`~repro.errors.ServiceError` hierarchy on
         error envelopes and on transport failures.
         """
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        if tracer is None:
+            envelope = self._exchange(op, params, trace=None)
+            return protocol.raise_for_error(envelope)
+        from repro.telemetry.tracing import TraceContext
+
+        ctx = TraceContext.mint(tenant=self.tenant)
+        with tracer.context(ctx):
+            with tracer.span("client.request", op=op, tenant=self.tenant) as span:
+                wire = ctx.child(tracer.span_ref(span)).to_dict()
+                envelope = self._exchange(op, params, trace=wire)
+                span.set(id=envelope.get("id"), trace=ctx.trace_id)
+                return protocol.raise_for_error(envelope)
+
+    def _exchange(self, op: str, params: dict | None, *, trace: dict | None) -> dict:
+        """One locked send/receive round trip on the shared socket."""
         with self._lock:
             self._next_id += 1
-            frame = protocol.encode_frame(
-                {
-                    "id": self._next_id,
-                    "op": op,
-                    "tenant": self.tenant,
-                    "params": params or {},
-                },
-                max_bytes=self.max_frame_bytes,
-            )
+            payload = {
+                "id": self._next_id,
+                "op": op,
+                "tenant": self.tenant,
+                "params": params or {},
+            }
+            if trace is not None:
+                payload["trace"] = trace
+            frame = protocol.encode_frame(payload, max_bytes=self.max_frame_bytes)
             try:
                 self._socket.sendall(frame)
                 envelope = protocol.read_frame(
@@ -79,7 +104,7 @@ class ServiceClient:
             raise ServiceError(
                 "server closed the connection", code="unavailable", status=503
             )
-        return protocol.raise_for_error(envelope)
+        return envelope
 
     def close(self) -> None:
         try:

@@ -53,12 +53,20 @@ DEFAULT_TENANT = "default"
 
 @dataclass(frozen=True)
 class Request:
-    """One validated request frame."""
+    """One validated request frame.
+
+    ``trace`` is the optional distributed-tracing context in wire form
+    (``{"trace_id": ..., "parent_span": ..., "tenant": ...}`` -- see
+    :class:`~repro.telemetry.tracing.TraceContext`).  It is kept as the
+    validated plain dict here so the protocol layer stays free of
+    telemetry imports; the server promotes it to a ``TraceContext``.
+    """
 
     id: int | str | None
     op: str
     tenant: str = DEFAULT_TENANT
     params: dict = field(default_factory=dict)
+    trace: dict | None = None
 
 
 def encode_frame(payload: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
@@ -121,26 +129,62 @@ def parse_request(payload: dict) -> Request:
     params = payload.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError(f"params must be an object, got {type(params).__name__}")
-    return Request(id=request_id, op=op, tenant=tenant, params=params)
+    trace = payload.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise ProtocolError(
+                f"trace must be an object, got {type(trace).__name__}"
+            )
+        trace_id = trace.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(
+                f"trace.trace_id must be a non-empty string, got {trace_id!r}"
+            )
+        parent_span = trace.get("parent_span")
+        if parent_span is not None and not isinstance(parent_span, str):
+            raise ProtocolError(
+                f"trace.parent_span must be a string, got {parent_span!r}"
+            )
+        trace_tenant = trace.get("tenant")
+        if trace_tenant is not None and not isinstance(trace_tenant, str):
+            raise ProtocolError(
+                f"trace.tenant must be a string, got {trace_tenant!r}"
+            )
+    return Request(id=request_id, op=op, tenant=tenant, params=params, trace=trace)
 
 
 def ok_response(request: Request, result: dict, *, elapsed: float, **extra) -> dict:
-    """A success envelope (``result`` is a ``Result.to_dict()``-style dict)."""
+    """A success envelope (``result`` is a ``Result.to_dict()``-style dict).
+
+    When the request carried a ``trace`` context, the envelope echoes it
+    back (possibly enriched by the server), so the client can log the
+    trace id next to its own span without a side channel.
+    """
     envelope = {"id": request.id, "ok": True, "op": request.op, "elapsed": elapsed}
+    if request.trace is not None:
+        envelope["trace"] = request.trace
     envelope.update(extra)
     envelope["result"] = result
     return envelope
 
 
 def error_response(
-    request_id: int | str | None, error: Exception, *, op: str | None = None
+    request_id: int | str | None,
+    error: Exception,
+    *,
+    op: str | None = None,
+    trace: dict | None = None,
 ) -> dict:
-    """A structured error envelope for any exception."""
+    """A structured error envelope for any exception.
+
+    ``trace`` echoes the request's trace context when known, so failed
+    requests stay joinable to their distributed trace too.
+    """
     if isinstance(error, ServiceError):
         code, status = error.code, error.status
     else:
         code, status = "internal", 500
-    return {
+    envelope = {
         "id": request_id,
         "ok": False,
         "op": op,
@@ -151,6 +195,9 @@ def error_response(
             "message": str(error),
         },
     }
+    if trace is not None:
+        envelope["trace"] = trace
+    return envelope
 
 
 def raise_for_error(envelope: dict) -> dict:

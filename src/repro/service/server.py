@@ -21,6 +21,17 @@ Observability: the server keeps a :class:`~repro.telemetry.MetricsRegistry`
 of request/shed/batch/latency instruments, serves its Prometheus text over
 ``GET /metrics`` when ``metrics_port`` is set, and writes it to
 ``metrics_path`` on shutdown.
+
+With ``trace_path`` set the daemon participates in distributed traces:
+every request opens a ``server.request`` span under the client-supplied
+:class:`~repro.telemetry.TraceContext` (or a freshly minted one), every
+dataset engine shares the server's rotating trace sink, and shard workers'
+span records merge into it too -- one JSONL file reconstructs the whole
+cross-process tree (``repro trace --id``).  ``slow_log_path`` adds the
+slow-query log: any query over ``slow_query_seconds`` is written out with
+its profile and plan explanation (``repro slow``).  Per-tenant counters
+(queries, errors, sheds, cache hits, kernel work, wall time) aggregate on
+labeled series and in the ``stats`` op's ``tenants`` table.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ from repro.api.result import QueryResult
 from repro.api.workspace import Workspace
 from repro.errors import (
     ConfigError,
+    OverloadedError,
     ProtocolError,
     ReproError,
     ServiceError,
@@ -45,10 +57,36 @@ from repro.service import protocol
 from repro.service.batching import MicroBatcher
 from repro.service.session import AdmissionController, SessionTable
 from repro.storage.catalog import BUILTIN_DATASETS, DatasetCatalog
+from repro.telemetry import Telemetry
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import TraceContext, TraceSink
 
 #: Latency buckets for the request histogram (seconds).
 _LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+#: The per-tenant accounting table's counters and their labeled series.
+# Ops charged to the per-tenant accounting table.  Health checks and the
+# observability ops (stats/metrics/catalog) are free: charging a tenant for
+# *reading* its bill would make the table drift under monitoring traffic.
+_ACCOUNTED_OPS = frozenset({"query", "learn", "interactive", "session.release"})
+
+_TENANT_SERIES = {
+    "queries": ("service_tenant_queries_total", "requests received per tenant"),
+    "errors": ("service_tenant_errors_total", "error envelopes per tenant"),
+    "sheds": ("service_tenant_sheds_total", "overload sheds per tenant"),
+    "cache_hits": (
+        "service_tenant_cache_hits_total",
+        "result-cache hits served per tenant",
+    ),
+    "kernel_units": (
+        "service_tenant_kernel_units_total",
+        "kernel states expanded on behalf of each tenant",
+    ),
+    "wall_milliseconds": (
+        "service_tenant_wall_milliseconds_total",
+        "request wall time per tenant (integer milliseconds)",
+    ),
+}
 
 
 class _Dataset:
@@ -104,6 +142,20 @@ class QueryService:
             queue_depth=self.config.queue_depth,
             registry=self.registry,
         )
+        # Distributed tracing: the server owns the rotating sink; every
+        # dataset engine borrows it (Telemetry(sink=...)), so client,
+        # server, engine and shard-worker spans land in one file.
+        self.telemetry = Telemetry(
+            trace_path=self.config.trace_path, registry=self.registry
+        )
+        self._slow_log = (
+            TraceSink(self.config.slow_log_path)
+            if self.config.slow_log_path is not None
+            else None
+        )
+        self._tenants: dict[str, dict[str, float]] = {}
+        self._tenants_lock = threading.Lock()
+        self._tenant_counters: dict[tuple[str, str], object] = {}
         self._datasets: dict[str, _Dataset] = {}
         self._datasets_lock = threading.Lock()
         self._ops_lock = threading.Lock()
@@ -137,8 +189,22 @@ class QueryService:
                 view = self.catalog.open_view(name)
             except StorageError as error:
                 raise ServiceError(str(error), code="not_found", status=404) from error
+            # Each engine needs its own registry (engine counter names
+            # collide across datasets) but shares the server's trace sink;
+            # the slow-query log needs per-query profiles, so it turns
+            # profiling on for every dataset engine.
+            engine_telemetry = None
+            if self.telemetry.enabled or self._slow_log is not None:
+                engine_telemetry = Telemetry(
+                    enabled=self.telemetry.enabled,
+                    sink=self.telemetry.sink,
+                    profile=self._slow_log is not None,
+                )
             workspace = Workspace(
-                view, engine_config=self.config.engine_config(), name=name
+                view,
+                engine_config=self.config.engine_config(),
+                telemetry=engine_telemetry,
+                name=name,
             )
             # Two catalog names backed by byte-identical snapshots share one
             # plan/result cache pair, so a plan compiled (or a result cached)
@@ -250,6 +316,9 @@ class QueryService:
             self._metrics_server.server_close()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        self.telemetry.close()
+        if self._slow_log is not None:
+            self._slow_log.close()
         if self.config.metrics_path is not None:
             from pathlib import Path
 
@@ -330,22 +399,125 @@ class QueryService:
         started = time.perf_counter()
         request_id = payload.get("id") if isinstance(payload, dict) else None
         op = payload.get("op") if isinstance(payload, dict) else None
+        tenant = payload.get("tenant") if isinstance(payload, dict) else None
+        trace_echo: dict | None = None
         try:
             request = protocol.parse_request(payload)
+            tenant = request.tenant
             with self._ops_lock:
                 self._ops[request.op] = self._ops.get(request.op, 0) + 1
-            if request.op == "ping":  # never shed a health check
-                result, extra = self._op_ping(request)
-            else:
-                with self.admission.admit(request.tenant):
-                    result, extra = self._dispatch(request)
+            ctx = self._trace_context(request)
+            trace_echo = ctx.to_dict() if ctx is not None else request.trace
+            result, extra = self._handle_traced(request, ctx)
             elapsed = time.perf_counter() - started
             self._latency.observe(elapsed)
-            return protocol.ok_response(request, result, elapsed=elapsed, **extra)
+            if request.op in _ACCOUNTED_OPS:
+                self._tenant_account(
+                    tenant, queries=1, wall_milliseconds=int(elapsed * 1000)
+                )
+            if trace_echo is not None:
+                extra = {**extra, "trace": trace_echo}
+            return protocol.ok_response(
+                request, result, elapsed=elapsed, **extra
+            )
         except (ReproError, OSError) as error:
+            elapsed = time.perf_counter() - started
             self._errors.inc()
-            self._latency.observe(time.perf_counter() - started)
-            return protocol.error_response(request_id, self._map_error(error), op=op)
+            self._latency.observe(elapsed)
+            sheds = 1 if isinstance(error, OverloadedError) else 0
+            if op in _ACCOUNTED_OPS:
+                self._tenant_account(
+                    tenant if isinstance(tenant, str) else None,
+                    queries=1,
+                    errors=1,
+                    sheds=sheds,
+                    wall_milliseconds=int(elapsed * 1000),
+                )
+            return protocol.error_response(
+                request_id, self._map_error(error), op=op, trace=trace_echo
+            )
+
+    def _trace_context(self, request: protocol.Request) -> TraceContext | None:
+        """The request's trace context (wire-supplied or server-minted).
+
+        None when tracing is off -- untraced serving carries no context
+        anywhere.  A request that arrives without one, on a tracing
+        server, gets a root context so purely server-side spans are still
+        joinable by trace id.
+        """
+        if self.telemetry.tracer is None:
+            return None
+        if request.trace is not None:
+            ctx = TraceContext.from_dict(request.trace)
+            if ctx.tenant is None:
+                ctx = TraceContext(
+                    trace_id=ctx.trace_id,
+                    parent_span=ctx.parent_span,
+                    tenant=request.tenant,
+                )
+            return ctx
+        return TraceContext.mint(tenant=request.tenant)
+
+    def _handle_traced(
+        self, request: protocol.Request, ctx: TraceContext | None
+    ) -> tuple[dict, dict]:
+        """Admit and dispatch one parsed request, under its span when tracing.
+
+        The ``server.request`` span carries the wire request ``id`` (so
+        wire ids and trace ids join in the trace file) and parents every
+        downstream span: the ops receive a child context re-parented onto
+        it, which they attach around engine work and ship to the batcher
+        and shard workers.
+        """
+        tracer = self.telemetry.tracer
+        if tracer is None or ctx is None:
+            if request.op == "ping":  # never shed a health check
+                return self._op_ping(request, None)
+            with self.admission.admit(request.tenant):
+                return self._dispatch(request, None)
+        with tracer.context(ctx):
+            with tracer.span(
+                "server.request",
+                op=request.op,
+                tenant=request.tenant,
+                request=request.id,
+            ) as span:
+                child = ctx.child(tracer.span_ref(span))
+                if request.op == "ping":
+                    return self._op_ping(request, child)
+                with self.admission.admit(request.tenant):
+                    return self._dispatch(request, child)
+
+    def _tenant_account(self, tenant: str | None, **deltas: int) -> None:
+        """Add per-tenant counter deltas (stats table + labeled series)."""
+        if not tenant:
+            return
+        with self._tenants_lock:
+            entry = self._tenants.setdefault(
+                tenant, {key: 0 for key in _TENANT_SERIES}
+            )
+            for key, amount in deltas.items():
+                entry[key] += amount
+        for key, amount in deltas.items():
+            if not amount:
+                continue
+            series_key = (key, tenant)
+            counter = self._tenant_counters.get(series_key)
+            if counter is None:
+                name, help_text = _TENANT_SERIES[key]
+                counter = self.registry.counter(
+                    name, help=help_text, labels={"tenant": tenant}
+                )
+                self._tenant_counters[series_key] = counter
+            counter.inc(amount)
+
+    def tenant_stats(self) -> dict[str, dict[str, int]]:
+        """The per-tenant accounting table (sorted copy)."""
+        with self._tenants_lock:
+            return {
+                tenant: dict(self._tenants[tenant])
+                for tenant in sorted(self._tenants)
+            }
 
     @staticmethod
     def _map_error(error: Exception) -> Exception:
@@ -362,7 +534,9 @@ class QueryService:
             return ServiceError(str(error), code="not_found", status=404)
         return ServiceError(str(error), code="internal", status=500)
 
-    def _dispatch(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _dispatch(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         handler = {
             "query": self._op_query,
             "learn": self._op_learn,
@@ -373,14 +547,18 @@ class QueryService:
             "catalog": self._op_catalog,
             "shutdown": self._op_shutdown,
         }[request.op]
-        return handler(request)
+        return handler(request, trace)
 
     # -- ops -----------------------------------------------------------------
 
-    def _op_ping(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_ping(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         return {"type": "Pong", "ok": True}, {}
 
-    def _op_query(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_query(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         params = request.params
         expr = params.get("expr")
         if not isinstance(expr, str) or not expr:
@@ -389,25 +567,102 @@ class QueryService:
         if semantics not in ("path", "binary"):
             raise ProtocolError(f"semantics must be 'path' or 'binary', got {semantics!r}")
         dataset = self._resolve_dataset(params)
+        started = time.perf_counter()
+        # Best-effort per-tenant work attribution: deltas of the shared
+        # engine's counters around this call.  Concurrent queries on the
+        # same dataset can bleed into each other's deltas; totals across
+        # tenants stay exact, which is what capacity accounting needs.
+        before = dataset.engine.stats_snapshot()
         if semantics == "binary":
             # Pair selection has no batch kernel; answer it directly (the
             # shared result cache still applies).
-            result = dataset.workspace.query(expr, semantics="binary")
+            with dataset.workspace.telemetry.context(trace):
+                result = dataset.workspace.query(expr, semantics="binary")
+            self._account_query(request, dataset, before)
+            self._maybe_log_slow(
+                request, dataset, expr, semantics, result.elapsed, trace,
+                profile=result.profile,
+            )
             return result.to_dict(), {"snapshot": dataset.name}
-        started = time.perf_counter()
         query = PathQuery.parse(expr, dataset.graph.alphabet)
         selected = self.batcher.submit(
-            dataset, query, timeout=self.config.request_timeout
+            dataset, query, timeout=self.config.request_timeout, trace=trace
         )
+        elapsed = time.perf_counter() - started
         result = QueryResult(
             query=query,
             semantics="path",
             selected=selected,
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
+        )
+        self._account_query(request, dataset, before)
+        self._maybe_log_slow(
+            request, dataset, expr, semantics, elapsed, trace,
+            profile=dataset.engine.take_profile(),
         )
         return result.to_dict(), {"snapshot": dataset.name}
 
-    def _op_learn(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _account_query(
+        self, request: protocol.Request, dataset: _Dataset, before: dict
+    ) -> None:
+        """Charge the engine-counter deltas of one query to its tenant."""
+        after = dataset.engine.stats_snapshot()
+
+        def delta(key: str) -> int:
+            return max(0, int(after.get(key, 0)) - int(before.get(key, 0)))
+
+        self._tenant_account(
+            request.tenant,
+            cache_hits=delta("result_cache_hits"),
+            kernel_units=delta("states_expanded"),
+        )
+
+    def _maybe_log_slow(
+        self,
+        request: protocol.Request,
+        dataset: _Dataset,
+        expr: str,
+        semantics: str,
+        elapsed: float,
+        trace: TraceContext | None,
+        *,
+        profile: dict | None,
+    ) -> None:
+        """Append one slow-query record when the threshold is exceeded.
+
+        The record bundles everything the debugging loop needs: identity
+        (timestamp, tenant, wire id, trace id), the query, its latency,
+        the captured :class:`~repro.telemetry.QueryProfile`, and the
+        planner's explanation (computed here, only for slow queries --
+        ``explain`` never runs a kernel, so it is cheap relative to the
+        query that just blew the threshold).
+        """
+        if self._slow_log is None or elapsed < self.config.slow_query_seconds:
+            return
+        record = {
+            "ts": time.time(),
+            "tenant": request.tenant,
+            "request": request.id,
+            "snapshot": dataset.name,
+            "expr": expr,
+            "semantics": semantics,
+            "elapsed": round(elapsed, 9),
+            "threshold": self.config.slow_query_seconds,
+            "trace": trace.trace_id if trace is not None else None,
+        }
+        if profile is not None:
+            record["profile"] = profile
+        try:
+            record["explain"] = dataset.workspace.explain(
+                expr, semantics=semantics
+            ).to_dict()
+        except ReproError:  # the query itself succeeded; keep the record
+            record["explain"] = None
+        self._slow_log.write(record)
+
+    def _op_learn(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         params = request.params
         dataset = self._resolve_dataset(params)
         config = LearnerConfig.from_dict(params.get("config") or {})
@@ -424,10 +679,13 @@ class QueryService:
             raise ProtocolError(
                 f"the service supports 'path' and 'binary' learning, got {config.semantics!r}"
             )
-        result = dataset.workspace.learn(sample, config)
+        with dataset.workspace.telemetry.context(trace):
+            result = dataset.workspace.learn(sample, config)
         return result.to_dict(), {"snapshot": dataset.name}
 
-    def _op_interactive(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_interactive(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         params = request.params
         dataset = self._resolve_dataset(params)
         goal = params.get("goal")
@@ -439,7 +697,8 @@ class QueryService:
             raise ProtocolError(f"session must be a non-empty name, got {name!r}")
         extra: dict = {"snapshot": dataset.name}
         if name is None:
-            result = dataset.workspace.interactive_session(goal, config).run()
+            with dataset.workspace.telemetry.context(trace):
+                result = dataset.workspace.interactive_session(goal, config).run()
             return result.to_dict(), extra
         # Resume-run-checkpoint is read-modify-write on the stored session:
         # serialize it per (tenant, session) so concurrent calls of the
@@ -449,7 +708,8 @@ class QueryService:
             session = dataset.workspace.interactive_session(
                 goal, config, resume_from=checkpoint
             )
-            result = session.run()
+            with dataset.workspace.telemetry.context(trace):
+                result = session.run()
             self.sessions.put(request.tenant, name, session.checkpoint().to_dict())
         extra["session"] = {
             "name": name,
@@ -458,7 +718,9 @@ class QueryService:
         }
         return result.to_dict(), extra
 
-    def _op_session_release(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_session_release(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         name = request.params.get("session")
         if not isinstance(name, str) or not name:
             raise ProtocolError("session.release needs params.session (the name)")
@@ -476,9 +738,12 @@ class QueryService:
             "admission": self.admission.snapshot(),
             "batch_depth": self.batcher.depth,
             "sessions_total": self.sessions.total(),
+            "tenants": self.tenant_stats(),
         }
 
-    def _op_stats(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_stats(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         datasets = {}
         with self._datasets_lock:
             hot = list(self._datasets.values())
@@ -493,10 +758,14 @@ class QueryService:
             "tenant_sessions": self.sessions.names(request.tenant),
         }, {}
 
-    def _op_metrics(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_metrics(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         return {"type": "MetricsReport", "ok": True, "text": self.metrics_text()}, {}
 
-    def _op_catalog(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_catalog(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         return {
             "type": "CatalogInfo",
             "ok": True,
@@ -508,7 +777,9 @@ class QueryService:
             },
         }, {}
 
-    def _op_shutdown(self, request: protocol.Request) -> tuple[dict, dict]:
+    def _op_shutdown(
+        self, request: protocol.Request, trace: TraceContext | None
+    ) -> tuple[dict, dict]:
         if not self.config.allow_remote_shutdown:
             raise ServiceError(
                 "remote shutdown is disabled (start with allow_remote_shutdown)",

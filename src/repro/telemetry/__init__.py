@@ -27,7 +27,15 @@ from __future__ import annotations
 
 import os
 
-from repro.telemetry.export import read_trace, summarize_trace, tail_trace
+import contextlib
+
+from repro.telemetry.export import (
+    build_trace_tree,
+    read_trace,
+    summarize_slow,
+    summarize_trace,
+    tail_trace,
+)
 from repro.telemetry.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -41,6 +49,7 @@ from repro.telemetry.tracing import (
     DEFAULT_MAX_BYTES,
     NOOP_SPAN,
     Span,
+    TraceContext,
     TraceSink,
     Tracer,
 )
@@ -52,12 +61,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Tracer",
+    "TraceContext",
     "TraceSink",
     "Span",
     "QueryProfile",
     "read_trace",
     "tail_trace",
     "summarize_trace",
+    "summarize_slow",
+    "build_trace_tree",
     "fingerprint_token",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_MAX_BYTES",
@@ -83,6 +95,12 @@ class Telemetry:
     registry:
         Share a prebuilt :class:`MetricsRegistry` (one registry can serve
         several engines); a fresh one is created by default.
+    sink:
+        Borrow an already-open :class:`TraceSink` instead of opening one
+        from ``trace_path`` (implies ``enabled``).  The sink stays owned
+        by its creator: :meth:`close` detaches but does not close it.
+        The serving daemon uses this to merge every dataset engine's
+        spans into one rotating trace file.
     buffer_events:
         Size of the in-memory ring of recent span records.
     """
@@ -94,17 +112,21 @@ class Telemetry:
         trace_path: str | os.PathLike | None = None,
         profile: bool = False,
         registry: MetricsRegistry | None = None,
+        sink: TraceSink | None = None,
         trace_max_bytes: int = DEFAULT_MAX_BYTES,
         trace_keep: int = DEFAULT_KEEP,
         buffer_events: int = 2048,
     ) -> None:
+        if sink is not None and trace_path is not None:
+            raise ValueError("pass either sink or trace_path, not both")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.profiling = bool(profile)
-        self.enabled = bool(enabled) or trace_path is not None
+        self.enabled = bool(enabled) or trace_path is not None or sink is not None
+        self._owns_sink = trace_path is not None
         self.sink = (
             TraceSink(trace_path, max_bytes=trace_max_bytes, keep=trace_keep)
             if trace_path is not None
-            else None
+            else sink
         )
         self.tracer = Tracer(self.sink, buffer=buffer_events) if self.enabled else None
 
@@ -119,6 +141,39 @@ class Telemetry:
             return NOOP_SPAN
         return self.tracer.span(name, **attrs)
 
+    def context(self, ctx: TraceContext | None):
+        """Attach a :class:`TraceContext` to this thread for the ``with`` body.
+
+        A no-op context manager when tracing is off or ``ctx`` is None, so
+        call sites stay uniform: ``with telemetry.context(maybe_ctx): ...``.
+        """
+        if self.tracer is None or ctx is None:
+            return contextlib.nullcontext(ctx)
+        return self.tracer.context(ctx)
+
+    def ensure_context(self, *, tenant: str | None = None):
+        """Attach a fresh root context unless one is already attached.
+
+        Locally traced runs (``repro query --trace``) get a trace id this
+        way, so their records join ``repro trace --id`` like remote ones.
+        """
+        if self.tracer is None or self.tracer.current_context() is not None:
+            return contextlib.nullcontext(self.current_context())
+        return self.tracer.context(TraceContext.mint(tenant=tenant))
+
+    def current_context(self) -> TraceContext | None:
+        """This thread's attached trace context, or None."""
+        return self.tracer.current_context() if self.tracer is not None else None
+
+    def current_ref(self) -> str | None:
+        """The ref of this thread's innermost open span, or None."""
+        return self.tracer.current_ref() if self.tracer is not None else None
+
+    def ingest(self, record: dict) -> None:
+        """Adopt a span record produced elsewhere (no-op when tracing is off)."""
+        if self.tracer is not None:
+            self.tracer.ingest(record)
+
     def events(self) -> list[dict]:
         """The in-memory ring of recent finished span records (oldest first)."""
         return list(self.tracer.events) if self.tracer is not None else []
@@ -130,9 +185,13 @@ class Telemetry:
 
     def close(self) -> None:
         """Flush and close the trace sink (the telemetry object stays usable
-        for metrics; further traced spans only land in the ring buffer)."""
+        for metrics; further traced spans only land in the ring buffer).
+        A borrowed sink is detached, not closed -- its owner closes it."""
         if self.sink is not None:
-            self.sink.close()
+            if self._owns_sink:
+                self.sink.close()
+            else:
+                self.sink.flush()
             if self.tracer is not None:
                 self.tracer.sink = None
             self.sink = None

@@ -51,6 +51,130 @@ def tail_trace(path: str | os.PathLike, n: int = 20) -> list[dict]:
     return list(deque(read_trace(path), maxlen=n))
 
 
+def build_trace_tree(records: Iterable[dict], trace_id: str) -> dict:
+    """Reassemble one distributed trace into a nested span tree.
+
+    Filters ``records`` to those stamped with ``trace_id`` and links them
+    by their cross-process ``span``/``parent`` refs (``origin:span_id``,
+    written whenever a :class:`~repro.telemetry.tracing.TraceContext` was
+    attached).  Records whose parent is absent from the selection -- the
+    client's root span, or an orphan from a rotated-away file -- become
+    roots.  Powers ``repro trace --id``.
+
+    Returns a JSON-safe dict::
+
+        {"trace_id": ..., "spans": N, "tenants": [...],
+         "roots": [{"name", "ref", "start", "seconds", "tenant", "attrs",
+                    "children": [...]}, ...]}
+    """
+    if not trace_id:
+        raise TelemetryError("trace id must be a non-empty string")
+    nodes: dict[str, dict] = {}
+    anonymous: list[dict] = []
+    order = 0
+    for record in records:
+        if record.get("trace") != trace_id:
+            continue
+        node = {
+            "name": record.get("name", "?"),
+            "ref": record.get("span"),
+            "parent": record.get("parent"),
+            "start": record.get("start", 0.0),
+            "seconds": record.get("seconds", 0.0),
+            "tenant": record.get("tenant"),
+            "attrs": record.get("attrs") or {},
+            "order": order,
+            "children": [],
+        }
+        order += 1
+        ref = node["ref"]
+        if isinstance(ref, str) and ref:
+            nodes[ref] = node
+        else:
+            anonymous.append(node)
+    roots: list[dict] = []
+    for node in list(nodes.values()) + anonymous:
+        parent = node.pop("parent")
+        if isinstance(parent, str) and parent in nodes and nodes[parent] is not node:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    # Spans close innermost-first, so file order is reversed relative to the
+    # call order; arrival order within one process still breaks the tie when
+    # clocks from different processes do not compare.
+    def _sort(children: list[dict]) -> None:
+        children.sort(key=lambda n: (n["start"], n["order"]))
+        for child in children:
+            _sort(child["children"])
+
+    _sort(roots)
+    tenants = set()
+    count = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        node.pop("order", None)
+        count += 1
+        if node["tenant"]:
+            tenants.add(node["tenant"])
+        stack.extend(node["children"])
+    return {
+        "trace_id": trace_id,
+        "spans": count,
+        "tenants": sorted(tenants),
+        "roots": roots,
+    }
+
+
+def summarize_slow(records: Iterable[dict]) -> dict:
+    """Aggregate slow-query log entries (the daemon's rotating JSONL).
+
+    Each entry carries ``elapsed``, ``tenant``, ``expr``, ``snapshot`` and
+    optionally ``trace`` -- see ``QueryService``.  Powers ``repro slow``.
+    """
+    entries = 0
+    total = 0.0
+    slowest: dict | None = None
+    tenants: dict[str, int] = {}
+    expressions: dict[str, int] = {}
+    snapshots: dict[str, int] = {}
+    for record in records:
+        entries += 1
+        elapsed = float(record.get("elapsed", 0.0))
+        total += elapsed
+        if slowest is None or elapsed > float(slowest.get("elapsed", 0.0)):
+            slowest = record
+        tenant = record.get("tenant")
+        if tenant:
+            tenants[tenant] = tenants.get(tenant, 0) + 1
+        expr = record.get("expr")
+        if expr:
+            expressions[expr] = expressions.get(expr, 0) + 1
+        snapshot = record.get("snapshot")
+        if snapshot:
+            snapshots[snapshot] = snapshots.get(snapshot, 0) + 1
+    top = sorted(expressions.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+    return {
+        "entries": entries,
+        "mean_elapsed": total / entries if entries else 0.0,
+        "max_elapsed": float(slowest.get("elapsed", 0.0)) if slowest else 0.0,
+        "slowest": (
+            {
+                "expr": slowest.get("expr"),
+                "tenant": slowest.get("tenant"),
+                "snapshot": slowest.get("snapshot"),
+                "elapsed": slowest.get("elapsed"),
+                "trace": slowest.get("trace"),
+            }
+            if slowest
+            else None
+        ),
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+        "snapshots": {name: snapshots[name] for name in sorted(snapshots)},
+        "top_expressions": [{"expr": expr, "count": n} for expr, n in top],
+    }
+
+
 def summarize_trace(records: Iterable[dict]) -> dict:
     """Aggregate span records into per-name timings and cache economics.
 

@@ -119,6 +119,51 @@ def test_stats_remote_with_traffic_and_prometheus(capsys, service):
     assert result["served_by"] == f"{host}:{port}"
 
 
+def test_query_remote_with_trace_writes_client_spans(capsys, service, tmp_path):
+    from repro.telemetry import read_trace
+
+    trace_file = tmp_path / "client.jsonl"
+    host, port = service.address
+    code, envelope = run_cli(
+        capsys,
+        "query",
+        "--remote",
+        f"{host}:{port}",
+        "--expr",
+        GOAL,
+        "--trace",
+        str(trace_file),
+    )
+    assert code == 0
+    records = [r for r in read_trace(trace_file) if r["name"] == "client.request"]
+    assert len(records) == 1
+    assert records[0]["trace"]
+    # The module service traces nothing server-side, so no echo surfaces --
+    # the client-side trace id is the one the client minted.
+    assert records[0]["tenant"] == "cli"
+
+
+def test_stats_remote_tenants_table(capsys, service):
+    host, port = service.address
+    run_cli(
+        capsys,
+        "query",
+        "--remote",
+        f"{host}:{port}",
+        "--tenant",
+        "acme-cli",
+        "--expr",
+        GOAL,
+    )
+    code, envelope = run_cli(
+        capsys, "stats", "--remote", f"{host}:{port}", "--tenants"
+    )
+    assert code == 0
+    tenants = envelope["result"]["tenants"]
+    assert tenants["acme-cli"]["queries"] >= 1
+    assert tenants["acme-cli"]["errors"] == 0
+
+
 def test_serve_subprocess_full_lifecycle(catalog_root, tmp_path):
     """Daemon as a subprocess: ready line, concurrent clients, clean exit."""
     metrics_file = tmp_path / "metrics.prom"

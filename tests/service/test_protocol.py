@@ -113,6 +113,44 @@ def test_parse_request_validation():
     assert request.tenant == protocol.DEFAULT_TENANT and request.params == {}
 
 
+def test_parse_request_validates_trace_context():
+    wire = {"trace_id": "abc123", "parent_span": "c1:7", "tenant": "acme"}
+    request = protocol.parse_request({"op": "query", "trace": wire})
+    assert request.trace == wire
+    # No trace field: stays None (the untraced wire form is unchanged).
+    assert protocol.parse_request({"op": "query"}).trace is None
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "query", "trace": "abc123"})
+    with pytest.raises(ProtocolError):
+        protocol.parse_request({"op": "query", "trace": {"trace_id": ""}})
+    with pytest.raises(ProtocolError):
+        protocol.parse_request(
+            {"op": "query", "trace": {"trace_id": "t", "parent_span": 7}}
+        )
+    with pytest.raises(ProtocolError):
+        protocol.parse_request(
+            {"op": "query", "trace": {"trace_id": "t", "tenant": 42}}
+        )
+
+
+def test_responses_echo_the_trace_context():
+    wire = {"trace_id": "abc123", "parent_span": "c1:7"}
+    request = protocol.Request(id=4, op="query", tenant="t", trace=wire)
+    envelope = wire_roundtrip(protocol.ok_response(request, {"x": 1}, elapsed=0.0))
+    assert envelope["trace"] == wire
+    # extra wins over the raw echo: the server sends its enriched context.
+    enriched = protocol.ok_response(
+        request, {"x": 1}, elapsed=0.0, trace={"trace_id": "abc123", "tenant": "t"}
+    )
+    assert enriched["trace"] == {"trace_id": "abc123", "tenant": "t"}
+    failed = protocol.error_response(4, ServiceError("m"), op="query", trace=wire)
+    assert failed["trace"] == wire
+    # Untraced envelopes carry no trace key at all.
+    untraced = protocol.Request(id=5, op="query", tenant="t")
+    assert "trace" not in protocol.ok_response(untraced, {}, elapsed=0.0)
+    assert "trace" not in protocol.error_response(5, ServiceError("m"), op="query")
+
+
 def test_decode_rejects_non_object_and_bad_json():
     with pytest.raises(ProtocolError):
         protocol.decode_frame(b"[1, 2, 3]\n")

@@ -386,6 +386,185 @@ def test_metrics_file_written_on_shutdown(catalog_root, tmp_path):
     assert "service_engine_evaluations" in text
 
 
+def test_per_tenant_accounting(catalog_root):
+    # Private caches: content-identity cache sharing with other tests'
+    # services would turn the first query into a hit and zero the deltas.
+    with make_service(catalog_root, share_caches=False) as service:
+        with client_for(service, tenant="acme") as acme:
+            acme.query(GOAL)
+            acme.query(GOAL)
+            with pytest.raises(ServiceError):
+                acme.query(GOAL, snapshot="no-such-dataset")
+        with client_for(service, tenant="rival") as rival:
+            rival.query("tram")
+            table = rival.stats()["server"]["tenants"]
+        acme_row = table["acme"]
+        # ping is not accounted; the two queries and the failed one are.
+        assert acme_row["queries"] == 3
+        assert acme_row["errors"] == 1
+        assert acme_row["sheds"] == 0
+        assert acme_row["wall_milliseconds"] >= 0
+        # The second identical query was a result-cache hit; kernel work
+        # happened at least on the first.
+        assert acme_row["cache_hits"] >= 1
+        assert acme_row["kernel_units"] > 0
+        # rival's row counts only its own traffic (stats is not a query).
+        assert table["rival"]["queries"] == 1
+        assert table["rival"]["errors"] == 0
+        # The same table is exported as labeled Prometheus series.
+        text = service.registry.render_prometheus()
+        assert 'service_tenant_queries_total{tenant="acme"} 3' in text
+        assert 'service_tenant_errors_total{tenant="acme"} 1' in text
+        assert 'service_tenant_queries_total{tenant="rival"} 1' in text
+
+
+def test_shed_requests_count_against_their_tenant(catalog_root):
+    with make_service(catalog_root, queue_depth=1, max_concurrent=32) as service:
+        service.batcher.pause()
+        blocked = client_for(service, tenant="noisy")
+        thread = threading.Thread(target=blocked.query, args=(GOAL,))
+        try:
+            thread.start()
+            for _ in range(1000):
+                if service.batcher.depth == 1:
+                    break
+                threading.Event().wait(0.01)
+            with client_for(service, tenant="noisy") as second:
+                with pytest.raises(OverloadedError):
+                    second.query(GOAL)
+        finally:
+            service.batcher.resume()
+            thread.join()
+            blocked.close()
+        row = service.tenant_stats()["noisy"]
+        assert row["sheds"] == 1
+        assert row["errors"] == 1
+
+
+def test_trace_context_propagates_client_to_server_spans(catalog_root, tmp_path):
+    from repro.telemetry import Telemetry, build_trace_tree, read_trace
+
+    server_trace = tmp_path / "server-trace.jsonl"
+    client_trace = tmp_path / "client-trace.jsonl"
+    with make_service(catalog_root, trace_path=str(server_trace)) as service:
+        telemetry = Telemetry(trace_path=client_trace)
+        host, port = service.address
+        with ServiceClient(host, port, tenant="acme", telemetry=telemetry) as client:
+            envelope = client.request("query", {"expr": GOAL})
+        telemetry.close()
+    assert envelope["ok"] is True
+    # The response echoes the trace context so the caller can log the id.
+    trace_id = envelope["trace"]["trace_id"]
+    client_records = list(read_trace(client_trace))
+    server_records = list(read_trace(server_trace))
+    (client_span,) = [r for r in client_records if r["name"] == "client.request"]
+    assert client_span["trace"] == trace_id
+    assert client_span["tenant"] == "acme"
+    server_names = {r["name"] for r in server_records if r.get("trace") == trace_id}
+    assert "server.request" in server_names
+    assert "engine.evaluate" in server_names
+    # Joining both files reconstructs one tree rooted at the client span,
+    # with the server's request span as its child.
+    tree = build_trace_tree(client_records + server_records, trace_id)
+    (root,) = tree["roots"]
+    assert root["name"] == "client.request"
+    child_names = {child["name"] for child in root["children"]}
+    assert "server.request" in child_names
+    assert tree["tenants"] == ["acme"]
+
+
+def test_untraced_client_gets_server_minted_trace_and_request_id_stamped(
+    catalog_root, tmp_path
+):
+    from repro.telemetry import read_trace
+
+    server_trace = tmp_path / "server-trace.jsonl"
+    with make_service(catalog_root, trace_path=str(server_trace)) as service:
+        with client_for(service) as client:
+            envelope = client.request("query", {"expr": GOAL})
+    # A tracing server mints a root context for untraced requests and
+    # echoes it, so even a plain client learns the id to grep the server's
+    # trace file by.
+    trace_id = envelope["trace"]["trace_id"]
+    request_spans = [
+        r for r in read_trace(server_trace) if r["name"] == "server.request"
+    ]
+    assert request_spans
+    span = request_spans[-1]
+    assert span["trace"] == trace_id
+    # The per-request span records the client-supplied wire id, joining
+    # request logs to the trace without a side channel.
+    assert span["attrs"]["request"] == envelope["id"]
+
+
+def test_untraced_server_sends_no_trace_echo(service):
+    with client_for(service) as client:
+        envelope = client.request("query", {"expr": GOAL})
+    assert "trace" not in envelope
+
+
+def test_slow_query_log_records_profile_and_explain(catalog_root, tmp_path):
+    from repro.telemetry import read_trace, summarize_slow
+
+    slow_log = tmp_path / "slow.jsonl"
+    with make_service(
+        catalog_root,
+        slow_log_path=str(slow_log),
+        slow_query_seconds=1e-9,  # everything is slow: deterministic capture
+    ) as service:
+        with client_for(service, tenant="acme") as client:
+            client.query(GOAL)
+    entries = list(read_trace(slow_log))
+    assert entries
+    entry = entries[0]
+    assert entry["expr"] == GOAL
+    assert entry["tenant"] == "acme"
+    assert entry["snapshot"] == "geo"
+    assert entry["elapsed"] >= 0
+    assert entry["threshold"] == 1e-9
+    assert "total_seconds" in entry["profile"]
+    assert "states_expanded" in entry["profile"]
+    assert entry["explain"]["type"] == "ExplainResult"
+    summary = summarize_slow(entries)
+    assert summary["entries"] == len(entries)
+    assert summary["tenants"] == {"acme": len(entries)}
+
+
+def test_slow_query_log_carries_the_trace_id(catalog_root, tmp_path):
+    from repro.telemetry import Telemetry, read_trace
+
+    slow_log = tmp_path / "slow.jsonl"
+    server_trace = tmp_path / "server-trace.jsonl"
+    client_trace = tmp_path / "client-trace.jsonl"
+    with make_service(
+        catalog_root,
+        trace_path=str(server_trace),
+        slow_log_path=str(slow_log),
+        slow_query_seconds=1e-9,
+    ) as service:
+        telemetry = Telemetry(trace_path=client_trace)
+        host, port = service.address
+        with ServiceClient(host, port, tenant="acme", telemetry=telemetry) as client:
+            envelope = client.request("query", {"expr": GOAL})
+        telemetry.close()
+    trace_id = envelope["trace"]["trace_id"]
+    entries = list(read_trace(slow_log))
+    assert entries
+    assert entries[0]["trace"] == trace_id
+
+
+def test_slow_threshold_filters_fast_queries(catalog_root, tmp_path):
+    slow_log = tmp_path / "slow.jsonl"
+    with make_service(
+        catalog_root,
+        slow_log_path=str(slow_log),
+        slow_query_seconds=3600.0,  # nothing on a figure graph is this slow
+    ) as service:
+        with client_for(service) as client:
+            client.query(GOAL)
+    assert slow_log.read_text() == ""
+
+
 # -- shutdown -----------------------------------------------------------------
 
 

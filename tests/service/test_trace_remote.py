@@ -1,0 +1,127 @@
+"""End-to-end distributed tracing: client -> daemon -> shard workers.
+
+This file carries the PR's acceptance assertion: a traced query sent
+through :class:`~repro.service.ServiceClient` against a sharded
+(``workers>=2``) snapshot yields ONE trace -- client-side span, server-side
+request span, engine span, and shard-worker spans all stamped with the same
+trace id -- reconstructable into a single tree from the client's and the
+server's trace files.  The daemon runs as a real subprocess, so the spans
+genuinely cross two process boundaries (client/server and server/pool).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.storage.catalog import DatasetCatalog
+from repro.telemetry import Telemetry, build_trace_tree, read_trace
+
+GOAL = "(tram+bus)*.cinema"
+
+
+@pytest.fixture(scope="module")
+def catalog_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("trace-remote-catalog")
+    DatasetCatalog(root).ensure("geo")
+    return str(root)
+
+
+def test_one_trace_spans_client_server_and_shard_workers(catalog_root, tmp_path):
+    server_trace = tmp_path / "server-trace.jsonl"
+    client_trace = tmp_path / "client-trace.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--catalog",
+            catalog_root,
+            "--port",
+            "0",
+            "--snapshots",
+            "geo",
+            # Two shard workers on a tiny graph: --min-shard-edges 1 makes
+            # it shard-eligible and --planner off pins dispatch to the
+            # sharded kernel, so worker spans appear deterministically.
+            "--workers",
+            "2",
+            "--min-shard-edges",
+            "1",
+            "--planner",
+            "off",
+            "--trace",
+            str(server_trace),
+            "--allow-remote-shutdown",
+            "--indent",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+    try:
+        ready = json.loads(process.stdout.readline())
+        assert ready["ok"] is True
+        host, port = ready["ready"]["host"], ready["ready"]["port"]
+
+        telemetry = Telemetry(trace_path=client_trace)
+        with ServiceClient(host, port, tenant="acme", telemetry=telemetry) as client:
+            envelope = client.request("query", {"expr": GOAL})
+        telemetry.close()
+        assert envelope["ok"] is True
+        trace_id = envelope["trace"]["trace_id"]
+
+        # Clean shutdown flushes and closes the server's trace sink.
+        with ServiceClient(host, port) as admin:
+            assert admin.shutdown() is True
+        _stdout, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+
+    client_records = list(read_trace(client_trace))
+    server_records = list(read_trace(server_trace))
+    in_trace = [
+        r
+        for r in client_records + server_records
+        if r.get("trace") == trace_id
+    ]
+    names = {r["name"] for r in in_trace}
+    assert "client.request" in names
+    assert "server.request" in names
+    assert "engine.evaluate" in names
+    shard_spans = [r for r in in_trace if r["name"].startswith("shard.")]
+    assert len(shard_spans) >= 2  # one per worker process
+    # Worker spans really came from other processes and carry their work
+    # attribution and tenant stamp.
+    server_pid_spans = {r["attrs"]["pid"] for r in shard_spans}
+    assert all(isinstance(pid, int) for pid in server_pid_spans)
+    for span in shard_spans:
+        assert span["tenant"] == "acme"
+        assert "states_expanded" in span["attrs"]
+
+    # The whole thing reassembles into one tree rooted at the client span.
+    tree = build_trace_tree(client_records + server_records, trace_id)
+    assert tree["spans"] == len(in_trace)
+    assert tree["tenants"] == ["acme"]
+    (root,) = tree["roots"]
+    assert root["name"] == "client.request"
+
+    def walk(node):
+        yield node["name"]
+        for child in node["children"]:
+            yield from walk(child)
+
+    flattened = list(walk(root))
+    assert "server.request" in flattened
+    assert any(name.startswith("shard.") for name in flattened)

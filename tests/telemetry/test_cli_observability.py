@@ -107,6 +107,77 @@ class TestTraceCommand:
         assert code == 1
         assert envelope["ok"] is False
 
+    def test_trace_id_reconstructs_a_tree_across_files(self, capsys, tmp_path):
+        # Two trace files of one trace, as a client/server pair would
+        # produce: 'trace --id' joins them into one tree.
+        first = tmp_path / "client.jsonl"
+        second = tmp_path / "server.jsonl"
+        first.write_text(
+            json.dumps(
+                {"name": "client.request", "span_id": 1, "parent_id": 0,
+                 "depth": 0, "start": 0.0, "seconds": 1.0, "attrs": {},
+                 "trace": "t-42", "span": "c1:1", "tenant": "acme"}
+            )
+            + "\n"
+        )
+        second.write_text(
+            json.dumps(
+                {"name": "server.request", "span_id": 1, "parent_id": 0,
+                 "depth": 0, "start": 0.5, "seconds": 0.4, "attrs": {},
+                 "trace": "t-42", "span": "s1:1", "parent": "c1:1"}
+            )
+            + "\n"
+        )
+        code, envelope = run_cli(
+            capsys,
+            "trace",
+            "--file",
+            str(first),
+            "--file",
+            str(second),
+            "--id",
+            "t-42",
+        )
+        assert code == 0
+        tree = envelope["result"]["tree"]
+        assert tree["trace_id"] == "t-42"
+        assert tree["spans"] == 2
+        assert tree["tenants"] == ["acme"]
+        (root,) = tree["roots"]
+        assert root["name"] == "client.request"
+        assert [child["name"] for child in root["children"]] == ["server.request"]
+
+    def test_trace_summary_merges_multiple_files(self, capsys, tmp_path):
+        first_file, _ = self.write_trace(capsys, tmp_path)
+        second_file = tmp_path / "second.jsonl"
+        second_file.write_text(first_file.read_text())
+        code, envelope = run_cli(
+            capsys, "trace", "--file", str(first_file), "--file", str(second_file)
+        )
+        assert code == 0
+        report = envelope["result"]
+        assert report["files"] == [str(first_file), str(second_file)]
+        single = run_cli(capsys, "trace", "--file", str(first_file))[1]
+        assert (
+            report["summary"]["events"]
+            == 2 * single["result"]["summary"]["events"]
+        )
+
+    def test_trace_tail_rejects_multiple_files(self, capsys, tmp_path):
+        trace_file, _ = self.write_trace(capsys, tmp_path)
+        code, envelope = run_cli(
+            capsys,
+            "trace",
+            "--file",
+            str(trace_file),
+            "--file",
+            str(trace_file),
+            "--tail",
+            "1",
+        )
+        assert code == 1
+        assert envelope["error"]["type"] == "ConfigError"
+
     def test_stats_summarizes_a_trace_file(self, capsys, tmp_path):
         trace_file, _ = self.write_trace(capsys, tmp_path)
         code, envelope = run_cli(
@@ -121,6 +192,60 @@ class TestTraceCommand:
         trace_section = envelope["result"]["trace"]
         assert trace_section["cache"]["miss"] == 1
         assert trace_section["plan_cache"]["miss"] == 1
+
+
+class TestSlowCommand:
+    def write_slow_log(self, tmp_path):
+        slow_file = tmp_path / "slow.jsonl"
+        entries = [
+            {"ts": 1.0, "tenant": "acme", "snapshot": "geo", "expr": "a.b",
+             "semantics": "path", "elapsed": 1.5, "threshold": 1.0,
+             "trace": "t-1"},
+            {"ts": 2.0, "tenant": "rival", "snapshot": "geo", "expr": "a.b",
+             "semantics": "path", "elapsed": 2.5, "threshold": 1.0,
+             "trace": "t-2"},
+            {"ts": 3.0, "tenant": "acme", "snapshot": "g0", "expr": "c*",
+             "semantics": "path", "elapsed": 1.1, "threshold": 1.0,
+             "trace": None},
+        ]
+        slow_file.write_text(
+            "".join(json.dumps(entry) + "\n" for entry in entries)
+        )
+        return slow_file
+
+    def test_slow_summary_envelope(self, capsys, tmp_path):
+        slow_file = self.write_slow_log(tmp_path)
+        code, envelope = run_cli(capsys, "slow", "--file", str(slow_file))
+        assert code == 0
+        assert envelope["command"] == "slow"
+        report = envelope["result"]
+        assert report["type"] == "SlowQueryReport"
+        summary = report["summary"]
+        assert summary["entries"] == 3
+        assert summary["max_elapsed"] == pytest.approx(2.5)
+        assert summary["slowest"]["tenant"] == "rival"
+        assert summary["slowest"]["trace"] == "t-2"
+        assert summary["tenants"] == {"acme": 2, "rival": 1}
+        assert summary["top_expressions"][0] == {"expr": "a.b", "count": 2}
+
+    def test_slow_tail_envelope(self, capsys, tmp_path):
+        slow_file = self.write_slow_log(tmp_path)
+        code, envelope = run_cli(
+            capsys, "slow", "--file", str(slow_file), "--tail", "2"
+        )
+        assert code == 0
+        entries = envelope["result"]["entries"]
+        assert [entry["expr"] for entry in entries] == ["a.b", "c*"]
+
+    def test_slow_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code, envelope = run_cli(capsys, "slow", "--file", str(tmp_path / "no.jsonl"))
+        assert code == 1
+        assert envelope["ok"] is False
+
+    def test_stats_tenants_requires_remote(self, capsys):
+        code, envelope = run_cli(capsys, "stats", "--figure", "geo", "--tenants")
+        assert code == 1
+        assert envelope["error"]["type"] == "ConfigError"
 
 
 @pytest.mark.slow

@@ -76,6 +76,65 @@ class TestCompareReports:
             compare.compare_reports(report(), report(), tolerance=-0.1)
 
 
+class TestMergeSummary:
+    def _compare(self, baseline, fresh):
+        return compare.compare_reports(baseline, fresh, tolerance=0.25)
+
+    def test_suites_accumulate_into_one_artifact(self, tmp_path):
+        summary_file = tmp_path / "BENCH_summary.json"
+        compare.merge_summary(
+            summary_file,
+            "engine-benchmark",
+            self._compare(report(t=(1.0, 3.0)), report(t=(1.0, 2.9))),
+            generated="2026-08-08T00:00:00",
+        )
+        merged = compare.merge_summary(
+            summary_file,
+            "learner-benchmark",
+            self._compare(report(u=(1.0, None)), report(u=(1.1, None))),
+            generated="2026-08-08T00:01:00",
+        )
+        entries = merged["entries"]
+        assert [(e["suite"], e["name"]) for e in entries] == [
+            ("engine-benchmark", "t"),
+            ("learner-benchmark", "u"),
+        ]
+        assert entries[0]["metric"] == "speedup" and entries[0]["ok"]
+        assert entries[1]["metric"] == "mean" and entries[1]["advisory"]
+        assert entries[0]["datetime"] == "2026-08-08T00:00:00"
+        # What landed on disk is what merge returned.
+        assert json.loads(summary_file.read_text())["entries"] == entries
+
+    def test_rerunning_a_suite_replaces_only_its_rows(self, tmp_path):
+        summary_file = tmp_path / "summary.json"
+        compare.merge_summary(
+            summary_file, "a", self._compare(report(x=(1.0, 2.0)), report(x=(1.0, 2.0))),
+            generated="g1",
+        )
+        compare.merge_summary(
+            summary_file, "b", self._compare(report(y=(1.0, 2.0)), report(y=(1.0, 2.0))),
+            generated="g1",
+        )
+        merged = compare.merge_summary(
+            summary_file, "a", self._compare(report(x=(1.0, 4.0)), report(x=(1.0, 4.0))),
+            generated="g2",
+        )
+        by_suite = {entry["suite"]: entry for entry in merged["entries"]}
+        assert len(merged["entries"]) == 2
+        assert by_suite["a"]["fresh"] == 4.0 and by_suite["a"]["datetime"] == "g2"
+        assert by_suite["b"]["datetime"] == "g1"
+
+    def test_corrupt_summary_file_is_rebuilt(self, tmp_path):
+        summary_file = tmp_path / "summary.json"
+        summary_file.write_text("{not json")
+        merged = compare.merge_summary(
+            summary_file, "a", self._compare(report(x=(1.0, 2.0)), report(x=(1.0, 2.0))),
+            generated=None,
+        )
+        assert len(merged["entries"]) == 1
+        assert json.loads(summary_file.read_text())["generated"] is None
+
+
 class TestMain:
     def _write(self, path: Path, payload: dict) -> Path:
         path.write_text(json.dumps(payload))
@@ -115,6 +174,25 @@ class TestMain:
         )
         capsys.readouterr()
         assert compare.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
+    def test_summary_flag_names_the_suite_after_the_baseline(self, tmp_path, capsys):
+        baseline = self._write(
+            tmp_path / "engine-benchmark.json", report(t=(1.0, 3.0))
+        )
+        fresh = self._write(tmp_path / "fresh.json", report(t=(1.0, 2.9)))
+        summary_file = tmp_path / "BENCH_summary.json"
+        code = compare.main(
+            [
+                "--baseline", str(baseline),
+                "--fresh", str(fresh),
+                "--summary", str(summary_file),
+            ]
+        )
+        assert code == 0
+        assert "summary merged" in capsys.readouterr().out
+        (entry,) = json.loads(summary_file.read_text())["entries"]
+        assert entry["suite"] == "engine-benchmark"
+        assert entry["name"] == "t" and entry["ok"] is True
 
     def test_tolerance_flag(self, tmp_path, capsys):
         baseline = self._write(tmp_path / "base.json", report(t=(1.0, 3.0)))
